@@ -1,0 +1,138 @@
+// Command fdtd runs the electromagnetics application directly.
+//
+// Usage:
+//
+//	fdtd -version C -build seq              original sequential program
+//	fdtd -version A -build ssp -p 4         simulated-parallel, 4 processes
+//	fdtd -version C -build par -p 8         message-passing parallel
+//	fdtd -nx 48 -ny 48 -nz 48 -steps 256    custom grid
+//
+// It prints a run summary, the probe series extrema, and (Version C)
+// the peak far-field potentials, plus the work/message profile when a
+// parallel build is selected.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/fdtd"
+	"repro/internal/gridio"
+	"repro/internal/machine"
+	"repro/internal/mesh"
+)
+
+func main() {
+	version := flag.String("version", "C", "application version: A (near field) or C (near + far field)")
+	build := flag.String("build", "seq", "build to run: seq | ssp | par")
+	p := flag.Int("p", 4, "process count for ssp/par builds (x-axis split)")
+	py := flag.Int("py", 1, "y-axis process count (>1 selects the 2-D block decomposition)")
+	nx := flag.Int("nx", 33, "grid extent x")
+	ny := flag.Int("ny", 33, "grid extent y")
+	nz := flag.Int("nz", 33, "grid extent z")
+	steps := flag.Int("steps", 128, "time steps")
+	compensated := flag.Bool("compensated", false, "use the compensated (fixed) far field")
+	boundary := flag.String("boundary", "pec", "outer boundary: pec | mur1")
+	dump := flag.String("dump", "", "write the final Ez field to this file (gridio format)")
+	flag.Parse()
+
+	spec := fdtd.SpecTable1()
+	spec.NX, spec.NY, spec.NZ, spec.Steps = *nx, *ny, *nz, *steps
+	spec.Source.I, spec.Source.J, spec.Source.K = *nx/2, *ny/2, *nz/2
+	spec.Probe = [3]int{*nx/2 + *nx/8, *ny / 2, *nz / 2}
+	if *version == "A" {
+		spec.FarField = nil
+	}
+	switch *boundary {
+	case "pec":
+		spec.Boundary = fdtd.BoundaryPEC
+	case "mur1":
+		spec.Boundary = fdtd.BoundaryMur1
+	default:
+		fmt.Fprintf(os.Stderr, "fdtd: unknown boundary %q\n", *boundary)
+		os.Exit(2)
+	}
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "fdtd: %v\n", err)
+		os.Exit(2)
+	}
+
+	opt := fdtd.DefaultOptions()
+	opt.FarFieldCompensated = *compensated
+	var tally *machine.Tally
+
+	start := time.Now()
+	var res *fdtd.Result
+	var err error
+	switch *build {
+	case "seq":
+		res, err = fdtd.RunSequentialOpts(spec, *compensated)
+	case "ssp", "par":
+		mode := mesh.Sim
+		if *build == "par" {
+			mode = mesh.Par
+		}
+		tally = machine.NewTally(*p * *py)
+		opt.Mesh.Tally = tally
+		if *py > 1 {
+			res, err = fdtd.RunArchetype2D(spec, *p, *py, mode, opt)
+		} else {
+			res, err = fdtd.RunArchetype(spec, *p, mode, opt)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "fdtd: unknown build %q\n", *build)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fdtd: %v\n", err)
+		os.Exit(1)
+	}
+	wall := time.Since(start)
+
+	fmt.Printf("%s\nbuild=%s wall=%v\n", res, *build, wall)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range res.Probe {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	fmt.Printf("probe Ez range: [%.6g, %.6g] over %d steps\n", lo, hi, len(res.Probe))
+	if spec.IsVersionC() {
+		peakA, peakF := 0.0, 0.0
+		for _, v := range res.FarA {
+			if a := math.Abs(v); a > peakA {
+				peakA = a
+			}
+		}
+		for _, v := range res.FarF {
+			if a := math.Abs(v); a > peakF {
+				peakF = a
+			}
+		}
+		fmt.Printf("far-field potentials: |A|max=%.6g |F|max=%.6g (%d samples)\n",
+			peakA, peakF, len(res.FarA))
+	}
+	if *dump != "" {
+		if err := gridio.SaveFile3(*dump, res.Ez); err != nil {
+			fmt.Fprintf(os.Stderr, "fdtd: dump: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("final Ez written to %s\n", *dump)
+	}
+	if tally != nil {
+		fmt.Printf("profile: %d messages, %.2f MB, %d phases\n",
+			tally.TotalMessages(), float64(tally.TotalBytes())/1e6, tally.Phases())
+		for _, m := range []machine.Model{machine.SunEthernet(), machine.IBMSP()} {
+			simT := m.Time(tally)
+			seqT := m.SequentialTime(tally)
+			fmt.Printf("  %-40s simulated %8.3f s (speedup %.2f on %d procs)\n",
+				m.Name, simT, machine.Speedup(seqT, simT), *p**py)
+		}
+	}
+}

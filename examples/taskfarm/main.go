@@ -1,0 +1,90 @@
+// taskfarm demonstrates the repository's second archetype — the task
+// farm (see internal/farm) — on the classic embarrassingly parallel
+// workload: rendering the Mandelbrot set row by row.
+//
+// Each row is one task; tasks are assigned to processes by a
+// deterministic cyclic schedule and the results are gathered by the
+// master indexed by row.  As with the mesh archetype, the same program
+// runs as a sequential simulated-parallel program and as a real
+// parallel program with bitwise identical results.
+//
+// Run with: go run ./examples/taskfarm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/farm"
+)
+
+const (
+	width, height = 72, 28
+	maxIter       = 200
+	procs         = 6
+)
+
+// mandelRow computes the iteration counts of one image row.
+func mandelRow(row int) []int {
+	out := make([]int, width)
+	ci := -1.2 + 2.4*float64(row)/float64(height-1)
+	for col := 0; col < width; col++ {
+		cr := -2.1 + 2.8*float64(col)/float64(width-1)
+		zr, zi := 0.0, 0.0
+		n := 0
+		for ; n < maxIter; n++ {
+			zr, zi = zr*zr-zi*zi+cr, 2*zr*zi+ci
+			if zr*zr+zi*zi > 4 {
+				break
+			}
+		}
+		out[col] = n
+	}
+	return out
+}
+
+func render(rows [][]int) string {
+	shades := []byte(" .:-=+*#%@")
+	buf := make([]byte, 0, height*(width+1))
+	for _, row := range rows {
+		for _, n := range row {
+			idx := n * (len(shades) - 1) / maxIter
+			buf = append(buf, shades[idx])
+		}
+		buf = append(buf, '\n')
+	}
+	return string(buf)
+}
+
+func equal(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func main() {
+	opt := farm.DefaultOptions()
+	sim, err := farm.Map(height, procs, farm.Sim, opt, mandelRow)
+	if err != nil {
+		log.Fatal(err)
+	}
+	par, err := farm.Map(height, procs, farm.Par, opt, mandelRow)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(render(par))
+	fmt.Printf("\ntask farm: %d rows over %d processes (%s schedule)\n",
+		height, procs, opt.Schedule)
+	fmt.Printf("simulated-parallel == parallel: %v\n", equal(sim, par))
+}

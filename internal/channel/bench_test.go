@@ -1,0 +1,42 @@
+package channel
+
+import "testing"
+
+func BenchmarkQueueSendRecv(b *testing.B) {
+	q := NewQueue[float64]()
+	for i := 0; i < b.N; i++ {
+		q.Send(float64(i))
+		q.Recv()
+	}
+}
+
+func BenchmarkChanSendRecvSameGoroutine(b *testing.B) {
+	c := NewChan[float64]()
+	for i := 0; i < b.N; i++ {
+		c.Send(float64(i))
+		c.Recv()
+	}
+}
+
+func BenchmarkChanPingPong(b *testing.B) {
+	ab := NewChan[int]()
+	ba := NewChan[int]()
+	done := make(chan struct{})
+	go func() {
+		for {
+			v := ab.Recv()
+			if v < 0 {
+				close(done)
+				return
+			}
+			ba.Send(v)
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ab.Send(i)
+		ba.Recv()
+	}
+	ab.Send(-1)
+	<-done
+}

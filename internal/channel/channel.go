@@ -1,0 +1,225 @@
+// Package channel implements the communication substrate of the paper's
+// parallel program model: single-reader single-writer channels with
+// infinite slack (unbounded capacity).
+//
+// Two implementations are provided.  Queue is a plain sequential FIFO
+// used when executing sequential simulated-parallel (SSP) programs:
+// sends never block, and receiving from an empty queue panics, because
+// a correct SSP ordering guarantees "no attempt is made to read from a
+// channel unless it is known not to be empty".  Chan is a goroutine-safe
+// unbounded channel used by the real parallel runtime: sends never
+// block (infinite slack) and receives block until a value is available.
+//
+// Net bundles a full point-to-point network of such channels between P
+// processes — the "tagged point-to-point messages" with which the paper
+// simulates channels on message-passing architectures.
+package channel
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Endpoint is the common behaviour of both channel implementations:
+// a FIFO with non-blocking sends.
+type Endpoint[T any] interface {
+	// Send enqueues v.  It never blocks: the channel has infinite slack.
+	Send(v T)
+	// Recv dequeues the oldest value.  For Queue it panics when empty;
+	// for Chan it blocks until a value arrives.
+	Recv() T
+	// TryRecv dequeues the oldest value if one is present.
+	TryRecv() (T, bool)
+	// Len returns the number of queued values.
+	Len() int
+}
+
+// Queue is a sequential unbounded FIFO channel.  It is not safe for
+// concurrent use; it is the channel representation used when simulating
+// parallel execution sequentially.
+type Queue[T any] struct {
+	buf  []T
+	head int
+	// Sends counts the total number of values ever enqueued.
+	Sends int
+}
+
+// NewQueue returns an empty sequential channel.
+func NewQueue[T any]() *Queue[T] { return &Queue[T]{} }
+
+// Send enqueues v; it never blocks.
+func (q *Queue[T]) Send(v T) {
+	q.buf = append(q.buf, v)
+	q.Sends++
+}
+
+// Recv dequeues the oldest value.  It panics if the channel is empty:
+// in a well-formed SSP execution every receive is preceded by the
+// matching send, so an empty receive is a program bug, not a condition
+// to wait on.
+func (q *Queue[T]) Recv() T {
+	if q.head >= len(q.buf) {
+		panic("channel: receive from empty channel in sequential execution " +
+			"(the SSP ordering must perform all sends of a data-exchange " +
+			"operation before any receives)")
+	}
+	v := q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero // release for GC
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return v
+}
+
+// TryRecv dequeues the oldest value if one is present.
+func (q *Queue[T]) TryRecv() (T, bool) {
+	var zero T
+	if q.head >= len(q.buf) {
+		return zero, false
+	}
+	return q.Recv(), true
+}
+
+// Len returns the number of queued values.
+func (q *Queue[T]) Len() int { return len(q.buf) - q.head }
+
+// Chan is a goroutine-safe unbounded channel: a single-reader
+// single-writer channel with infinite slack.  Send never blocks; Recv
+// blocks until a value is available.  (The implementation tolerates
+// multiple senders/receivers, but the paper's model — and all uses in
+// this repository — pair exactly one of each per channel.)
+type Chan[T any] struct {
+	mu    sync.Mutex
+	ready *sync.Cond
+	buf   []T
+	head  int
+	sends int
+}
+
+// NewChan returns an empty concurrent unbounded channel.
+func NewChan[T any]() *Chan[T] {
+	c := &Chan[T]{}
+	c.ready = sync.NewCond(&c.mu)
+	return c
+}
+
+// Send enqueues v.  It never blocks (infinite slack).
+func (c *Chan[T]) Send(v T) {
+	c.mu.Lock()
+	c.buf = append(c.buf, v)
+	c.sends++
+	c.mu.Unlock()
+	c.ready.Signal()
+}
+
+// Recv dequeues the oldest value, blocking until one is available.
+func (c *Chan[T]) Recv() T {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.head >= len(c.buf) {
+		c.ready.Wait()
+	}
+	return c.popLocked()
+}
+
+// TryRecv dequeues the oldest value if one is present, without blocking.
+func (c *Chan[T]) TryRecv() (T, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var zero T
+	if c.head >= len(c.buf) {
+		return zero, false
+	}
+	return c.popLocked(), true
+}
+
+func (c *Chan[T]) popLocked() T {
+	v := c.buf[c.head]
+	var zero T
+	c.buf[c.head] = zero
+	c.head++
+	if c.head == len(c.buf) {
+		c.buf = c.buf[:0]
+		c.head = 0
+	}
+	return v
+}
+
+// Len returns the number of queued values.
+func (c *Chan[T]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.buf) - c.head
+}
+
+// TotalSends returns the number of values ever sent on the channel.
+func (c *Chan[T]) TotalSends() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sends
+}
+
+// Net is a complete point-to-point network: one single-reader
+// single-writer channel for each ordered pair of processes (from, to).
+// Process indices run from 0 to P-1.
+type Net[T any] struct {
+	p     int
+	chans []Endpoint[T] // index from*p + to
+}
+
+// NewQueueNet builds a network of sequential channels for P processes,
+// for use by the sequential simulated-parallel executor.
+func NewQueueNet[T any](p int) *Net[T] {
+	return newNet[T](p, func() Endpoint[T] { return NewQueue[T]() })
+}
+
+// NewChanNet builds a network of concurrent unbounded channels for P
+// processes, for use by the real parallel runtime.
+func NewChanNet[T any](p int) *Net[T] {
+	return newNet[T](p, func() Endpoint[T] { return NewChan[T]() })
+}
+
+func newNet[T any](p int, mk func() Endpoint[T]) *Net[T] {
+	if p <= 0 {
+		panic(fmt.Sprintf("channel: network size must be positive, got %d", p))
+	}
+	n := &Net[T]{p: p, chans: make([]Endpoint[T], p*p)}
+	for i := range n.chans {
+		n.chans[i] = mk()
+	}
+	return n
+}
+
+// P returns the number of processes in the network.
+func (n *Net[T]) P() int { return n.p }
+
+func (n *Net[T]) check(from, to int) {
+	if from < 0 || from >= n.p || to < 0 || to >= n.p {
+		panic(fmt.Sprintf("channel: endpoint out of range: from=%d to=%d p=%d", from, to, n.p))
+	}
+}
+
+// Chan returns the channel from process `from` to process `to`.
+func (n *Net[T]) Chan(from, to int) Endpoint[T] {
+	n.check(from, to)
+	return n.chans[from*n.p+to]
+}
+
+// Send sends v on the channel from -> to.
+func (n *Net[T]) Send(from, to int, v T) { n.Chan(from, to).Send(v) }
+
+// Recv receives the next value on the channel from -> to.
+func (n *Net[T]) Recv(from, to int) T { return n.Chan(from, to).Recv() }
+
+// Pending returns the total number of undelivered values in the
+// network, used by tests and the deadlock detector.
+func (n *Net[T]) Pending() int {
+	total := 0
+	for _, c := range n.chans {
+		total += c.Len()
+	}
+	return total
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// DeterminacyOptions configures the empirical Theorem 1 checker.
+type DeterminacyOptions[R any] struct {
+	// Policies are the controlled interleavings to try; defaults to
+	// sched.DefaultPolicies(8).
+	Policies []sched.Policy
+	// ConcurrentReps is the number of additional free-running goroutine
+	// executions; defaults to 4.
+	ConcurrentReps int
+	// Equal compares two result vectors; defaults to reflect.DeepEqual.
+	Equal func(a, b []R) bool
+	// MaxActions bounds each controlled run (0 = unlimited).
+	MaxActions int
+	// CheckTraces additionally verifies that all controlled
+	// interleavings are permutation-equivalent in the sense of the
+	// Theorem 1 proof (same per-process action sequences, same
+	// per-channel message sequences).
+	CheckTraces bool
+}
+
+// RunOutcome records one execution of the network.
+type RunOutcome struct {
+	Label    string // policy name or "concurrent#k"
+	Err      error  // deadlock or abort, if any
+	Diverged bool   // final state differed from the reference run
+	TraceLen int
+}
+
+// DeterminacyReport is the result of CheckDeterminacy.
+type DeterminacyReport struct {
+	Runs          []RunOutcome
+	Deterministic bool
+	// TraceEquivalent is set when CheckTraces was requested and all
+	// controlled traces were pairwise permutation-equivalent.
+	TraceEquivalent bool
+	// FirstDivergence explains the first observed divergence, if any.
+	FirstDivergence string
+}
+
+// String renders the report.
+func (r *DeterminacyReport) String() string {
+	var b strings.Builder
+	verdict := "DETERMINATE: all maximal interleavings reached the same final state"
+	if !r.Deterministic {
+		verdict = "NOT DETERMINATE: " + r.FirstDivergence
+	}
+	fmt.Fprintf(&b, "%s (%d runs)\n", verdict, len(r.Runs))
+	for _, run := range r.Runs {
+		status := "ok"
+		if run.Err != nil {
+			status = run.Err.Error()
+		} else if run.Diverged {
+			status = "DIVERGED"
+		}
+		fmt.Fprintf(&b, "  %-16s %s\n", run.Label, status)
+	}
+	return b.String()
+}
+
+// CheckDeterminacy empirically tests Theorem 1 for a process network:
+// it executes make()'s processes under every configured interleaving
+// policy plus several free-running concurrent executions, and verifies
+// that all maximal interleavings terminate with the same final states.
+// make is called once per run so that networks whose processes carry
+// internal state start fresh each time.
+//
+// A network satisfying the theorem's premises (deterministic processes,
+// no shared variables, SRSW channels with infinite slack) always yields
+// Deterministic == true.  A network violating the premises — e.g.
+// sharing memory — is flagged when any interleaving exhibits a
+// different final state.
+func CheckDeterminacy[T, R any](make func() []sched.Proc[T, R], opt DeterminacyOptions[R]) (*DeterminacyReport, error) {
+	if opt.Policies == nil {
+		opt.Policies = sched.DefaultPolicies(8)
+	}
+	if opt.ConcurrentReps == 0 {
+		opt.ConcurrentReps = 4
+	}
+	eq := opt.Equal
+	if eq == nil {
+		eq = func(a, b []R) bool { return reflect.DeepEqual(a, b) }
+	}
+
+	rep := &DeterminacyReport{Deterministic: true, TraceEquivalent: true}
+	var ref []R
+	haveRef := false
+	var refTrace *trace.Recorder
+	nprocs := 0
+
+	record := func(label string, res []R, err error, tr *trace.Recorder) {
+		out := RunOutcome{Label: label, Err: err, TraceLen: tr.Len()}
+		if err == nil {
+			if !haveRef {
+				ref, haveRef = res, true
+			} else if !eq(ref, res) {
+				out.Diverged = true
+				rep.Deterministic = false
+				if rep.FirstDivergence == "" {
+					rep.FirstDivergence = fmt.Sprintf("run %q reached a different final state than run %q", label, rep.Runs[0].Label)
+				}
+			}
+		} else {
+			rep.Deterministic = false
+			if rep.FirstDivergence == "" {
+				rep.FirstDivergence = fmt.Sprintf("run %q failed: %v", label, err)
+			}
+		}
+		rep.Runs = append(rep.Runs, out)
+	}
+
+	for _, pol := range opt.Policies {
+		procs := make()
+		nprocs = len(procs)
+		var tr *trace.Recorder
+		if opt.CheckTraces {
+			tr = trace.New()
+		}
+		res, err := sched.RunControlled(procs, pol, sched.Options[T]{Trace: tr, MaxActions: opt.MaxActions})
+		record(pol.Name(), res, err, tr)
+		if opt.CheckTraces && err == nil {
+			if refTrace == nil {
+				refTrace = tr
+			} else if explain := refTrace.ExplainInequivalence(tr, nprocs); explain != "" {
+				rep.TraceEquivalent = false
+				if rep.FirstDivergence == "" {
+					rep.FirstDivergence = "traces not permutation-equivalent: " + explain
+				}
+			}
+		}
+	}
+	for k := 0; k < opt.ConcurrentReps; k++ {
+		res := sched.RunConcurrent(make(), sched.Options[T]{})
+		record(fmt.Sprintf("concurrent#%d", k), res, nil, nil)
+	}
+	if !opt.CheckTraces {
+		rep.TraceEquivalent = false // not checked; avoid claiming it
+	}
+	if !haveRef {
+		return rep, errors.New("core: no run completed successfully")
+	}
+	return rep, nil
+}

@@ -1,0 +1,183 @@
+// Package farm implements a second parallel programming archetype — a
+// task farm — following the paper's programme for archetype
+// development ("much work remains ... identifying and developing
+// additional archetypes", §6).
+//
+// Computational pattern: a bag of N independent tasks; task i's result
+// depends only on i.  Parallelization strategy: assign tasks to P
+// processes by a deterministic schedule, compute locally, and gather
+// results to a master indexed by task number.  Dataflow: one
+// result message per task from its owner to the master (message
+// combining merges all of a worker's results into one message).
+//
+// A deliberate design constraint documents a boundary of the paper's
+// theory: dynamic self-scheduling ("send the next task to whichever
+// worker asks first") requires the master to receive from *any* worker
+// — a nondeterministic merge that the model of Theorem 1 (deterministic
+// processes, single-reader single-writer channels) cannot express.
+// Staying inside the model forces deterministic schedules; in exchange,
+// every farm execution is determinate under every interleaving, which
+// the tests verify with the same machinery as the mesh archetype.
+package farm
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// Schedule selects a deterministic task-to-process assignment.
+type Schedule int
+
+// Schedules.
+const (
+	// Block gives process r the contiguous task range r*N/P..(r+1)*N/P.
+	Block Schedule = iota
+	// Cyclic gives process r the tasks r, r+P, r+2P, ... — better
+	// balance when task cost varies smoothly with the index.
+	Cyclic
+)
+
+func (s Schedule) String() string {
+	switch s {
+	case Block:
+		return "block"
+	case Cyclic:
+		return "cyclic"
+	}
+	return fmt.Sprintf("Schedule(%d)", int(s))
+}
+
+// Tasks returns the task indices assigned to process r of p under the
+// schedule, in increasing order.
+func (s Schedule) Tasks(n, p, r int) []int {
+	var out []int
+	switch s {
+	case Block:
+		base, extra := n/p, n%p
+		lo := r*base + min(r, extra)
+		sz := base
+		if r < extra {
+			sz++
+		}
+		for i := 0; i < sz; i++ {
+			out = append(out, lo+i)
+		}
+	case Cyclic:
+		for i := r; i < n; i += p {
+			out = append(out, i)
+		}
+	default:
+		panic(fmt.Sprintf("farm: unknown schedule %v", s))
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// msg carries one or more task results to the master.
+type msg[R any] struct {
+	Tasks []int
+	Vals  []R
+}
+
+// Mode selects a runtime, mirroring the mesh archetype.
+type Mode int
+
+// Runtimes.
+const (
+	// Sim runs the farm as a sequential simulated-parallel program.
+	Sim Mode = iota
+	// Par runs it with one goroutine per process.
+	Par
+)
+
+// Options configures a farm run.
+type Options struct {
+	Schedule Schedule
+	// Combine merges all of a worker's results into a single message to
+	// the master (the archetype's message combining).
+	Combine bool
+}
+
+// DefaultOptions returns cyclic scheduling with message combining.
+func DefaultOptions() Options { return Options{Schedule: Cyclic, Combine: true} }
+
+// Map applies f to every task index in [0, n) using p processes and
+// returns the results indexed by task.  Process 0 acts as the master:
+// it computes its own share and gathers the rest.  The computation is
+// deterministic, so Sim and Par (and any controlled interleaving of
+// Procs) produce identical results.
+func Map[R any](n, p int, mode Mode, opt Options, f func(task int) R) ([]R, error) {
+	if n < 0 || p <= 0 {
+		return nil, fmt.Errorf("farm: invalid sizes n=%d p=%d", n, p)
+	}
+	procs := Procs(n, p, opt, f)
+	var outs [][]R
+	var err error
+	switch mode {
+	case Sim:
+		outs, err = sched.RunControlled(procs, sched.Lowest{}, sched.Options[msg[R]]{})
+	case Par:
+		outs = sched.RunConcurrent(procs, sched.Options[msg[R]]{})
+	default:
+		return nil, fmt.Errorf("farm: unknown mode %v", mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return outs[0], nil
+}
+
+// Procs lowers the farm to a network of sched processes, exposed so
+// the determinacy checker can drive it under arbitrary policies.  The
+// master (rank 0) returns the full result slice; workers return nil.
+func Procs[R any](n, p int, opt Options, f func(task int) R) []sched.Proc[msg[R], []R] {
+	procs := make([]sched.Proc[msg[R], []R], p)
+	for r := 0; r < p; r++ {
+		r := r
+		procs[r] = func(ctx *sched.Ctx[msg[R]]) []R {
+			mine := opt.Schedule.Tasks(n, p, r)
+			vals := make([]R, len(mine))
+			for i, task := range mine {
+				vals[i] = f(task)
+			}
+			if r != 0 {
+				if opt.Combine {
+					ctx.Send(0, msg[R]{Tasks: mine, Vals: vals})
+				} else {
+					for i, task := range mine {
+						ctx.Send(0, msg[R]{Tasks: []int{task}, Vals: vals[i : i+1]})
+					}
+				}
+				return nil
+			}
+			// Master: place its own results, then gather the workers'.
+			out := make([]R, n)
+			for i, task := range mine {
+				out[task] = vals[i]
+			}
+			for src := 1; src < p; src++ {
+				expect := len(opt.Schedule.Tasks(n, p, src))
+				got := 0
+				for got < expect {
+					m := ctx.Recv(src)
+					for i, task := range m.Tasks {
+						if task < 0 || task >= n {
+							panic(fmt.Sprintf("farm: result for out-of-range task %d", task))
+						}
+						out[task] = m.Vals[i]
+					}
+					got += len(m.Tasks)
+				}
+			}
+			return out
+		}
+	}
+	return procs
+}

@@ -1,0 +1,55 @@
+package fdtd
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// BenchmarkKernels measures the slab update kernels in cell-component
+// updates per second.
+func BenchmarkKernels(b *testing.B) {
+	spec := SpecFigure2()
+	full := grid.Range{Lo: 0, Hi: spec.NX}
+	fullY := grid.Range{Lo: 0, Hi: spec.NY}
+	f := newFields(spec, full, fullY)
+	f.fillCoefficientsLocal()
+	b.ResetTimer()
+	updates := 0
+	for i := 0; i < b.N; i++ {
+		updates += updateE(f)
+		updates += updateH(f)
+	}
+	b.ReportMetric(float64(updates)/b.Elapsed().Seconds(), "updates/s")
+}
+
+// BenchmarkSequentialLoops measures the straightforward At/Set triple
+// loops of the original sequential program for comparison.
+func BenchmarkSequentialLoops(b *testing.B) {
+	spec := SpecTable1()
+	spec.Steps = 2
+	spec.FarField = nil
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunSequential(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFarFieldAccumulate measures the near-to-far-field transform
+// cost per surface point.
+func BenchmarkFarFieldAccumulate(b *testing.B) {
+	spec := SpecTable1()
+	full := grid.Range{Lo: 0, Hi: spec.NX}
+	fullY := grid.Range{Lo: 0, Hi: spec.NY}
+	f := newFields(spec, full, fullY)
+	f.fillCoefficientsLocal()
+	ff := newFarField(spec, false)
+	b.ResetTimer()
+	points := 0
+	for i := 0; i < b.N; i++ {
+		points += ff.accumulate(i%spec.Steps, f.Ex, f.Ey, f.Ez, f.Hx, f.Hy, f.Hz, full, fullY)
+	}
+	b.ReportMetric(float64(points)/b.Elapsed().Seconds(), "points/s")
+}

@@ -1,0 +1,297 @@
+package fdtd
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/grid"
+	"repro/internal/gridio"
+)
+
+// Checkpointing.  A long scattering run can be stopped and resumed:
+// the checkpoint captures the full solver state — the six field grids,
+// the step counter, the probe series, and the far-field accumulators —
+// and a resumed run produces results bitwise identical to an
+// uninterrupted one.  Checkpoints are written by the host process from
+// gathered global state (the archetype's grid-to-host redistribution),
+// so the file format is independent of the process count: a run may be
+// resumed on a different P than it was saved from.
+
+const checkpointMagic = "FDTDCKP1"
+
+// Checkpoint is a snapshot of a run after some number of steps.
+type Checkpoint struct {
+	Spec                   Spec
+	StepsDone              int
+	Ex, Ey, Ez, Hx, Hy, Hz *grid.G3
+	Probe                  []float64
+	FarA, FarF             []float64
+	Work                   float64
+}
+
+// Write serialises the checkpoint.
+func (c *Checkpoint) Write(w io.Writer) error {
+	if _, err := io.WriteString(w, checkpointMagic); err != nil {
+		return err
+	}
+	head := []int64{
+		int64(c.StepsDone), int64(len(c.Probe)), int64(len(c.FarA)), int64(len(c.FarF)),
+	}
+	if err := binary.Write(w, binary.LittleEndian, head); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, c.Work); err != nil {
+		return err
+	}
+	for _, g := range []*grid.G3{c.Ex, c.Ey, c.Ez, c.Hx, c.Hy, c.Hz} {
+		if err := gridio.Write3(w, g); err != nil {
+			return err
+		}
+	}
+	for _, vec := range [][]float64{c.Probe, c.FarA, c.FarF} {
+		if err := binary.Write(w, binary.LittleEndian, vec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadCheckpoint deserialises a checkpoint written by Write.  The
+// caller supplies the spec (specs contain functions and are not
+// serialisable); ReadCheckpoint validates the grid shapes against it.
+func ReadCheckpoint(r io.Reader, spec Spec) (*Checkpoint, error) {
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("fdtd: reading checkpoint magic: %w", err)
+	}
+	if string(magic) != checkpointMagic {
+		return nil, fmt.Errorf("fdtd: bad checkpoint magic %q", magic)
+	}
+	head := make([]int64, 4)
+	if err := binary.Read(r, binary.LittleEndian, head); err != nil {
+		return nil, err
+	}
+	c := &Checkpoint{Spec: spec, StepsDone: int(head[0])}
+	if c.StepsDone < 0 || c.StepsDone > spec.Steps {
+		return nil, fmt.Errorf("fdtd: checkpoint at step %d outside run of %d steps", c.StepsDone, spec.Steps)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &c.Work); err != nil {
+		return nil, err
+	}
+	grids := []**grid.G3{&c.Ex, &c.Ey, &c.Ez, &c.Hx, &c.Hy, &c.Hz}
+	for _, gp := range grids {
+		g, err := gridio.Read3(r)
+		if err != nil {
+			return nil, err
+		}
+		if g.NX() != spec.NX || g.NY() != spec.NY || g.NZ() != spec.NZ {
+			return nil, fmt.Errorf("fdtd: checkpoint grid %s does not match spec %dx%dx%d",
+				g, spec.NX, spec.NY, spec.NZ)
+		}
+		*gp = g
+	}
+	for i, n := range []int64{head[1], head[2], head[3]} {
+		if n < 0 || n > 1<<28 {
+			return nil, fmt.Errorf("fdtd: absurd checkpoint vector length %d", n)
+		}
+		vec := make([]float64, n)
+		if err := binary.Read(r, binary.LittleEndian, vec); err != nil {
+			return nil, err
+		}
+		switch i {
+		case 0:
+			c.Probe = vec
+		case 1:
+			c.FarA = vec
+		case 2:
+			c.FarF = vec
+		}
+	}
+	return c, nil
+}
+
+// SaveCheckpoint writes a checkpoint to a file.
+func SaveCheckpoint(path string, c *Checkpoint) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := c.Write(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCheckpoint reads a checkpoint from a file.
+func LoadCheckpoint(path string, spec Spec) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCheckpoint(bufio.NewReader(f), spec)
+}
+
+// RunSequentialUntil executes the sequential program for the first
+// `until` steps only and returns the state as a checkpoint.
+func RunSequentialUntil(spec Spec, until int) (*Checkpoint, error) {
+	if until < 0 || until > spec.Steps {
+		return nil, fmt.Errorf("fdtd: checkpoint step %d outside run of %d steps", until, spec.Steps)
+	}
+	truncated := spec
+	truncated.Steps = until
+	if until == 0 {
+		// Run zero steps: validation plus zeroed state.
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+		z := func() *grid.G3 { return grid.New3(spec.NX, spec.NY, spec.NZ, 0) }
+		c := &Checkpoint{Spec: spec, Ex: z(), Ey: z(), Ez: z(), Hx: z(), Hy: z(), Hz: z()}
+		if spec.IsVersionC() {
+			ff := newFarField(spec, false)
+			c.FarA = ff.A
+			c.FarF = ff.F
+		}
+		return c, nil
+	}
+	res, err := RunSequential(truncated)
+	if err != nil {
+		return nil, err
+	}
+	return &Checkpoint{
+		Spec: spec, StepsDone: until,
+		Ex: res.Ex, Ey: res.Ey, Ez: res.Ez,
+		Hx: res.Hx, Hy: res.Hy, Hz: res.Hz,
+		Probe: res.Probe, FarA: res.FarA, FarF: res.FarF,
+		Work: res.Work,
+	}, nil
+}
+
+// ResumeSequential continues a checkpointed run to completion and
+// returns the final result.  A resumed run is bitwise identical to an
+// uninterrupted one.
+func ResumeSequential(c *Checkpoint) (*Result, error) {
+	spec := c.Spec
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Boundary == BoundaryMur1 {
+		// The Mur state (previous-step boundary planes) is not part of
+		// the checkpoint; restarting mid-run would perturb one boundary
+		// step.  A step-0 checkpoint carries no history, so the run
+		// simply starts over.
+		if c.StepsDone > 0 {
+			return nil, fmt.Errorf("fdtd: resuming Mur-boundary runs mid-stream is not supported")
+		}
+		return RunSequential(spec)
+	}
+	nx, ny, nz := spec.NX, spec.NY, spec.NZ
+	ex, ey, ez := c.Ex.Clone(), c.Ey.Clone(), c.Ez.Clone()
+	hx, hy, hz := c.Hx.Clone(), c.Hy.Clone(), c.Hz.Clone()
+	ca := grid.New3(nx, ny, nz, 0)
+	cb := grid.New3(nx, ny, nz, 0)
+	da := grid.New3(nx, ny, nz, 0)
+	db := grid.New3(nx, ny, nz, 0)
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			for k := 0; k < nz; k++ {
+				a, b, cc, d := spec.Coefficients(i, j, k)
+				ca.Set(i, j, k, a)
+				cb.Set(i, j, k, b)
+				da.Set(i, j, k, cc)
+				db.Set(i, j, k, d)
+			}
+		}
+	}
+	var ff *farField
+	if spec.IsVersionC() {
+		ff = newFarField(spec, false)
+		copy(ff.A, c.FarA)
+		copy(ff.F, c.FarF)
+	}
+	probe := append([]float64(nil), c.Probe...)
+	work := c.Work
+
+	// The loop body below is RunSequential's, picking up at StepsDone.
+	for n := c.StepsDone; n < spec.Steps; n++ {
+		for i := 0; i < nx; i++ {
+			for j := 1; j < ny; j++ {
+				for k := 1; k < nz; k++ {
+					ex.Set(i, j, k, ca.At(i, j, k)*ex.At(i, j, k)+
+						cb.At(i, j, k)*((hz.At(i, j, k)-hz.At(i, j-1, k))-(hy.At(i, j, k)-hy.At(i, j, k-1))))
+					work++
+				}
+			}
+		}
+		for i := 1; i < nx; i++ {
+			for j := 0; j < ny; j++ {
+				for k := 1; k < nz; k++ {
+					ey.Set(i, j, k, ca.At(i, j, k)*ey.At(i, j, k)+
+						cb.At(i, j, k)*((hx.At(i, j, k)-hx.At(i, j, k-1))-(hz.At(i, j, k)-hz.At(i-1, j, k))))
+					work++
+				}
+			}
+		}
+		for i := 1; i < nx; i++ {
+			for j := 1; j < ny; j++ {
+				for k := 0; k < nz; k++ {
+					ez.Set(i, j, k, ca.At(i, j, k)*ez.At(i, j, k)+
+						cb.At(i, j, k)*((hy.At(i, j, k)-hy.At(i-1, j, k))-(hx.At(i, j, k)-hx.At(i, j-1, k))))
+					work++
+				}
+			}
+		}
+		addSource(ez, spec, n, grid.Range{Lo: 0, Hi: nx}, grid.Range{Lo: 0, Hi: ny})
+		for i := 0; i < nx; i++ {
+			for j := 0; j < ny-1; j++ {
+				for k := 0; k < nz-1; k++ {
+					hx.Set(i, j, k, da.At(i, j, k)*hx.At(i, j, k)+
+						db.At(i, j, k)*((ey.At(i, j, k+1)-ey.At(i, j, k))-(ez.At(i, j+1, k)-ez.At(i, j, k))))
+					work++
+				}
+			}
+		}
+		for i := 0; i < nx-1; i++ {
+			for j := 0; j < ny; j++ {
+				for k := 0; k < nz-1; k++ {
+					hy.Set(i, j, k, da.At(i, j, k)*hy.At(i, j, k)+
+						db.At(i, j, k)*((ez.At(i+1, j, k)-ez.At(i, j, k))-(ex.At(i, j, k+1)-ex.At(i, j, k))))
+					work++
+				}
+			}
+		}
+		for i := 0; i < nx-1; i++ {
+			for j := 0; j < ny-1; j++ {
+				for k := 0; k < nz; k++ {
+					hz.Set(i, j, k, da.At(i, j, k)*hz.At(i, j, k)+
+						db.At(i, j, k)*((ex.At(i, j+1, k)-ex.At(i, j, k))-(ey.At(i+1, j, k)-ey.At(i, j, k))))
+					work++
+				}
+			}
+		}
+		probe = append(probe, ez.At(spec.Probe[0], spec.Probe[1], spec.Probe[2]))
+		if ff != nil {
+			work += float64(ff.accumulate(n, ex, ey, ez, hx, hy, hz, grid.Range{Lo: 0, Hi: nx}, grid.Range{Lo: 0, Hi: ny}))
+		}
+	}
+
+	res := &Result{
+		Spec: spec,
+		Ex:   ex, Ey: ey, Ez: ez, Hx: hx, Hy: hy, Hz: hz,
+		Probe: probe,
+		Work:  work,
+	}
+	if ff != nil {
+		res.FarA, res.FarF = ff.finalize()
+	}
+	return res, nil
+}

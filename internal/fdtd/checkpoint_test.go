@@ -1,0 +1,139 @@
+package fdtd
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestResumeBitwiseIdentical(t *testing.T) {
+	spec := SpecSmall()
+	full := mustSeq(t, spec)
+	for _, split := range []int{0, 1, 7, 15, 16} {
+		ck, err := RunSequentialUntil(spec, split)
+		if err != nil {
+			t.Fatalf("split %d: %v", split, err)
+		}
+		resumed, err := ResumeSequential(ck)
+		if err != nil {
+			t.Fatalf("split %d: %v", split, err)
+		}
+		if !full.NearFieldEqual(resumed) {
+			t.Fatalf("split %d: resumed near field differs", split)
+		}
+		if !full.FarFieldEqual(resumed) {
+			t.Fatalf("split %d: resumed far field differs", split)
+		}
+		if full.Work != resumed.Work {
+			t.Fatalf("split %d: work differs: %v vs %v", split, full.Work, resumed.Work)
+		}
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	spec := SpecSmall()
+	ck, err := RunSequentialUntil(spec, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ck.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCheckpoint(&buf, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.StepsDone != 9 || back.Work != ck.Work {
+		t.Fatalf("header lost: %+v", back)
+	}
+	if !back.Ex.Equal(ck.Ex) || !back.Hz.Equal(ck.Hz) {
+		t.Fatal("field grids lost")
+	}
+	if len(back.Probe) != len(ck.Probe) || len(back.FarA) != len(ck.FarA) {
+		t.Fatal("series lost")
+	}
+	// And the deserialised checkpoint resumes identically.
+	full := mustSeq(t, spec)
+	resumed, err := ResumeSequential(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.NearFieldEqual(resumed) || !full.FarFieldEqual(resumed) {
+		t.Fatal("round-tripped checkpoint diverged on resume")
+	}
+}
+
+func TestCheckpointFileAndErrors(t *testing.T) {
+	spec := SpecSmallA()
+	ck, err := RunSequentialUntil(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.ckp")
+	if err := SaveCheckpoint(path, ck); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCheckpoint(path, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.StepsDone != 4 {
+		t.Fatalf("StepsDone = %d", back.StepsDone)
+	}
+	// Wrong spec shape is rejected.
+	other := spec
+	other.NX = 20
+	if _, err := LoadCheckpoint(path, other); err == nil {
+		t.Fatal("mismatched spec accepted")
+	}
+	// Corrupt inputs.
+	if _, err := ReadCheckpoint(bytes.NewReader([]byte("nope")), spec); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	var buf bytes.Buffer
+	if err := ck.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCheckpoint(bytes.NewReader(buf.Bytes()[:40]), spec); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+	if _, err := LoadCheckpoint(filepath.Join(t.TempDir(), "nope.ckp"), spec); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestCheckpointBoundsChecks(t *testing.T) {
+	spec := SpecSmallA()
+	if _, err := RunSequentialUntil(spec, -1); err == nil {
+		t.Fatal("negative split accepted")
+	}
+	if _, err := RunSequentialUntil(spec, spec.Steps+1); err == nil {
+		t.Fatal("split beyond run accepted")
+	}
+	// Mur runs cannot be resumed mid-stream (boundary history is not
+	// part of the checkpoint).
+	mur := SpecSmallA()
+	mur.Boundary = BoundaryMur1
+	ck, err := RunSequentialUntil(mur, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResumeSequential(ck); err == nil || !strings.Contains(err.Error(), "Mur") {
+		t.Fatalf("Mur mid-stream resume should be refused: %v", err)
+	}
+	// But a step-0 Mur checkpoint resumes (restarts) fine.
+	ck0, err := RunSequentialUntil(mur, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := mustSeq(t, mur)
+	resumed, err := ResumeSequential(ck0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.NearFieldEqual(resumed) {
+		t.Fatal("step-0 Mur resume diverged")
+	}
+}

@@ -1,0 +1,198 @@
+package fdtd
+
+import (
+	"math"
+
+	"repro/internal/grid"
+)
+
+// faceNormals are the outward normals of the six integration-surface
+// faces, in enumeration order: -x, +x, -y, +y, -z, +z.
+var faceNormals = [6][3]float64{
+	{-1, 0, 0}, {1, 0, 0}, {0, -1, 0}, {0, 1, 0}, {0, 0, -1}, {0, 0, 1},
+}
+
+// forEachSurface enumerates the integration-surface points whose x and
+// y coordinates lie in [xlo, xhi) x [ylo, yhi), in a fixed global
+// order: face-major, then x-major within a face.  The sequential
+// program passes the full domain; each parallel process passes its
+// block and therefore visits its own points in the same relative order
+// as the sequential program visits them (1-D slabs pass the full y
+// range).
+func forEachSurface(spec Spec, xlo, xhi, ylo, yhi int, f func(face, i, j, k int)) {
+	off := spec.FarField.Offset
+	x0, x1 := off, spec.NX-1-off
+	y0, y1 := off, spec.NY-1-off
+	z0, z1 := off, spec.NZ-1-off
+	clampXLo, clampXHi := x0, x1
+	if clampXLo < xlo {
+		clampXLo = xlo
+	}
+	if clampXHi > xhi-1 {
+		clampXHi = xhi - 1
+	}
+	clampYLo, clampYHi := y0, y1
+	if clampYLo < ylo {
+		clampYLo = ylo
+	}
+	if clampYHi > yhi-1 {
+		clampYHi = yhi - 1
+	}
+	// Faces 0, 1: constant x.
+	for face, x := range [2]int{x0, x1} {
+		if x < xlo || x >= xhi {
+			continue
+		}
+		for j := clampYLo; j <= clampYHi; j++ {
+			for k := z0; k <= z1; k++ {
+				f(face, x, j, k)
+			}
+		}
+	}
+	// Faces 2, 3: constant y (x-major iteration).
+	for fi, y := range [2]int{y0, y1} {
+		if y < ylo || y >= yhi {
+			continue
+		}
+		for i := clampXLo; i <= clampXHi; i++ {
+			for k := z0; k <= z1; k++ {
+				f(2+fi, i, y, k)
+			}
+		}
+	}
+	// Faces 4, 5: constant z.
+	for fi, z := range [2]int{z0, z1} {
+		for i := clampXLo; i <= clampXHi; i++ {
+			for j := clampYLo; j <= clampYHi; j++ {
+				f(4+fi, i, j, z)
+			}
+		}
+	}
+}
+
+// farField accumulates the radiation vector potentials of the
+// near-to-far-field transformation: at each time step, every surface
+// point contributes its projected equivalent currents (J = n x H,
+// M = -n x E) to the potential sample at a future time index determined
+// by the point's position along the observation direction — "each
+// calculated vector potential is a double sum, over time steps and over
+// points on the integration surface".
+type farField struct {
+	spec         Spec
+	rhat, pol    [3]float64
+	minProj      float64
+	maxDelay     int
+	invDT        float64
+	A, F         []float64
+	compA, compF []float64 // Neumaier compensation terms (compensated mode)
+	compensated  bool
+}
+
+// newFarField prepares accumulators for the given spec; compensated
+// selects Neumaier-compensated accumulation (the "fixed" far field).
+func newFarField(spec Spec, compensated bool) *farField {
+	ffspec := spec.FarField
+	ff := &farField{
+		spec:        spec,
+		invDT:       1 / spec.DT,
+		compensated: compensated,
+	}
+	dn := norm3(ffspec.Dir)
+	pn := norm3(ffspec.Pol)
+	for a := 0; a < 3; a++ {
+		ff.rhat[a] = ffspec.Dir[a] / dn
+		ff.pol[a] = ffspec.Pol[a] / pn
+	}
+	minP, maxP := math.Inf(1), math.Inf(-1)
+	forEachSurface(spec, 0, spec.NX, 0, spec.NY, func(face, i, j, k int) {
+		p := ff.proj(i, j, k)
+		if p < minP {
+			minP = p
+		}
+		if p > maxP {
+			maxP = p
+		}
+	})
+	ff.minProj = minP
+	ff.maxDelay = int(math.Round((maxP - minP) * ff.invDT))
+	n := spec.Steps + ff.maxDelay + 1
+	ff.A = make([]float64, n)
+	ff.F = make([]float64, n)
+	if compensated {
+		ff.compA = make([]float64, n)
+		ff.compF = make([]float64, n)
+	}
+	return ff
+}
+
+func (ff *farField) proj(i, j, k int) float64 {
+	return ff.rhat[0]*float64(i) + ff.rhat[1]*float64(j) + ff.rhat[2]*float64(k)
+}
+
+// delay returns the future-sample offset for a surface point.
+func (ff *farField) delay(i, j, k int) int {
+	return int(math.Round((ff.proj(i, j, k) - ff.minProj) * ff.invDT))
+}
+
+// accumulate adds the step-n contributions of the surface points in
+// the block xr x yr.  The field grids are local sections whose local
+// indices are global minus the block origin.  It returns the number of
+// points visited (the far-field work units of this step).
+func (ff *farField) accumulate(n int, ex, ey, ez, hx, hy, hz *grid.G3, xr, yr grid.Range) int {
+	points := 0
+	forEachSurface(ff.spec, xr.Lo, xr.Hi, yr.Lo, yr.Hi, func(face, i, j, k int) {
+		points++
+		li, lj := i-xr.Lo, j-yr.Lo
+		e0 := ex.At(li, lj, k)
+		e1 := ey.At(li, lj, k)
+		e2 := ez.At(li, lj, k)
+		h0 := hx.At(li, lj, k)
+		h1 := hy.At(li, lj, k)
+		h2 := hz.At(li, lj, k)
+		nv := faceNormals[face]
+		// J = n x H, M = -(n x E); project both onto pol.
+		jx := nv[1]*h2 - nv[2]*h1
+		jy := nv[2]*h0 - nv[0]*h2
+		jz := nv[0]*h1 - nv[1]*h0
+		mx := -(nv[1]*e2 - nv[2]*e1)
+		my := -(nv[2]*e0 - nv[0]*e2)
+		mz := -(nv[0]*e1 - nv[1]*e0)
+		a := jx*ff.pol[0] + jy*ff.pol[1] + jz*ff.pol[2]
+		f := mx*ff.pol[0] + my*ff.pol[1] + mz*ff.pol[2]
+		m := n + ff.delay(i, j, k)
+		if ff.compensated {
+			ff.A[m], ff.compA[m] = neumaierAdd(ff.A[m], ff.compA[m], a)
+			ff.F[m], ff.compF[m] = neumaierAdd(ff.F[m], ff.compF[m], f)
+		} else {
+			ff.A[m] += a
+			ff.F[m] += f
+		}
+	})
+	return points
+}
+
+// neumaierAdd performs one step of Neumaier-compensated accumulation.
+func neumaierAdd(sum, comp, x float64) (newSum, newComp float64) {
+	t := sum + x
+	if math.Abs(sum) >= math.Abs(x) {
+		comp += (sum - t) + x
+	} else {
+		comp += (x - t) + sum
+	}
+	return t, comp
+}
+
+// finalize returns the accumulated potentials; in compensated mode the
+// compensation terms are folded in.
+func (ff *farField) finalize() (a, f []float64) {
+	if !ff.compensated {
+		return ff.A, ff.F
+	}
+	a = make([]float64, len(ff.A))
+	f = make([]float64, len(ff.F))
+	for i := range a {
+		a[i] = ff.A[i] + ff.compA[i]
+		f[i] = ff.F[i] + ff.compF[i]
+	}
+	return a, f
+}

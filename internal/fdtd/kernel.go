@@ -1,0 +1,225 @@
+package fdtd
+
+import (
+	"repro/internal/grid"
+)
+
+// Fields holds one process's local section of the six Yee field
+// components and the four update-coefficient grids.  The local section
+// is the block XR x YR of the global grid (the z axis is never split);
+// field grids carry a one-plane ghost boundary along x and y, while
+// coefficient grids have none (coefficients are only read at interior
+// cells).  A 1-D slab decomposition is the special case YR == [0, NY).
+type Fields struct {
+	Spec           Spec
+	XR, YR         grid.Range
+	Ex, Ey, Ez     *grid.G3
+	Hx, Hy, Hz     *grid.G3
+	Ca, Cb, Da, Db *grid.G3
+}
+
+// newFields allocates zeroed local fields for a block.  Coefficients
+// must be filled separately (locally or by host scatter).
+func newFields(spec Spec, xr, yr grid.Range) *Fields {
+	mk := func(ghost int) *grid.G3 {
+		return grid.New3G(xr.Len(), yr.Len(), spec.NZ, ghost, ghost, 0)
+	}
+	return &Fields{
+		Spec: spec, XR: xr, YR: yr,
+		Ex: mk(1), Ey: mk(1), Ez: mk(1),
+		Hx: mk(1), Hy: mk(1), Hz: mk(1),
+		Ca: mk(0), Cb: mk(0), Da: mk(0), Db: mk(0),
+	}
+}
+
+// fillCoefficientsLocal computes the update coefficients for the local
+// section directly from the spec (the "concurrent I/O" alternative to
+// host scattering: every process derives its own slice of the global
+// data).
+func (f *Fields) fillCoefficientsLocal() {
+	for li := 0; li < f.Ca.NX(); li++ {
+		for lj := 0; lj < f.Ca.NY(); lj++ {
+			for k := 0; k < f.Ca.NZ(); k++ {
+				a, b, c, d := f.Spec.Coefficients(f.XR.Lo+li, f.YR.Lo+lj, k)
+				f.Ca.Set(li, lj, k, a)
+				f.Cb.Set(li, lj, k, b)
+				f.Da.Set(li, lj, k, c)
+				f.Db.Set(li, lj, k, d)
+			}
+		}
+	}
+}
+
+// setCoefficients installs externally provided (host-scattered)
+// coefficient grids; their shapes must match the block.
+func (f *Fields) setCoefficients(ca, cb, da, db *grid.G3) {
+	f.Ca, f.Cb, f.Da, f.Db = ca, cb, da, db
+}
+
+// addSource injects the step-n source value into the local Ez section.
+// The caller must own the source cell (point source) or a piece of the
+// source plane (plane source); source cells outside the local block are
+// skipped.  The same function serves the sequential and distributed
+// builds, keeping the injected values bitwise identical.
+func addSource(ez *grid.G3, spec Spec, n int, xr, yr grid.Range) {
+	src := spec.Source
+	v := src.Pulse(n)
+	switch src.Kind {
+	case SourcePlaneX:
+		if !xr.Contains(src.I) {
+			return
+		}
+		// The full y-z plane, over the cells the Ez update touches and
+		// this block owns.
+		jStart := yr.Lo
+		if jStart < 1 {
+			jStart = 1
+		}
+		for j := jStart; j < yr.Hi; j++ {
+			for k := 0; k < spec.NZ; k++ {
+				ez.Add(src.I-xr.Lo, j-yr.Lo, k, v)
+			}
+		}
+	default:
+		if xr.Contains(src.I) && yr.Contains(src.J) {
+			ez.Add(src.I-xr.Lo, src.J-yr.Lo, src.K, v)
+		}
+	}
+}
+
+// updateE advances the electric field one step over the local section.
+// Loop bounds are derived from global indices, so boundary processes
+// automatically perform the PEC boundary handling ("calculations that
+// must be done differently in different grid processes").  It returns
+// the number of component updates performed.
+//
+// The per-cell expressions are, by construction, operation-for-
+// operation identical to RunSequential's, so the simulated-parallel
+// results are bitwise identical to the sequential ones.
+func updateE(f *Fields) int {
+	nxl, nyl := f.XR.Len(), f.YR.Len()
+	nz := f.Ex.NZ()
+	count := 0
+	// Components skip the global index 0 along the axes their curl
+	// stencil reaches backwards on.
+	liStart := 0
+	if f.XR.Lo == 0 {
+		liStart = 1
+	}
+	ljStart := 0
+	if f.YR.Lo == 0 {
+		ljStart = 1
+	}
+	// Ex: all i; global j >= 1; k >= 1.
+	for li := 0; li < nxl; li++ {
+		for lj := ljStart; lj < nyl; lj++ {
+			exP := f.Ex.Pencil(li, lj)
+			caP := f.Ca.Pencil(li, lj)
+			cbP := f.Cb.Pencil(li, lj)
+			hzP := f.Hz.Pencil(li, lj)
+			hzJm := f.Hz.Pencil(li, lj-1) // lj == 0 reads the lower y ghost
+			hyP := f.Hy.Pencil(li, lj)
+			for k := 1; k < nz; k++ {
+				exP[k] = caP[k]*exP[k] + cbP[k]*((hzP[k]-hzJm[k])-(hyP[k]-hyP[k-1]))
+			}
+			count += nz - 1
+		}
+	}
+	// Ey: global i >= 1; all j; k >= 1.
+	for li := liStart; li < nxl; li++ {
+		for lj := 0; lj < nyl; lj++ {
+			eyP := f.Ey.Pencil(li, lj)
+			caP := f.Ca.Pencil(li, lj)
+			cbP := f.Cb.Pencil(li, lj)
+			hxP := f.Hx.Pencil(li, lj)
+			hzP := f.Hz.Pencil(li, lj)
+			hzIm := f.Hz.Pencil(li-1, lj) // li == 0 reads the lower x ghost
+			for k := 1; k < nz; k++ {
+				eyP[k] = caP[k]*eyP[k] + cbP[k]*((hxP[k]-hxP[k-1])-(hzP[k]-hzIm[k]))
+			}
+			count += nz - 1
+		}
+	}
+	// Ez: global i >= 1; global j >= 1; all k.
+	for li := liStart; li < nxl; li++ {
+		for lj := ljStart; lj < nyl; lj++ {
+			ezP := f.Ez.Pencil(li, lj)
+			caP := f.Ca.Pencil(li, lj)
+			cbP := f.Cb.Pencil(li, lj)
+			hyP := f.Hy.Pencil(li, lj)
+			hyIm := f.Hy.Pencil(li-1, lj)
+			hxP := f.Hx.Pencil(li, lj)
+			hxJm := f.Hx.Pencil(li, lj-1)
+			for k := 0; k < nz; k++ {
+				ezP[k] = caP[k]*ezP[k] + cbP[k]*((hyP[k]-hyIm[k])-(hxP[k]-hxJm[k]))
+			}
+			count += nz
+		}
+	}
+	return count
+}
+
+// updateH advances the magnetic field one step over the local section,
+// returning the number of component updates.
+func updateH(f *Fields) int {
+	nxl, nyl := f.XR.Len(), f.YR.Len()
+	nz := f.Hx.NZ()
+	count := 0
+	// Components stop one short of the global top along the axes their
+	// curl stencil reaches forwards on.
+	liEnd := nxl
+	if f.XR.Hi == f.Spec.NX {
+		liEnd = nxl - 1
+	}
+	ljEnd := nyl
+	if f.YR.Hi == f.Spec.NY {
+		ljEnd = nyl - 1
+	}
+	// Hx: all i; global j < ny-1; k < nz-1.
+	for li := 0; li < nxl; li++ {
+		for lj := 0; lj < ljEnd; lj++ {
+			hxP := f.Hx.Pencil(li, lj)
+			daP := f.Da.Pencil(li, lj)
+			dbP := f.Db.Pencil(li, lj)
+			eyP := f.Ey.Pencil(li, lj)
+			ezP := f.Ez.Pencil(li, lj)
+			ezJp := f.Ez.Pencil(li, lj+1) // lj == nyl-1 reads the upper y ghost
+			for k := 0; k < nz-1; k++ {
+				hxP[k] = daP[k]*hxP[k] + dbP[k]*((eyP[k+1]-eyP[k])-(ezJp[k]-ezP[k]))
+			}
+			count += nz - 1
+		}
+	}
+	// Hy: global i < nx-1; all j; k < nz-1.
+	for li := 0; li < liEnd; li++ {
+		for lj := 0; lj < nyl; lj++ {
+			hyP := f.Hy.Pencil(li, lj)
+			daP := f.Da.Pencil(li, lj)
+			dbP := f.Db.Pencil(li, lj)
+			ezP := f.Ez.Pencil(li, lj)
+			ezIp := f.Ez.Pencil(li+1, lj) // li == nxl-1 reads the upper x ghost
+			exP := f.Ex.Pencil(li, lj)
+			for k := 0; k < nz-1; k++ {
+				hyP[k] = daP[k]*hyP[k] + dbP[k]*((ezIp[k]-ezP[k])-(exP[k+1]-exP[k]))
+			}
+			count += nz - 1
+		}
+	}
+	// Hz: global i < nx-1; global j < ny-1; all k.
+	for li := 0; li < liEnd; li++ {
+		for lj := 0; lj < ljEnd; lj++ {
+			hzP := f.Hz.Pencil(li, lj)
+			daP := f.Da.Pencil(li, lj)
+			dbP := f.Db.Pencil(li, lj)
+			exP := f.Ex.Pencil(li, lj)
+			exJp := f.Ex.Pencil(li, lj+1)
+			eyP := f.Ey.Pencil(li, lj)
+			eyIp := f.Ey.Pencil(li+1, lj)
+			for k := 0; k < nz; k++ {
+				hzP[k] = daP[k]*hzP[k] + dbP[k]*((exJp[k]-exP[k])-(eyIp[k]-eyP[k]))
+			}
+			count += nz
+		}
+	}
+	return count
+}

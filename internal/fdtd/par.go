@@ -1,0 +1,209 @@
+package fdtd
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/mesh"
+)
+
+// Options configures the archetype (simulated-parallel or parallel)
+// builds of the application.
+type Options struct {
+	// Mesh carries the archetype runtime options (message combining,
+	// reduction algorithm, performance tally).
+	Mesh mesh.Options
+	// FarFieldCompensated switches the far-field accumulation to
+	// Neumaier-compensated local sums combined in rank order — the
+	// repository's "fixed" far field.  The default (false) is the
+	// paper's strategy: plain local double sums combined by one
+	// reduction at the end, which reorders the floating-point summation.
+	FarFieldCompensated bool
+	// HostIO, when set, has a host process (rank 0) compute the global
+	// coefficient grids and redistribute them with scatter operations —
+	// the archetype's "separate host process responsible for file I/O".
+	// When clear, every process computes its local coefficients
+	// directly ("perform I/O concurrently in all processes").
+	HostIO bool
+}
+
+// DefaultOptions returns the archetype defaults used by the paper's
+// experiments: combined messages, recursive-doubling reductions, host
+// I/O, uncompensated far field.
+func DefaultOptions() Options {
+	return Options{Mesh: mesh.DefaultOptions(), HostIO: true}
+}
+
+// RunArchetype executes the mesh-archetype build of the application on
+// p processes under the given runtime mode (mesh.Sim for the
+// sequential simulated-parallel version, mesh.Par for the real
+// parallel version) and returns the assembled result.
+func RunArchetype(spec Spec, p int, mode mesh.Mode, opt Options) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if p <= 0 || p > spec.NX {
+		return nil, fmt.Errorf("fdtd: cannot distribute %d x-planes over %d processes", spec.NX, p)
+	}
+	slabs := grid.SlabDecompose3(spec.NX, spec.NY, spec.NZ, p, grid.AxisX)
+	if spec.Boundary == BoundaryMur1 {
+		// The x-face Mur update reads the plane directly inside the
+		// boundary, so the first and last slab must own both.
+		if slabs[0].R.Len() < 2 || slabs[p-1].R.Len() < 2 {
+			return nil, fmt.Errorf("fdtd: Mur boundary requires the edge slabs to own >= 2 planes (nx=%d, p=%d)", spec.NX, p)
+		}
+	}
+	results, err := mesh.Run(p, mode, opt.Mesh, func(c *mesh.Comm) *Result {
+		return spmd(c, spec, slabs, opt)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
+}
+
+// SPMD is the per-process body of the archetype program, exported so
+// that experiment harnesses can execute it under arbitrary scheduling
+// policies (the determinacy experiment E4).  RunArchetype wires the
+// same body to the standard Sim and Par runtimes.
+func SPMD(c *mesh.Comm, spec Spec, slabs []grid.Slab, opt Options) *Result {
+	return spmd(c, spec, slabs, opt)
+}
+
+// ownerOf returns the rank owning global x index i.
+func ownerOf(slabs []grid.Slab, i int) int {
+	for _, sl := range slabs {
+		if sl.R.Contains(i) {
+			return sl.Rank
+		}
+	}
+	panic(fmt.Sprintf("fdtd: no slab owns x=%d", i))
+}
+
+// spmd is the per-process body of the archetype program: alternating
+// local computation (grid operations) and archetype communication
+// (boundary exchanges, reductions, broadcast, host I/O redistribution),
+// exactly the structure the mesh archetype prescribes.
+func spmd(c *mesh.Comm, spec Spec, slabs []grid.Slab, opt Options) *Result {
+	rank := c.Rank()
+	sl := slabs[rank]
+	lo := sl.R.Lo
+	fullY := grid.Range{Lo: 0, Hi: spec.NY}
+	f := newFields(spec, sl.R, fullY)
+
+	if opt.HostIO {
+		// Host process builds the global material-coefficient grids (as
+		// if read from an input file) and scatters them to the grid
+		// processes.
+		var gca, gcb, gda, gdb *grid.G3
+		if rank == 0 {
+			gca = grid.New3(spec.NX, spec.NY, spec.NZ, 0)
+			gcb = grid.New3(spec.NX, spec.NY, spec.NZ, 0)
+			gda = grid.New3(spec.NX, spec.NY, spec.NZ, 0)
+			gdb = grid.New3(spec.NX, spec.NY, spec.NZ, 0)
+			for i := 0; i < spec.NX; i++ {
+				for j := 0; j < spec.NY; j++ {
+					for k := 0; k < spec.NZ; k++ {
+						a, b, cc, d := spec.Coefficients(i, j, k)
+						gca.Set(i, j, k, a)
+						gcb.Set(i, j, k, b)
+						gda.Set(i, j, k, cc)
+						gdb.Set(i, j, k, d)
+					}
+				}
+			}
+		}
+		f.Ca = c.ScatterX(gca, slabs, 0, 0)
+		f.Cb = c.ScatterX(gcb, slabs, 0, 0)
+		f.Da = c.ScatterX(gda, slabs, 0, 0)
+		f.Db = c.ScatterX(gdb, slabs, 0, 0)
+	} else {
+		f.fillCoefficientsLocal()
+	}
+
+	var ff *farField
+	if spec.IsVersionC() {
+		ff = newFarField(spec, opt.FarFieldCompensated)
+	}
+	var mur *murState
+	if spec.Boundary == BoundaryMur1 {
+		mur = newMurState(spec, sl.R, fullY)
+	}
+	probeOwner := ownerOf(slabs, spec.Probe[0])
+	var probeLocal []float64
+	localWork := 0.0
+
+	for n := 0; n < spec.Steps; n++ {
+		// The E update reads Hy and Hz one plane below the local
+		// section: refresh the lower ghost planes.
+		c.SendUpX(f.Hy, f.Hz)
+		if mur != nil {
+			mur.snapshot(f.Ey, f.Ez, f.Ex)
+		}
+		w := updateE(f)
+		c.Work(float64(w))
+		localWork += float64(w)
+		addSource(f.Ez, spec, n, sl.R, fullY)
+		if mur != nil {
+			mw := mur.apply(f.Ey, f.Ez, f.Ex)
+			c.Work(float64(mw))
+			localWork += float64(mw)
+		}
+		// The H update reads Ey and Ez one plane above: refresh the
+		// upper ghost planes.
+		c.SendDownX(f.Ey, f.Ez)
+		w = updateH(f)
+		c.Work(float64(w))
+		localWork += float64(w)
+		if rank == probeOwner {
+			probeLocal = append(probeLocal,
+				f.Ez.At(spec.Probe[0]-lo, spec.Probe[1], spec.Probe[2]))
+		}
+		if ff != nil {
+			pts := ff.accumulate(n, f.Ex, f.Ey, f.Ez, f.Hx, f.Hy, f.Hz, sl.R, fullY)
+			c.Work(float64(pts))
+			localWork += float64(pts)
+		}
+	}
+
+	// Far field: combine the per-process local double sums — one
+	// reduction at the end of the computation, as in §4.3.
+	var farA, farF []float64
+	if ff != nil {
+		a, fv := ff.finalize()
+		if opt.FarFieldCompensated {
+			// Rank-ordered combining keeps the result reproducible and
+			// the compensated partials keep it accurate.
+			farA = c.AllReduceVecAlg(a, mesh.OpSum, mesh.AllToOne)
+			farF = c.AllReduceVecAlg(fv, mesh.OpSum, mesh.AllToOne)
+		} else {
+			farA = c.AllReduceVec(a, mesh.OpSum)
+			farF = c.AllReduceVec(fv, mesh.OpSum)
+		}
+	}
+	// Re-establish copy consistency of the probe series (global data
+	// computed in one process only).
+	probe := c.BroadcastVec(probeLocal, probeOwner)
+	// Total work is a sum of integers, so the reduction is exact.
+	totalWork := c.AllReduce(localWork, mesh.OpSum)
+
+	// Grid-to-host redistribution of the final fields (file output).
+	gex := c.GatherX(f.Ex, slabs, 0)
+	gey := c.GatherX(f.Ey, slabs, 0)
+	gez := c.GatherX(f.Ez, slabs, 0)
+	ghx := c.GatherX(f.Hx, slabs, 0)
+	ghy := c.GatherX(f.Hy, slabs, 0)
+	ghz := c.GatherX(f.Hz, slabs, 0)
+
+	res := &Result{
+		Spec:  spec,
+		Probe: probe,
+		FarA:  farA, FarF: farF,
+		Work: totalWork,
+	}
+	if rank == 0 {
+		res.Ex, res.Ey, res.Ez = gex, gey, gez
+		res.Hx, res.Hy, res.Hz = ghx, ghy, ghz
+	}
+	return res
+}

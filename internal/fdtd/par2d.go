@@ -1,0 +1,171 @@
+package fdtd
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/mesh"
+)
+
+// RunArchetype2D executes the mesh-archetype build of the application
+// on a px-by-py 2-D process grid (the x and y axes of the domain are
+// block-distributed; z stays whole).  This is the general form of the
+// archetype's data distribution; RunArchetype's 1-D slabs are the
+// special case py == 1.  Results are bitwise identical to the
+// sequential program's near field, with the same far-field reordering
+// caveat as the 1-D build.
+func RunArchetype2D(spec Spec, px, py int, mode mesh.Mode, opt Options) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if px <= 0 || py <= 0 || px > spec.NX || py > spec.NY {
+		return nil, fmt.Errorf("fdtd: cannot distribute %dx%d planes over %dx%d processes",
+			spec.NX, spec.NY, px, py)
+	}
+	topo := mesh.NewTopo2D(spec.NX, spec.NY, px, py)
+	if spec.Boundary == BoundaryMur1 {
+		// The Mur update reads the plane directly inside each face it
+		// owns, so every boundary block needs >= 2 planes on its owned
+		// face axes.
+		for r := 0; r < topo.P(); r++ {
+			xr, yr := topo.Block(r)
+			if (xr.Lo == 0 || xr.Hi == spec.NX) && xr.Len() < 2 {
+				return nil, fmt.Errorf("fdtd: Mur boundary requires x-edge blocks to own >= 2 planes")
+			}
+			if (yr.Lo == 0 || yr.Hi == spec.NY) && yr.Len() < 2 {
+				return nil, fmt.Errorf("fdtd: Mur boundary requires y-edge blocks to own >= 2 planes")
+			}
+		}
+	}
+	results, err := mesh.Run(topo.P(), mode, opt.Mesh, func(c *mesh.Comm) *Result {
+		return spmd2D(c, spec, topo, opt)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
+}
+
+// spmd2D is the per-process body of the 2-D-decomposed archetype
+// program.  Relative to spmd it adds the y-axis boundary exchanges and
+// uses the 2-D block redistribution for host I/O.
+func spmd2D(c *mesh.Comm, spec Spec, topo *mesh.Topo2D, opt Options) *Result {
+	rank := c.Rank()
+	xr, yr := topo.Block(rank)
+	rx, ry := topo.Coords(rank)
+	// Neighbour ranks along each axis (-1 where the domain ends).
+	xUp := topo.Rank(rx+1, ry)
+	xDown := topo.Rank(rx-1, ry)
+	yUp := topo.Rank(rx, ry+1)
+	yDown := topo.Rank(rx, ry-1)
+
+	f := newFields(spec, xr, yr)
+	if opt.HostIO {
+		var gca, gcb, gda, gdb *grid.G3
+		if rank == 0 {
+			gca = grid.New3(spec.NX, spec.NY, spec.NZ, 0)
+			gcb = grid.New3(spec.NX, spec.NY, spec.NZ, 0)
+			gda = grid.New3(spec.NX, spec.NY, spec.NZ, 0)
+			gdb = grid.New3(spec.NX, spec.NY, spec.NZ, 0)
+			for i := 0; i < spec.NX; i++ {
+				for j := 0; j < spec.NY; j++ {
+					for k := 0; k < spec.NZ; k++ {
+						a, b, cc, d := spec.Coefficients(i, j, k)
+						gca.Set(i, j, k, a)
+						gcb.Set(i, j, k, b)
+						gda.Set(i, j, k, cc)
+						gdb.Set(i, j, k, d)
+					}
+				}
+			}
+		}
+		f.setCoefficients(
+			c.Scatter3DBlocks(gca, topo, spec.NZ, 0, 0, 0),
+			c.Scatter3DBlocks(gcb, topo, spec.NZ, 0, 0, 0),
+			c.Scatter3DBlocks(gda, topo, spec.NZ, 0, 0, 0),
+			c.Scatter3DBlocks(gdb, topo, spec.NZ, 0, 0, 0),
+		)
+	} else {
+		f.fillCoefficientsLocal()
+	}
+
+	var ff *farField
+	if spec.IsVersionC() {
+		ff = newFarField(spec, opt.FarFieldCompensated)
+	}
+	var mur *murState
+	if spec.Boundary == BoundaryMur1 {
+		mur = newMurState(spec, xr, yr)
+	}
+	probeOwner := topo.Owner(spec.Probe[0], spec.Probe[1])
+	var probeLocal []float64
+	localWork := 0.0
+
+	for n := 0; n < spec.Steps; n++ {
+		// The E update reads Hy, Hz one plane below along x and Hx, Hz
+		// one plane below along y: refresh both lower ghost sets.
+		c.SendUpTo(grid.AxisX, xUp, xDown, f.Hy, f.Hz)
+		c.SendUpTo(grid.AxisY, yUp, yDown, f.Hx, f.Hz)
+		if mur != nil {
+			mur.snapshot(f.Ey, f.Ez, f.Ex)
+		}
+		w := updateE(f)
+		c.Work(float64(w))
+		localWork += float64(w)
+		addSource(f.Ez, spec, n, xr, yr)
+		if mur != nil {
+			mw := mur.apply(f.Ey, f.Ez, f.Ex)
+			c.Work(float64(mw))
+			localWork += float64(mw)
+		}
+		// The H update reads Ey, Ez one plane above along x and Ex, Ez
+		// one plane above along y.
+		c.SendDownTo(grid.AxisX, xDown, xUp, f.Ey, f.Ez)
+		c.SendDownTo(grid.AxisY, yDown, yUp, f.Ex, f.Ez)
+		w = updateH(f)
+		c.Work(float64(w))
+		localWork += float64(w)
+		if rank == probeOwner {
+			probeLocal = append(probeLocal,
+				f.Ez.At(spec.Probe[0]-xr.Lo, spec.Probe[1]-yr.Lo, spec.Probe[2]))
+		}
+		if ff != nil {
+			pts := ff.accumulate(n, f.Ex, f.Ey, f.Ez, f.Hx, f.Hy, f.Hz, xr, yr)
+			c.Work(float64(pts))
+			localWork += float64(pts)
+		}
+	}
+
+	var farA, farF []float64
+	if ff != nil {
+		a, fv := ff.finalize()
+		if opt.FarFieldCompensated {
+			farA = c.AllReduceVecAlg(a, mesh.OpSum, mesh.AllToOne)
+			farF = c.AllReduceVecAlg(fv, mesh.OpSum, mesh.AllToOne)
+		} else {
+			farA = c.AllReduceVec(a, mesh.OpSum)
+			farF = c.AllReduceVec(fv, mesh.OpSum)
+		}
+	}
+	probe := c.BroadcastVec(probeLocal, probeOwner)
+	totalWork := c.AllReduce(localWork, mesh.OpSum)
+
+	gex := c.Gather3DBlocks(f.Ex, topo, spec.NZ, 0)
+	gey := c.Gather3DBlocks(f.Ey, topo, spec.NZ, 0)
+	gez := c.Gather3DBlocks(f.Ez, topo, spec.NZ, 0)
+	ghx := c.Gather3DBlocks(f.Hx, topo, spec.NZ, 0)
+	ghy := c.Gather3DBlocks(f.Hy, topo, spec.NZ, 0)
+	ghz := c.Gather3DBlocks(f.Hz, topo, spec.NZ, 0)
+
+	res := &Result{
+		Spec:  spec,
+		Probe: probe,
+		FarA:  farA, FarF: farF,
+		Work: totalWork,
+	}
+	if rank == 0 {
+		res.Ex, res.Ey, res.Ez = gex, gey, gez
+		res.Hx, res.Hy, res.Hz = ghx, ghy, ghz
+	}
+	return res
+}

@@ -1,0 +1,252 @@
+package fsum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNaiveSimple(t *testing.T) {
+	if Naive([]float64{1, 2, 3.5}) != 6.5 {
+		t.Fatal("naive sum wrong")
+	}
+	if Naive(nil) != 0 {
+		t.Fatal("empty sum should be 0")
+	}
+}
+
+func TestBlockedIsExactReordering(t *testing.T) {
+	// For integer-valued data within float64's exact range, every
+	// ordering gives the same answer; Blocked must agree with Naive.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	for _, p := range []int{1, 2, 3, 7, 100} {
+		if Blocked(xs, p) != Naive(xs) {
+			t.Fatalf("p=%d: blocked sum differs on exact data", p)
+		}
+	}
+}
+
+func TestBlockedDivergesOnWideRangeData(t *testing.T) {
+	// The paper's finding: block reordering changes the result when
+	// summands span many orders of magnitude.
+	rng := rand.New(rand.NewSource(1))
+	xs := WideRange(10000, 16, rng)
+	seq := Naive(xs)
+	diverged := false
+	for _, p := range []int{2, 4, 8} {
+		if Blocked(xs, p) != seq {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("expected at least one block count to diverge from the sequential sum")
+	}
+}
+
+func TestBlockedMoreProcsThanElements(t *testing.T) {
+	xs := []float64{1, 2}
+	if Blocked(xs, 10) != 3 {
+		t.Fatal("p > len should clamp")
+	}
+	if got := BlockPartials(nil, 3); len(got) != 3 {
+		t.Fatal("empty input should yield p zero partials")
+	}
+}
+
+func TestBlockedPanicsOnBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Blocked([]float64{1}, 0)
+}
+
+func TestBlockPartialsCoverInput(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7}
+	parts := BlockPartials(xs, 3)
+	if len(parts) != 3 {
+		t.Fatalf("parts = %v", parts)
+	}
+	// 3+2+2 split: [1+2+3, 4+5, 6+7]
+	if parts[0] != 6 || parts[1] != 9 || parts[2] != 13 {
+		t.Fatalf("parts = %v", parts)
+	}
+}
+
+func TestTreeCombine(t *testing.T) {
+	if TreeCombine(nil) != 0 {
+		t.Fatal("empty tree combine")
+	}
+	if TreeCombine([]float64{5}) != 5 {
+		t.Fatal("singleton")
+	}
+	// Exact data: must equal plain sum regardless of tree shape.
+	for n := 1; n <= 17; n++ {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i + 1)
+		}
+		want := float64(n*(n+1)) / 2
+		if got := TreeCombine(xs); got != want {
+			t.Fatalf("n=%d: tree combine = %v want %v", n, got, want)
+		}
+	}
+}
+
+func TestPairwiseAndCompensatedAccuracy(t *testing.T) {
+	// Classic cancellation test: 1 followed by n tiny values that naive
+	// summation absorbs entirely.
+	n := 1 << 20
+	xs := make([]float64, n+1)
+	xs[0] = 1
+	tiny := math.Nextafter(1, 2) - 1 // one ulp of 1.0
+	for i := 1; i <= n; i++ {
+		xs[i] = tiny / 4
+	}
+	exact := 1 + float64(n)*tiny/4
+	naive := Naive(xs)
+	kahan := Kahan(xs)
+	neumaier := Neumaier(xs)
+	pair := Pairwise(xs)
+	if math.Abs(naive-exact) <= math.Abs(kahan-exact) {
+		t.Fatalf("Kahan (%g) should beat naive (%g); exact %g", kahan, naive, exact)
+	}
+	if math.Abs(neumaier-exact) > 1e-12*exact {
+		t.Fatalf("Neumaier error too large: %g vs %g", neumaier, exact)
+	}
+	if math.Abs(pair-exact) > math.Abs(naive-exact) {
+		t.Fatalf("pairwise (%g) should not be worse than naive (%g)", pair, naive)
+	}
+}
+
+func TestNeumaierHandlesLargeSummands(t *testing.T) {
+	// Kahan famously fails when the next summand exceeds the running
+	// sum; Neumaier handles it.
+	xs := []float64{1, 1e100, 1, -1e100}
+	if got := Neumaier(xs); got != 2 {
+		t.Fatalf("Neumaier = %g, want 2", got)
+	}
+}
+
+func TestPermutedDeterministicPerSeed(t *testing.T) {
+	xs := WideRange(1000, 12, rand.New(rand.NewSource(3)))
+	a := Permuted(xs, rand.New(rand.NewSource(9)))
+	b := Permuted(xs, rand.New(rand.NewSource(9)))
+	if a != b {
+		t.Fatal("same seed must give same permuted sum")
+	}
+}
+
+func TestWideRangeSpansDecades(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := WideRange(5000, 12, rng)
+	minMag, maxMag := math.Inf(1), 0.0
+	for _, x := range xs {
+		m := math.Abs(x)
+		if m < minMag {
+			minMag = m
+		}
+		if m > maxMag {
+			maxMag = m
+		}
+	}
+	if maxMag/minMag < 1e8 {
+		t.Fatalf("dynamic range too small: %g", maxMag/minMag)
+	}
+}
+
+func TestNarrowIsOrderInsensitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := Narrow(10000, rng)
+	rep := Sensitivity(xs, []int{2, 4, 8}, 5, rng)
+	if rep.MaxRelDev > 1e-12 {
+		t.Fatalf("narrow-range data should be nearly order-insensitive, dev=%g", rep.MaxRelDev)
+	}
+}
+
+func TestSensitivityWideVsNarrow(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	wide := Sensitivity(WideRange(20000, 16, rng), []int{2, 4, 8}, 10, rng)
+	narrow := Sensitivity(Narrow(20000, rng), []int{2, 4, 8}, 10, rng)
+	if wide.MaxRelDev <= narrow.MaxRelDev {
+		t.Fatalf("wide-range data should be more order-sensitive: wide=%g narrow=%g",
+			wide.MaxRelDev, narrow.MaxRelDev)
+	}
+	if len(wide.BlockSums) != 3 {
+		t.Fatalf("block sums missing: %v", wide.BlockSums)
+	}
+}
+
+// Property: all summation algorithms agree exactly on small-integer
+// data (where float64 arithmetic is exact), for any block count.
+func TestAllAlgorithmsAgreeOnExactData(t *testing.T) {
+	prop := func(raw []int8, p8 uint8) bool {
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		p := int(p8)%8 + 1
+		want := Naive(xs)
+		return Blocked(xs, p) == want &&
+			Pairwise(xs) == want &&
+			Kahan(xs) == want &&
+			Neumaier(xs) == want &&
+			TreeCombine(BlockPartials(xs, p)) == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: compensated sums are at least as accurate as naive against
+// the Neumaier reference on wide-range data.
+func TestCompensatedBeatsNaiveOnWideData(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		xs := WideRange(5000, 14, rng)
+		ref := Neumaier(xs)
+		scale := math.Max(math.Abs(ref), 1e-300)
+		en := math.Abs(Naive(xs)-ref) / scale
+		ek := math.Abs(Kahan(xs)-ref) / scale
+		if ek > en+1e-18 {
+			t.Fatalf("seed %d: kahan error %g worse than naive %g", seed, ek, en)
+		}
+	}
+}
+
+func TestSortedByMagnitudeAccuracy(t *testing.T) {
+	// Same-sign data spanning many magnitudes: ascending-magnitude
+	// summation must beat the natural order against the reference.
+	rng := rand.New(rand.NewSource(21))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = math.Pow(10, rng.Float64()*12-6) * (0.5 + rng.Float64())
+	}
+	ref := Neumaier(xs)
+	eNaive := math.Abs(Naive(xs) - ref)
+	eSorted := math.Abs(SortedByMagnitude(xs) - ref)
+	if eSorted > eNaive {
+		t.Fatalf("sorted error %g should not exceed naive %g", eSorted, eNaive)
+	}
+	// And the input must not be reordered in place.
+	before := xs[0]
+	SortedByMagnitude(xs)
+	if xs[0] != before {
+		t.Fatal("SortedByMagnitude mutated its input")
+	}
+}
+
+func TestSortedByMagnitudeExactData(t *testing.T) {
+	xs := []float64{5, -3, 2, -1, 4}
+	if SortedByMagnitude(xs) != Naive(xs) {
+		t.Fatal("exact data must agree under any ordering")
+	}
+	if SortedByMagnitude(nil) != 0 {
+		t.Fatal("empty sum")
+	}
+}

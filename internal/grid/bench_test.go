@@ -1,0 +1,54 @@
+package grid
+
+import "testing"
+
+func BenchmarkG3At(b *testing.B) {
+	g := New3(32, 32, 32, 1)
+	b.ResetTimer()
+	s := 0.0
+	for i := 0; i < b.N; i++ {
+		for x := 0; x < 32; x++ {
+			for y := 0; y < 32; y++ {
+				for z := 0; z < 32; z++ {
+					s += g.At(x, y, z)
+				}
+			}
+		}
+	}
+	_ = s
+}
+
+func BenchmarkG3Pencil(b *testing.B) {
+	g := New3(32, 32, 32, 1)
+	b.ResetTimer()
+	s := 0.0
+	for i := 0; i < b.N; i++ {
+		for x := 0; x < 32; x++ {
+			for y := 0; y < 32; y++ {
+				for _, v := range g.Pencil(x, y) {
+					s += v
+				}
+			}
+		}
+	}
+	_ = s
+}
+
+func BenchmarkPackPlane(b *testing.B) {
+	g := New3(32, 32, 32, 1)
+	for _, axis := range []Axis{AxisX, AxisY, AxisZ} {
+		axis := axis
+		b.Run(axis.String(), func(b *testing.B) {
+			buf := make([]float64, g.PlaneSize(axis))
+			for i := 0; i < b.N; i++ {
+				g.PackPlane(axis, 5, buf)
+			}
+		})
+	}
+}
+
+func BenchmarkDecompose(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Decompose(1<<20, 64)
+	}
+}

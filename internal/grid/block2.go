@@ -1,0 +1,82 @@
+package grid
+
+import "fmt"
+
+// Rectangular block access for 2-D grids, used by the 2-D process
+// topology's boundary exchange: row strips, column strips, and corner
+// blocks, all addressable into the ghost region.
+
+// PackRow serialises the n cells of row i starting at column j0 into
+// buf (allocating when nil).  Indices may address ghost cells.
+func (g *G2) PackRow(i, j0, n int, buf []float64) []float64 {
+	if buf == nil {
+		buf = make([]float64, n)
+	}
+	if len(buf) != n {
+		panic(fmt.Sprintf("grid: PackRow buffer length %d, want %d", len(buf), n))
+	}
+	base := g.index(i, j0)
+	copy(buf, g.data[base:base+n])
+	return buf
+}
+
+// UnpackRow writes buf into row i starting at column j0.
+func (g *G2) UnpackRow(i, j0 int, buf []float64) {
+	base := g.index(i, j0)
+	copy(g.data[base:base+len(buf)], buf)
+}
+
+// PackCol serialises the n cells of column j starting at row i0 into
+// buf (allocating when nil).
+func (g *G2) PackCol(j, i0, n int, buf []float64) []float64 {
+	if buf == nil {
+		buf = make([]float64, n)
+	}
+	if len(buf) != n {
+		panic(fmt.Sprintf("grid: PackCol buffer length %d, want %d", len(buf), n))
+	}
+	for i := 0; i < n; i++ {
+		buf[i] = g.data[g.index(i0+i, j)]
+	}
+	return buf
+}
+
+// UnpackCol writes buf into column j starting at row i0.
+func (g *G2) UnpackCol(j, i0 int, buf []float64) {
+	for i, v := range buf {
+		g.data[g.index(i0+i, j)] = v
+	}
+}
+
+// PackBlock serialises the di-by-dj block with top-left corner (i0, j0)
+// row-major into buf (allocating when nil).
+func (g *G2) PackBlock(i0, j0, di, dj int, buf []float64) []float64 {
+	n := di * dj
+	if buf == nil {
+		buf = make([]float64, n)
+	}
+	if len(buf) != n {
+		panic(fmt.Sprintf("grid: PackBlock buffer length %d, want %d", len(buf), n))
+	}
+	off := 0
+	for i := 0; i < di; i++ {
+		base := g.index(i0+i, j0)
+		copy(buf[off:off+dj], g.data[base:base+dj])
+		off += dj
+	}
+	return buf
+}
+
+// UnpackBlock writes buf (length di*dj, row-major) into the block with
+// top-left corner (i0, j0).
+func (g *G2) UnpackBlock(i0, j0, di, dj int, buf []float64) {
+	if len(buf) != di*dj {
+		panic(fmt.Sprintf("grid: UnpackBlock buffer length %d, want %d", len(buf), di*dj))
+	}
+	off := 0
+	for i := 0; i < di; i++ {
+		base := g.index(i0+i, j0)
+		copy(g.data[base:base+dj], buf[off:off+dj])
+		off += dj
+	}
+}

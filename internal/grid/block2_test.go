@@ -1,0 +1,76 @@
+package grid
+
+import "testing"
+
+func TestPackUnpackRow(t *testing.T) {
+	g := New2(4, 5, 1)
+	g.FillFunc(func(i, j int) float64 { return float64(10*i + j) })
+	buf := g.PackRow(2, 0, 5, nil)
+	for j, v := range buf {
+		if v != float64(20+j) {
+			t.Fatalf("PackRow[%d] = %v", j, v)
+		}
+	}
+	h := New2(4, 5, 1)
+	h.UnpackRow(-1, 0, buf) // into ghost row
+	for j := 0; j < 5; j++ {
+		if h.At(-1, j) != float64(20+j) {
+			t.Fatalf("UnpackRow ghost[%d] = %v", j, h.At(-1, j))
+		}
+	}
+	// Partial row with ghost columns.
+	partial := g.PackRow(1, -1, 3, nil)
+	if partial[1] != 10 || partial[2] != 11 {
+		t.Fatalf("partial row = %v", partial)
+	}
+}
+
+func TestPackUnpackCol(t *testing.T) {
+	g := New2(4, 5, 1)
+	g.FillFunc(func(i, j int) float64 { return float64(10*i + j) })
+	buf := g.PackCol(3, 0, 4, nil)
+	for i, v := range buf {
+		if v != float64(10*i+3) {
+			t.Fatalf("PackCol[%d] = %v", i, v)
+		}
+	}
+	h := New2(4, 5, 1)
+	h.UnpackCol(5, 0, buf) // into ghost column
+	for i := 0; i < 4; i++ {
+		if h.At(i, 5) != float64(10*i+3) {
+			t.Fatalf("UnpackCol ghost[%d] = %v", i, h.At(i, 5))
+		}
+	}
+}
+
+func TestPackUnpackBlock(t *testing.T) {
+	g := New2(5, 6, 2)
+	g.FillFunc(func(i, j int) float64 { return float64(100*i + j) })
+	buf := g.PackBlock(1, 2, 2, 3, nil)
+	want := []float64{102, 103, 104, 202, 203, 204}
+	for i, v := range buf {
+		if v != want[i] {
+			t.Fatalf("PackBlock = %v", buf)
+		}
+	}
+	h := New2(5, 6, 2)
+	h.UnpackBlock(-2, -2, 2, 3, buf) // corner ghost block
+	if h.At(-2, -2) != 102 || h.At(-1, 0) != 204 {
+		t.Fatal("UnpackBlock into ghost corner wrong")
+	}
+	// Round trip.
+	rt := h.PackBlock(-2, -2, 2, 3, nil)
+	for i := range rt {
+		if rt[i] != buf[i] {
+			t.Fatal("block round trip failed")
+		}
+	}
+}
+
+func TestBlock2Panics(t *testing.T) {
+	g := New2(3, 3, 1)
+	mustPanic(t, func() { g.PackRow(0, 0, 3, make([]float64, 2)) })
+	mustPanic(t, func() { g.PackCol(0, 0, 3, make([]float64, 2)) })
+	mustPanic(t, func() { g.PackBlock(0, 0, 2, 2, make([]float64, 3)) })
+	mustPanic(t, func() { g.UnpackBlock(0, 0, 2, 2, make([]float64, 3)) })
+}

@@ -1,0 +1,82 @@
+package grid
+
+import "fmt"
+
+// G1 is a one-dimensional grid of float64 values with a ghost boundary
+// of uniform width on both sides.
+type G1 struct {
+	ext  Extent
+	data []float64 // length ext.total()
+}
+
+// New1 allocates a 1-D grid with n interior points and the given ghost
+// width, initialised to zero.
+func New1(n, ghost int) *G1 {
+	e := Extent{N: n, Ghost: ghost}
+	checkExtent(e, "x")
+	return &G1{ext: e, data: make([]float64, e.total())}
+}
+
+// N returns the number of interior points.
+func (g *G1) N() int { return g.ext.N }
+
+// Ghost returns the ghost width.
+func (g *G1) Ghost() int { return g.ext.Ghost }
+
+// At returns the value at logical coordinate i.  Ghost cells are
+// addressed with i in [-Ghost, 0) and [N, N+Ghost).
+func (g *G1) At(i int) float64 { return g.data[i+g.ext.Ghost] }
+
+// Set stores v at logical coordinate i.
+func (g *G1) Set(i int, v float64) { g.data[i+g.ext.Ghost] = v }
+
+// Data exposes the backing slice, ghost cells included, in storage
+// order.  Intended for bulk I/O and message packing.
+func (g *G1) Data() []float64 { return g.data }
+
+// Interior returns the slice of interior points (no ghosts), aliasing
+// the backing store.
+func (g *G1) Interior() []float64 {
+	return g.data[g.ext.Ghost : g.ext.Ghost+g.ext.N]
+}
+
+// Fill sets every interior point to v.
+func (g *G1) Fill(v float64) {
+	for i := range g.Interior() {
+		g.Interior()[i] = v
+	}
+}
+
+// FillFunc sets every interior point i to f(i).
+func (g *G1) FillFunc(f func(i int) float64) {
+	in := g.Interior()
+	for i := range in {
+		in[i] = f(i)
+	}
+}
+
+// Clone returns a deep copy of the grid, ghosts included.
+func (g *G1) Clone() *G1 {
+	c := &G1{ext: g.ext, data: make([]float64, len(g.data))}
+	copy(c.data, g.data)
+	return c
+}
+
+// Equal reports whether two grids have identical shape and bitwise
+// identical interior values (ghost cells are ignored).
+func (g *G1) Equal(h *G1) bool {
+	if g.ext.N != h.ext.N {
+		return false
+	}
+	a, b := g.Interior(), h.Interior()
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (g *G1) String() string {
+	return fmt.Sprintf("G1(n=%d ghost=%d)", g.ext.N, g.ext.Ghost)
+}

@@ -1,0 +1,215 @@
+// Package gridio reads and writes grids in a simple binary format, the
+// concrete "file input/output operations" of the mesh archetype.  In
+// the host-process I/O pattern, the host reads a file with this package
+// and scatters the grid to the grid processes (mesh.ScatterX); a write
+// gathers first (mesh.GatherX) and then serialises here.
+//
+// Format (little-endian):
+//
+//	magic   [8]byte  "MESHGRD1"
+//	dims    3 x int64 (nx, ny, nz; 2-D grids store nz == 0,
+//	                   1-D grids store ny == nz == 0)
+//	payload nx*ny*nz (or nx*ny, or nx) float64 values in storage
+//	        order (interior only — ghost cells are runtime artifacts
+//	        and never serialised)
+package gridio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/grid"
+)
+
+var magic = [8]byte{'M', 'E', 'S', 'H', 'G', 'R', 'D', '1'}
+
+type header struct {
+	Magic      [8]byte
+	NX, NY, NZ int64
+}
+
+func writeHeader(w io.Writer, nx, ny, nz int) error {
+	return binary.Write(w, binary.LittleEndian, header{Magic: magic, NX: int64(nx), NY: int64(ny), NZ: int64(nz)})
+}
+
+func readHeader(r io.Reader) (nx, ny, nz int, err error) {
+	var h header
+	if err := binary.Read(r, binary.LittleEndian, &h); err != nil {
+		return 0, 0, 0, fmt.Errorf("gridio: reading header: %w", err)
+	}
+	if h.Magic != magic {
+		return 0, 0, 0, fmt.Errorf("gridio: bad magic %q", h.Magic[:])
+	}
+	if h.NX <= 0 || h.NY < 0 || h.NZ < 0 {
+		return 0, 0, 0, fmt.Errorf("gridio: invalid dimensions %dx%dx%d", h.NX, h.NY, h.NZ)
+	}
+	const max = 1 << 28 // refuse absurd allocations from corrupt files
+	if h.NX > max || h.NY > max || h.NZ > max || h.NX*maxi(h.NY, 1)*maxi(h.NZ, 1) > max {
+		return 0, 0, 0, fmt.Errorf("gridio: dimensions %dx%dx%d too large", h.NX, h.NY, h.NZ)
+	}
+	return int(h.NX), int(h.NY), int(h.NZ), nil
+}
+
+func maxi(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func writeValues(w io.Writer, vals []float64) error {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readValues(r io.Reader, vals []float64) error {
+	buf := make([]byte, 8*len(vals))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return fmt.Errorf("gridio: reading payload: %w", err)
+	}
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return nil
+}
+
+// Write3 serialises a 3-D grid's interior to w.
+func Write3(w io.Writer, g *grid.G3) error {
+	if err := writeHeader(w, g.NX(), g.NY(), g.NZ()); err != nil {
+		return err
+	}
+	buf := make([]float64, g.NZ())
+	for i := 0; i < g.NX(); i++ {
+		for j := 0; j < g.NY(); j++ {
+			copy(buf, g.Pencil(i, j))
+			if err := writeValues(w, buf); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Read3 deserialises a 3-D grid (ghost width 0) from r.
+func Read3(r io.Reader) (*grid.G3, error) {
+	nx, ny, nz, err := readHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	if ny == 0 || nz == 0 {
+		return nil, fmt.Errorf("gridio: file holds a %d-D grid, want 3-D", dims(nx, ny, nz))
+	}
+	g := grid.New3(nx, ny, nz, 0)
+	buf := make([]float64, nz)
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			if err := readValues(r, buf); err != nil {
+				return nil, err
+			}
+			copy(g.Pencil(i, j), buf)
+		}
+	}
+	return g, nil
+}
+
+// Write2 serialises a 2-D grid's interior to w.
+func Write2(w io.Writer, g *grid.G2) error {
+	if err := writeHeader(w, g.NX(), g.NY(), 0); err != nil {
+		return err
+	}
+	for i := 0; i < g.NX(); i++ {
+		if err := writeValues(w, g.Row(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read2 deserialises a 2-D grid (ghost width 0) from r.
+func Read2(r io.Reader) (*grid.G2, error) {
+	nx, ny, nz, err := readHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	if nz != 0 || ny == 0 {
+		return nil, fmt.Errorf("gridio: file holds a %d-D grid, want 2-D", dims(nx, ny, nz))
+	}
+	g := grid.New2(nx, ny, 0)
+	for i := 0; i < nx; i++ {
+		if err := readValues(r, g.Row(i)); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Write1 serialises a 1-D grid's interior to w.
+func Write1(w io.Writer, g *grid.G1) error {
+	if err := writeHeader(w, g.N(), 0, 0); err != nil {
+		return err
+	}
+	return writeValues(w, g.Interior())
+}
+
+// Read1 deserialises a 1-D grid (ghost width 0) from r.
+func Read1(r io.Reader) (*grid.G1, error) {
+	nx, ny, nz, err := readHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	if ny != 0 || nz != 0 {
+		return nil, fmt.Errorf("gridio: file holds a %d-D grid, want 1-D", dims(nx, ny, nz))
+	}
+	g := grid.New1(nx, 0)
+	if err := readValues(r, g.Interior()); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func dims(nx, ny, nz int) int {
+	switch {
+	case nz > 0:
+		return 3
+	case ny > 0:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// SaveFile3 writes a 3-D grid to path, buffered.
+func SaveFile3(path string, g *grid.G3) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := Write3(w, g); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile3 reads a 3-D grid from path.
+func LoadFile3(path string) (*grid.G3, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read3(bufio.NewReader(f))
+}

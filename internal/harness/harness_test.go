@@ -1,0 +1,244 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fdtd"
+	"repro/internal/machine"
+)
+
+func TestRunSpeedupSmall(t *testing.T) {
+	tab, err := RunSpeedup(SpeedupConfig{
+		Spec:  fdtd.SpecSmallA(),
+		Ps:    []int{2, 4},
+		Model: machine.IBMSP(),
+		Opt:   fdtd.DefaultOptions(),
+		Title: "small speedup",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0].Speedup != 1 {
+		t.Fatal("sequential row should have speedup 1")
+	}
+	for _, r := range tab.Rows[1:] {
+		if r.Seconds <= 0 || r.Speedup <= 0 {
+			t.Fatalf("bad row %+v", r)
+		}
+	}
+	out := tab.Format()
+	for _, want := range []string{"small speedup", "Sequential", "Parallel, P=2", "ideal"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpeedupShapeOnRealisticSize(t *testing.T) {
+	// Large enough that compute dominates latency per slab: the shape
+	// criteria of the paper (monotone, sub-linear) must hold.  Uses the
+	// uncalibrated preset model so the result is host-independent.
+	spec := fdtd.SpecTable1()
+	spec.Steps = 8 // the profile per step is identical; 8 steps suffice
+	tab, err := RunSpeedup(SpeedupConfig{
+		Spec:         spec,
+		Ps:           []int{2, 4, 8},
+		Model:        machine.IBMSP(),
+		Opt:          fdtd.DefaultOptions(),
+		Title:        "shape check",
+		CalibrateOff: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg := tab.CheckShape(); msg != "" {
+		t.Fatalf("shape violated: %s\n%s", msg, tab.Format())
+	}
+	if eff := tab.MinEfficiency(); eff <= 0 || eff >= 1 {
+		t.Fatalf("efficiency out of range: %v", eff)
+	}
+}
+
+func TestSunScalesWorseThanSP(t *testing.T) {
+	spec := fdtd.SpecTable1()
+	spec.Steps = 8
+	run := func(m machine.Model) *Table {
+		tab, err := RunSpeedup(SpeedupConfig{
+			Spec: spec, Ps: []int{4}, Model: m,
+			Opt: fdtd.DefaultOptions(), Title: "x", CalibrateOff: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	sun := run(machine.SunEthernet())
+	sp := run(machine.IBMSP())
+	if sun.Rows[1].Efficiency >= sp.Rows[1].Efficiency {
+		t.Fatalf("Sun efficiency %v should be below SP %v",
+			sun.Rows[1].Efficiency, sp.Rows[1].Efficiency)
+	}
+}
+
+func TestRunCorrectnessVersionA(t *testing.T) {
+	rep, err := RunCorrectness(fdtd.SpecSmallA(), 3, 2)
+	if err != nil {
+		t.Fatalf("%v\n%v", err, rep)
+	}
+	if !rep.NearFieldIdentical || !rep.ParallelMatchesSSP {
+		t.Fatalf("correctness failed:\n%s", rep)
+	}
+	if rep.Version != "A" {
+		t.Fatalf("version = %s", rep.Version)
+	}
+	if !strings.Contains(rep.String(), "identical to previous stage") {
+		t.Fatalf("report:\n%s", rep)
+	}
+}
+
+func TestRunCorrectnessVersionC(t *testing.T) {
+	rep, err := RunCorrectness(fdtd.SpecSmall(), 4, 2)
+	if err != nil {
+		t.Fatalf("%v\n%v", err, rep)
+	}
+	if !rep.NearFieldIdentical {
+		t.Fatal("near field must be identical")
+	}
+	if rep.FarFieldIdentical {
+		t.Fatal("far field should diverge for Version C at P=4")
+	}
+	if rep.FarFieldMaxRelDiff <= 0 || rep.FarFieldMaxRelDiff > 1e-6 {
+		t.Fatalf("far-field deviation out of expected band: %g", rep.FarFieldMaxRelDiff)
+	}
+	if !rep.ParallelMatchesSSP {
+		t.Fatal("parallel must match SSP")
+	}
+}
+
+func TestRunFarFieldAnalysis(t *testing.T) {
+	a, err := RunFarFieldAnalysis(fdtd.SpecSmall(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NaiveMaxRelDev <= 0 {
+		t.Fatal("naive reordering should deviate")
+	}
+	if a.FixedMaxRelDev > 1e-12 {
+		t.Fatalf("compensated far field too inaccurate: %g", a.FixedMaxRelDev)
+	}
+	if a.SyntheticWide <= a.SyntheticNarrow {
+		t.Fatal("wide-range data must be more order-sensitive")
+	}
+	if a.DynamicRangeDecades <= 1 {
+		t.Fatalf("far-field potentials should span decades, got %.2f", a.DynamicRangeDecades)
+	}
+	if !strings.Contains(a.String(), "decades") {
+		t.Fatal("report should mention dynamic range")
+	}
+	if _, err := RunFarFieldAnalysis(fdtd.SpecSmallA(), 2); err == nil {
+		t.Fatal("Version A has no far field to analyse")
+	}
+}
+
+func TestRunEffort(t *testing.T) {
+	for _, v := range []string{"A", "C"} {
+		rep := RunEffort(v)
+		if len(rep.Rows) != 3 {
+			t.Fatalf("rows = %d", len(rep.Rows))
+		}
+		ssp, mp := rep.Rows[1], rep.Rows[2]
+		if ssp.LinesAdded+ssp.LinesRemoved <= mp.LinesAdded+mp.LinesRemoved {
+			t.Fatalf("version %s: SSP step should dominate the delta: %+v vs %+v", v, ssp, mp)
+		}
+		if !strings.Contains(rep.String(), "paper (days)") {
+			t.Fatal("report header missing")
+		}
+	}
+	// Version C's far-field handling makes its SSP delta larger.
+	a, c := RunEffort("A"), RunEffort("C")
+	if c.Rows[1].LinesAdded <= a.Rows[1].LinesAdded {
+		t.Fatal("version C should require a larger SSP transformation")
+	}
+}
+
+func TestRunFigure1(t *testing.T) {
+	rep, err := RunFigure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Equivalent || !rep.SameFinalState {
+		t.Fatalf("Figure 1 correspondence failed:\n%s", rep)
+	}
+	out := rep.String()
+	for _, want := range []string{"simulated-parallel interleaving", "send->P1", "recv<-P0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunDeterminacy(t *testing.T) {
+	rep, err := RunDeterminacy(fdtd.SpecSmall(), 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Deterministic() {
+		t.Fatalf("archetype program must be determinate:\n%s", rep)
+	}
+	if len(rep.Runs) < 8 {
+		t.Fatalf("too few interleavings tried: %v", rep.Runs)
+	}
+	if !strings.Contains(rep.String(), "DETERMINATE") {
+		t.Fatalf("report:\n%s", rep)
+	}
+	bad := fdtd.SpecSmall()
+	bad.Steps = 0
+	if _, err := RunDeterminacy(bad, 2, 0); err == nil {
+		t.Fatal("invalid spec should error")
+	}
+}
+
+func TestCheckShapeCatchesViolations(t *testing.T) {
+	tab := &Table{Rows: []Row{
+		{Label: "seq", P: 1, Speedup: 1},
+		{Label: "p2", P: 2, Speedup: 1.8},
+		{Label: "p4", P: 4, Speedup: 1.5}, // non-monotone
+	}}
+	if tab.CheckShape() == "" {
+		t.Fatal("non-monotone speedup should be flagged")
+	}
+	tab.Rows[2].Speedup = 4.2 // super-linear
+	if tab.CheckShape() == "" {
+		t.Fatal("super-linear speedup should be flagged")
+	}
+	tab.Rows[2].Speedup = 3.1
+	if msg := tab.CheckShape(); msg != "" {
+		t.Fatalf("valid shape flagged: %s", msg)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{Rows: []Row{
+		{Label: "Sequential", P: 1, Seconds: 2, Speedup: 1, Efficiency: 1},
+		{Label: "Parallel, P=2", P: 2, Seconds: 1.2, Speedup: 1.67, Efficiency: 0.83, Ideal: 2},
+	}}
+	out := tab.CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "label,procs") {
+		t.Fatalf("header: %s", lines[0])
+	}
+	if !strings.Contains(lines[2], `"Parallel, P=2",2,1.2,1.67,0.83,2`) {
+		t.Fatalf("row: %s", lines[2])
+	}
+	// Sequential row has an empty ideal column.
+	if !strings.HasSuffix(lines[1], ",") {
+		t.Fatalf("sequential ideal should be empty: %s", lines[1])
+	}
+}

@@ -1,0 +1,143 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve of a text plot.
+type Series struct {
+	Name   string
+	Marker byte
+	X, Y   []float64
+}
+
+// Plot renders series as an ASCII chart — the form in which this
+// reproduction regenerates the paper's Figure 2 plots.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area columns (default 48)
+	Height int // plot area rows (default 14)
+	Series []Series
+}
+
+// Render draws the plot.
+func (p *Plot) Render() string {
+	w, h := p.Width, p.Height
+	if w <= 0 {
+		w = 48
+	}
+	if h <= 0 {
+		h = 14
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return p.Title + "\n(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	// Leave headroom so the top marker is visible.
+	spanY := maxY - minY
+	minY -= spanY * 0.05
+	maxY += spanY * 0.05
+
+	cells := make([][]byte, h)
+	for r := range cells {
+		cells[r] = []byte(strings.Repeat(" ", w))
+	}
+	place := func(x, y float64, m byte) {
+		cx := int(math.Round((x - minX) / (maxX - minX) * float64(w-1)))
+		cy := int(math.Round((y - minY) / (maxY - minY) * float64(h-1)))
+		row := h - 1 - cy
+		if row < 0 || row >= h || cx < 0 || cx >= w {
+			return
+		}
+		cells[row][cx] = m
+	}
+	for _, s := range p.Series {
+		// Connect consecutive points with interpolated markers of '.'
+		for i := 0; i+1 < len(s.X); i++ {
+			steps := w / 4
+			for t := 1; t < steps; t++ {
+				f := float64(t) / float64(steps)
+				place(s.X[i]+(s.X[i+1]-s.X[i])*f, s.Y[i]+(s.Y[i+1]-s.Y[i])*f, '.')
+			}
+		}
+	}
+	for _, s := range p.Series {
+		for i := range s.X {
+			place(s.X[i], s.Y[i], s.Marker)
+		}
+	}
+
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	for r, row := range cells {
+		yTop := maxY - (maxY-minY)*float64(r)/float64(h-1)
+		fmt.Fprintf(&b, "%10.3g |%s|\n", yTop, string(row))
+	}
+	fmt.Fprintf(&b, "%10s +%s+\n", "", strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%10s  %-*.4g%*.4g\n", "", w/2, minX, w-w/2, maxX)
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&b, "%10s  x: %s   y: %s\n", "", p.XLabel, p.YLabel)
+	}
+	var legend []string
+	for _, s := range p.Series {
+		legend = append(legend, fmt.Sprintf("%c = %s", s.Marker, s.Name))
+	}
+	fmt.Fprintf(&b, "%10s  legend: %s\n", "", strings.Join(legend, ", "))
+	return b.String()
+}
+
+// FigurePlots renders a speedup table as the paper's Figure 2 pair of
+// plots: execution time vs. processors (with the sequential and ideal
+// curves) and speedup vs. processors (actual vs. perfect).
+func FigurePlots(t *Table) string {
+	if len(t.Rows) < 2 {
+		return t.Format()
+	}
+	seq := t.Rows[0].Seconds
+	var px, actualT, idealT, actualS, perfectS []float64
+	for _, r := range t.Rows[1:] {
+		px = append(px, float64(r.P))
+		actualT = append(actualT, r.Seconds)
+		idealT = append(idealT, seq/float64(r.P))
+		actualS = append(actualS, r.Speedup)
+		perfectS = append(perfectS, float64(r.P))
+	}
+	timePlot := Plot{
+		Title:  t.Title + " — execution time",
+		XLabel: "processors", YLabel: "seconds",
+		Series: []Series{
+			{Name: "actual", Marker: 'a', X: px, Y: actualT},
+			{Name: "ideal", Marker: 'i', X: px, Y: idealT},
+		},
+	}
+	speedPlot := Plot{
+		Title:  t.Title + " — speedup",
+		XLabel: "processors", YLabel: "speedup",
+		Series: []Series{
+			{Name: "actual", Marker: 'a', X: px, Y: actualS},
+			{Name: "perfect", Marker: 'p', X: px, Y: perfectS},
+		},
+	}
+	return timePlot.Render() + "\n" + speedPlot.Render()
+}

@@ -1,0 +1,276 @@
+// Package machine provides the performance model that stands in for the
+// paper's parallel testbeds (a network of Sun workstations and an IBM
+// SP).  The benchmark host for this reproduction has a single CPU, so
+// wall-clock parallel speedup is physically unobservable; instead, the
+// mesh runtime records the *actual* work performed and messages sent by
+// each process (a Tally), and a Model — a LogGP-style cost model with a
+// per-work-unit compute cost and per-message latency/bandwidth costs —
+// converts those real counts into simulated execution times.
+//
+// The model is deliberately simple (bulk-synchronous phases; per phase,
+// time = max over processes of compute + communication cost), because
+// the paper's claims are about the *shape* of the speedup curves, not
+// absolute times: speedup grows with P, sub-linearly, and scales better
+// on the low-latency IBM SP than on the Ethernet-connected Suns.
+package machine
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Model is a machine performance model.
+type Model struct {
+	Name string
+	// SecPerWork is the time one process needs for one work unit (for
+	// the FDTD code, one cell update).  Calibrate it from a measured
+	// sequential run with Calibrate, or use a preset.
+	SecPerWork float64
+	// Latency is the fixed per-message cost in seconds (LogGP's L+o).
+	Latency float64
+	// SecPerByte is the per-byte transfer cost in seconds (LogGP's G).
+	SecPerByte float64
+}
+
+// SunEthernet models the paper's "network of Sun workstations":
+// mid-1990s SPARCstations on shared 10 Mbit/s Ethernet — slow
+// processors, and above all high message latency.
+func SunEthernet() Model {
+	return Model{
+		Name: "network of Suns (10 Mbit/s Ethernet)",
+		// ~0.5M field-component updates/s: a ~5 MFLOPS-sustained
+		// mid-90s SPARCstation running Fortran M.
+		SecPerWork: 2e-6,
+		Latency:    1.5e-3, // TCP/IP-over-Ethernet message latency
+		SecPerByte: 8.0 / 10e6,
+	}
+}
+
+// IBMSP models the paper's IBM SP: faster nodes and a dedicated
+// high-performance switch with far lower latency.
+func IBMSP() Model {
+	return Model{
+		Name:       "IBM SP (high-performance switch)",
+		SecPerWork: 2e-7, // ~5 Mcell-updates/s, POWER2-class CPU
+		Latency:    4e-5, // ~40 us MPL latency
+		SecPerByte: 1.0 / 35e6,
+	}
+}
+
+// Calibrate returns a copy of the model anchored to a measured
+// execution on this host: SecPerWork becomes seconds/totalWork, and the
+// communication costs are scaled by the same factor so that the
+// machine's compute-to-communication balance — the property that
+// determines the *shape* of its speedup curves — is preserved.
+// (Calibrating only the compute cost would pair a modern CPU with a
+// 1990s network and reproduce neither machine.)
+func (m Model) Calibrate(totalWork float64, measuredSeconds float64) Model {
+	if totalWork <= 0 {
+		panic("machine: totalWork must be positive")
+	}
+	newSecPerWork := measuredSeconds / totalWork
+	factor := newSecPerWork / m.SecPerWork
+	m.SecPerWork = newSecPerWork
+	m.Latency *= factor
+	m.SecPerByte *= factor
+	return m
+}
+
+// phase is one bulk-synchronous step: a compute segment followed by a
+// communication operation.
+type phase struct {
+	label string
+	work  []float64 // per-process work units
+	msgs  []int     // per-process message count (send + receive)
+	bytes []int64   // per-process bytes (sent + received)
+}
+
+// Tally accumulates the execution profile of one parallel run: per-
+// process work units and per-process message/byte counts, organised
+// into indexed bulk-synchronous phases.  Each process advances through
+// the same phase sequence (the SPMD structure of the mesh archetype
+// guarantees this), but processes may be in different phases at the
+// same wall-clock moment, so callers address phases by index rather
+// than by "current".  All methods are safe for concurrent use.
+type Tally struct {
+	mu     sync.Mutex
+	p      int
+	phases []phase
+}
+
+// NewTally returns a tally for p processes.
+func NewTally(p int) *Tally {
+	if p <= 0 {
+		panic(fmt.Sprintf("machine: tally needs p > 0, got %d", p))
+	}
+	return &Tally{p: p}
+}
+
+// P returns the process count.
+func (t *Tally) P() int { return t.p }
+
+// ensure grows the phase list to include index i; callers hold mu.
+func (t *Tally) ensure(i int) {
+	for len(t.phases) <= i {
+		t.phases = append(t.phases, phase{
+			work:  make([]float64, t.p),
+			msgs:  make([]int, t.p),
+			bytes: make([]int64, t.p),
+		})
+	}
+}
+
+// AddWork credits units of compute work to process proc in phase ph.
+func (t *Tally) AddWork(ph, proc int, units float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ensure(ph)
+	t.phases[ph].work[proc] += units
+}
+
+// Message records one point-to-point message of the given payload size
+// in phase ph, charging both endpoints.
+func (t *Tally) Message(ph, from, to, bytes int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ensure(ph)
+	t.phases[ph].msgs[from]++
+	t.phases[ph].msgs[to]++
+	t.phases[ph].bytes[from] += int64(bytes)
+	t.phases[ph].bytes[to] += int64(bytes)
+}
+
+// Label names phase ph for diagnostics.
+func (t *Tally) Label(ph int, label string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ensure(ph)
+	t.phases[ph].label = label
+}
+
+// Phases returns the number of phases touched so far.
+func (t *Tally) Phases() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.phases)
+}
+
+// TotalWork returns the sum of work units over all processes and phases.
+func (t *Tally) TotalWork() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := 0.0
+	for _, ph := range t.phases {
+		for _, w := range ph.work {
+			s += w
+		}
+	}
+	return s
+}
+
+// TotalMessages returns the number of messages recorded (each message
+// counted once, not once per endpoint).
+func (t *Tally) TotalMessages() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := 0
+	for _, ph := range t.phases {
+		for _, m := range ph.msgs {
+			s += m
+		}
+	}
+	return s / 2
+}
+
+// TotalBytes returns the payload bytes recorded (each message counted
+// once).
+func (t *Tally) TotalBytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var s int64
+	for _, ph := range t.phases {
+		for _, b := range ph.bytes {
+			s += b
+		}
+	}
+	return s / 2
+}
+
+// Time converts the tally into a simulated execution time under the
+// model: the sum over phases of the slowest process's compute time plus
+// the slowest process's communication time.  This is the
+// bulk-synchronous bound — every collective in the mesh archetype
+// synchronises its participants (neighbour-only exchanges are slightly
+// overestimated, which only makes the reported speedups conservative).
+func (m Model) Time(t *Tally) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	total := 0.0
+	for _, ph := range t.phases {
+		maxCompute, maxComm := 0.0, 0.0
+		for i := 0; i < t.p; i++ {
+			c := ph.work[i] * m.SecPerWork
+			if c > maxCompute {
+				maxCompute = c
+			}
+			cc := float64(ph.msgs[i])*m.Latency + float64(ph.bytes[i])*m.SecPerByte
+			if cc > maxComm {
+				maxComm = cc
+			}
+		}
+		total += maxCompute + maxComm
+	}
+	return total
+}
+
+// Breakdown splits the simulated execution time into its compute and
+// communication components (each the per-phase max over processes, as
+// in Time).  Compute + Comm == Time(t).
+type Breakdown struct {
+	Compute, Comm float64
+}
+
+// Breakdown computes the compute/communication split of a tally under
+// the model — the quantity the message-combining and reduction
+// ablations move.
+func (m Model) Breakdown(t *Tally) Breakdown {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var b Breakdown
+	for _, ph := range t.phases {
+		maxCompute, maxComm := 0.0, 0.0
+		for i := 0; i < t.p; i++ {
+			if c := ph.work[i] * m.SecPerWork; c > maxCompute {
+				maxCompute = c
+			}
+			if cc := float64(ph.msgs[i])*m.Latency + float64(ph.bytes[i])*m.SecPerByte; cc > maxComm {
+				maxComm = cc
+			}
+		}
+		b.Compute += maxCompute
+		b.Comm += maxComm
+	}
+	return b
+}
+
+// SequentialTime returns the model's time for executing the tally's
+// total work on one process with no communication — the denominator of
+// an "ideal speedup" comparison.
+func (m Model) SequentialTime(t *Tally) float64 {
+	return t.TotalWork() * m.SecPerWork
+}
+
+// Speedup is the paper's definition: execution time for the original
+// sequential code divided by execution time for the parallel code.
+func Speedup(seqSeconds, parSeconds float64) float64 {
+	if parSeconds <= 0 {
+		return math.Inf(1)
+	}
+	return seqSeconds / parSeconds
+}
+
+// Efficiency is speedup divided by process count.
+func Efficiency(speedup float64, p int) float64 {
+	return speedup / float64(p)
+}

@@ -1,0 +1,244 @@
+package machine
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestTallyCounts(t *testing.T) {
+	ta := NewTally(2)
+	ta.AddWork(0, 0, 100)
+	ta.AddWork(0, 1, 50)
+	ta.Message(0, 0, 1, 800)
+	ta.Label(0, "exchange")
+	ta.AddWork(1, 0, 10)
+	if ta.P() != 2 {
+		t.Fatalf("P = %d", ta.P())
+	}
+	if ta.TotalWork() != 160 {
+		t.Fatalf("TotalWork = %v", ta.TotalWork())
+	}
+	if ta.TotalMessages() != 1 {
+		t.Fatalf("TotalMessages = %d", ta.TotalMessages())
+	}
+	if ta.TotalBytes() != 800 {
+		t.Fatalf("TotalBytes = %d", ta.TotalBytes())
+	}
+	if ta.Phases() != 2 {
+		t.Fatalf("Phases = %d", ta.Phases())
+	}
+}
+
+func TestTimeIsMaxPerPhase(t *testing.T) {
+	m := Model{SecPerWork: 1, Latency: 0, SecPerByte: 0}
+	ta := NewTally(2)
+	ta.AddWork(0, 0, 10)
+	ta.AddWork(0, 1, 4)
+	ta.AddWork(1, 0, 1)
+	ta.AddWork(1, 1, 7)
+	// Phase bound: max(10,4) + max(1,7) = 17, not max over totals (11).
+	if got := m.Time(ta); got != 17 {
+		t.Fatalf("Time = %v, want 17", got)
+	}
+	if got := m.SequentialTime(ta); got != 22 {
+		t.Fatalf("SequentialTime = %v, want 22", got)
+	}
+}
+
+func TestTimeIncludesCommCosts(t *testing.T) {
+	m := Model{SecPerWork: 0, Latency: 2, SecPerByte: 0.5}
+	ta := NewTally(3)
+	ta.Message(0, 0, 1, 10) // both endpoints charged: msgs=1 each, bytes=10 each
+	ta.Message(0, 0, 2, 10)
+	// proc 0: 2 msgs, 20 bytes -> 2*2 + 20*0.5 = 14; procs 1,2: 1 msg,
+	// 10 bytes -> 7.  Max = 14.
+	if got := m.Time(ta); got != 14 {
+		t.Fatalf("Time = %v, want 14", got)
+	}
+}
+
+func TestPerfectScalingWithoutComm(t *testing.T) {
+	m := Model{SecPerWork: 1e-6}
+	mkTally := func(p int) *Tally {
+		ta := NewTally(p)
+		for i := 0; i < p; i++ {
+			ta.AddWork(0, i, 1000/float64(p))
+		}
+		return ta
+	}
+	seq := m.SequentialTime(mkTally(1))
+	for _, p := range []int{2, 4, 8} {
+		sp := Speedup(seq, m.Time(mkTally(p)))
+		if math.Abs(sp-float64(p)) > 1e-9 {
+			t.Fatalf("p=%d: speedup = %v, want %d", p, sp, p)
+		}
+		if math.Abs(Efficiency(sp, p)-1) > 1e-9 {
+			t.Fatalf("p=%d: efficiency = %v", p, Efficiency(sp, p))
+		}
+	}
+}
+
+func TestCommMakesSpeedupSubLinear(t *testing.T) {
+	m := SunEthernet()
+	work := 1e6
+	mkTally := func(p int) *Tally {
+		ta := NewTally(p)
+		for i := 0; i < p; i++ {
+			ta.AddWork(0, i, work/float64(p))
+			if i > 0 {
+				ta.Message(0, i-1, i, 8*1000)
+			}
+		}
+		return ta
+	}
+	seq := work * m.SecPerWork
+	prev := 0.0
+	for _, p := range []int{2, 4, 8} {
+		sp := Speedup(seq, m.Time(mkTally(p)))
+		if sp >= float64(p) {
+			t.Fatalf("p=%d: speedup %v should be sub-linear", p, sp)
+		}
+		if sp <= prev {
+			t.Fatalf("p=%d: speedup %v should still grow (prev %v)", p, sp, prev)
+		}
+		prev = sp
+	}
+}
+
+func TestIBMSPScalesBetterThanSuns(t *testing.T) {
+	// Same program profile, both machines: the lower-latency SP must
+	// achieve higher parallel efficiency.
+	mkTally := func(p int) *Tally {
+		ta := NewTally(p)
+		for step := 0; step < 10; step++ {
+			for i := 0; i < p; i++ {
+				ta.AddWork(step, i, 1e5/float64(p))
+				if i+1 < p {
+					ta.Message(step, i, i+1, 8*4096)
+				}
+			}
+		}
+		return ta
+	}
+	for _, p := range []int{4, 8} {
+		ta := mkTally(p)
+		sun, sp := SunEthernet(), IBMSP()
+		effSun := Efficiency(Speedup(sun.SequentialTime(ta), sun.Time(ta)), p)
+		effSP := Efficiency(Speedup(sp.SequentialTime(ta), sp.Time(ta)), p)
+		if effSP <= effSun {
+			t.Fatalf("p=%d: SP efficiency %v should exceed Sun efficiency %v", p, effSP, effSun)
+		}
+	}
+}
+
+func TestTallyConcurrentUse(t *testing.T) {
+	ta := NewTally(4)
+	var wg sync.WaitGroup
+	for proc := 0; proc < 4; proc++ {
+		proc := proc
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ph := 0; ph < 100; ph++ {
+				ta.AddWork(ph, proc, 1)
+				ta.Message(ph, proc, (proc+1)%4, 8)
+			}
+		}()
+	}
+	wg.Wait()
+	if ta.TotalWork() != 400 {
+		t.Fatalf("TotalWork = %v", ta.TotalWork())
+	}
+	if ta.TotalMessages() != 400 {
+		t.Fatalf("TotalMessages = %v", ta.TotalMessages())
+	}
+}
+
+func TestCalibrate(t *testing.T) {
+	base := IBMSP()
+	m := base.Calibrate(1e6, 2.0)
+	if m.SecPerWork != 2e-6 {
+		t.Fatalf("SecPerWork = %v", m.SecPerWork)
+	}
+	// The compute-to-communication balance must be preserved.
+	wantRatio := base.Latency / base.SecPerWork
+	gotRatio := m.Latency / m.SecPerWork
+	if math.Abs(gotRatio-wantRatio)/wantRatio > 1e-12 {
+		t.Fatalf("latency/compute balance changed: %v vs %v", gotRatio, wantRatio)
+	}
+	wantByte := base.SecPerByte / base.SecPerWork
+	gotByte := m.SecPerByte / m.SecPerWork
+	if math.Abs(gotByte-wantByte)/wantByte > 1e-12 {
+		t.Fatalf("bandwidth/compute balance changed: %v vs %v", gotByte, wantByte)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic on zero work")
+			}
+		}()
+		IBMSP().Calibrate(0, 1)
+	}()
+}
+
+func TestSpeedupEdgeCases(t *testing.T) {
+	if !math.IsInf(Speedup(1, 0), 1) {
+		t.Fatal("zero parallel time should give +Inf speedup")
+	}
+	if Speedup(4, 2) != 2 {
+		t.Fatal("speedup arithmetic")
+	}
+}
+
+func TestNewTallyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTally(0)
+}
+
+func TestPresetsSane(t *testing.T) {
+	sun, sp := SunEthernet(), IBMSP()
+	if sun.Latency <= sp.Latency {
+		t.Fatal("Ethernet latency should exceed SP switch latency")
+	}
+	if sun.SecPerByte <= sp.SecPerByte {
+		t.Fatal("Ethernet bandwidth should be worse than SP switch")
+	}
+	if sun.SecPerWork <= sp.SecPerWork {
+		t.Fatal("Sun nodes should be slower than SP nodes")
+	}
+	if sun.Name == "" || sp.Name == "" {
+		t.Fatal("presets should be named")
+	}
+}
+
+func TestBreakdownSumsToTime(t *testing.T) {
+	m := SunEthernet()
+	ta := NewTally(3)
+	ta.AddWork(0, 0, 5000)
+	ta.AddWork(0, 1, 3000)
+	ta.Message(0, 0, 1, 4096)
+	ta.AddWork(1, 2, 7000)
+	ta.Message(1, 1, 2, 128)
+	b := m.Breakdown(ta)
+	if b.Compute <= 0 || b.Comm <= 0 {
+		t.Fatalf("breakdown = %+v", b)
+	}
+	if diff := math.Abs(b.Compute + b.Comm - m.Time(ta)); diff > 1e-15 {
+		t.Fatalf("breakdown does not sum to total: %+v vs %v", b, m.Time(ta))
+	}
+}
+
+func TestBreakdownCommGrowsWithLatency(t *testing.T) {
+	ta := NewTally(2)
+	ta.Message(0, 0, 1, 8)
+	low := Model{SecPerWork: 1, Latency: 1e-6, SecPerByte: 0}
+	high := Model{SecPerWork: 1, Latency: 1e-3, SecPerByte: 0}
+	if high.Breakdown(ta).Comm <= low.Breakdown(ta).Comm {
+		t.Fatal("latency must increase the comm share")
+	}
+}

@@ -1,0 +1,122 @@
+package mesh
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// Axis-generic boundary exchange.  The mesh archetype distributes an
+// N-dimensional grid as contiguous slabs along one axis; the exchange
+// logic is identical for every axis, differing only in which planes are
+// packed.  ExchangeGhostPlanesX and the directional SendUpX/SendDownX
+// operations are the AxisX specialisations used by the FDTD code.
+
+// ExchangeGhostPlanes refreshes the ghost planes of a 3-D local
+// section split along the given axis, exchanging the full ghost width
+// with both neighbours (sends before receives).
+func (c *Comm) ExchangeGhostPlanes(g *grid.G3, axis grid.Axis) {
+	p, r := c.P(), c.Rank()
+	w := g.AxisGhost(axis)
+	if w == 0 {
+		panic(fmt.Sprintf("mesh: ExchangeGhostPlanes requires a ghost boundary along %v", axis))
+	}
+	n := g.AxisN(axis)
+	if 2*w > n {
+		panic(fmt.Sprintf("mesh: ghost width %d too large for %d local planes along %v", w, n, axis))
+	}
+	if r > 0 {
+		c.sendPlanes(r-1, w, func(k int) []float64 { return g.PackPlane(axis, k, nil) })
+	}
+	if r < p-1 {
+		c.sendPlanes(r+1, w, func(k int) []float64 { return g.PackPlane(axis, n-w+k, nil) })
+	}
+	if r > 0 {
+		c.recvPlanes(r-1, w, func(k int, data []float64) { g.UnpackPlane(axis, -w+k, data) })
+	}
+	if r < p-1 {
+		c.recvPlanes(r+1, w, func(k int, data []float64) { g.UnpackPlane(axis, n+k, data) })
+	}
+	c.endPhase("ghost-exchange-" + axis.String())
+}
+
+// SendUp ships each grid's top interior plane along the axis to the
+// upper neighbour and fills each grid's low ghost plane from the lower
+// neighbour, with neighbours taken from the 1-D chain of ranks.  All
+// grids must share the two non-split extents.
+func (c *Comm) SendUp(axis grid.Axis, gs ...*grid.G3) {
+	p, r := c.P(), c.Rank()
+	up, down := -1, -1
+	if r > 0 {
+		down = r - 1
+	}
+	if r < p-1 {
+		up = r + 1
+	}
+	c.SendUpTo(axis, up, down, gs...)
+}
+
+// SendDown ships each grid's bottom interior plane to the lower
+// neighbour and fills each grid's high ghost plane from the upper
+// neighbour, with neighbours from the 1-D chain of ranks.
+func (c *Comm) SendDown(axis grid.Axis, gs ...*grid.G3) {
+	p, r := c.P(), c.Rank()
+	up, down := -1, -1
+	if r > 0 {
+		down = r - 1
+	}
+	if r < p-1 {
+		up = r + 1
+	}
+	c.SendDownTo(axis, down, up, gs...)
+}
+
+// SendUpTo is the topology-explicit form of SendUp: the caller names
+// the rank above (sendTo) and below (recvFrom), each -1 when absent —
+// as for processes on a 2-D process grid, where the neighbour along an
+// axis is not rank±1.
+func (c *Comm) SendUpTo(axis grid.Axis, sendTo, recvFrom int, gs ...*grid.G3) {
+	c.directional(axis, true, sendTo, recvFrom, gs)
+}
+
+// SendDownTo is the topology-explicit form of SendDown.
+func (c *Comm) SendDownTo(axis grid.Axis, sendTo, recvFrom int, gs ...*grid.G3) {
+	c.directional(axis, false, sendTo, recvFrom, gs)
+}
+
+func (c *Comm) directional(axis grid.Axis, up bool, sendTo, recvFrom int, gs []*grid.G3) {
+	if len(gs) == 0 {
+		c.endPhase("directional-exchange")
+		return
+	}
+	for _, g := range gs {
+		if g.AxisGhost(axis) < 1 {
+			panic(fmt.Sprintf("mesh: directional exchange requires ghost width >= 1 along %v", axis))
+		}
+	}
+	for _, g := range gs[1:] {
+		if g.PlaneSize(axis) != gs[0].PlaneSize(axis) {
+			panic(fmt.Sprintf("mesh: directional exchange requires equal plane sizes: %v vs %v", g, gs[0]))
+		}
+	}
+	if sendTo >= 0 {
+		c.sendPlanes(sendTo, len(gs), func(k int) []float64 {
+			g := gs[k]
+			if up {
+				return g.PackPlane(axis, g.AxisN(axis)-1, nil)
+			}
+			return g.PackPlane(axis, 0, nil)
+		})
+	}
+	if recvFrom >= 0 {
+		c.recvPlanes(recvFrom, len(gs), func(k int, data []float64) {
+			g := gs[k]
+			if up {
+				g.UnpackPlane(axis, -1, data)
+			} else {
+				g.UnpackPlane(axis, g.AxisN(axis), data)
+			}
+		})
+	}
+	c.endPhase("directional-exchange-" + axis.String())
+}

@@ -1,0 +1,216 @@
+package mesh
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestExchangeGhostPlanesAllAxes(t *testing.T) {
+	f := func(gi, gj, gk int) float64 { return float64(10000*gi + 100*gj + gk) }
+	const n0, n1, n2, p = 9, 8, 7, 3
+	for _, axis := range []grid.Axis{grid.AxisX, grid.AxisY, grid.AxisZ} {
+		slabs := grid.SlabDecompose3(n0, n1, n2, p, axis)
+		res, err := Run(p, Sim, DefaultOptions(), func(c *Comm) [2]float64 {
+			sl := slabs[c.Rank()]
+			g := sl.NewLocal3(1)
+			g.FillFunc(func(i, j, k int) float64 {
+				gi, gj, gk := i, j, k
+				switch axis {
+				case grid.AxisX:
+					gi = sl.ToGlobal(i)
+				case grid.AxisY:
+					gj = sl.ToGlobal(j)
+				case grid.AxisZ:
+					gk = sl.ToGlobal(k)
+				}
+				return f(gi, gj, gk)
+			})
+			c.ExchangeGhostPlanes(g, axis)
+			var lo, hi float64
+			switch axis {
+			case grid.AxisX:
+				lo, hi = g.At(-1, 1, 1), g.At(g.NX(), 1, 1)
+			case grid.AxisY:
+				lo, hi = g.At(1, -1, 1), g.At(1, g.NY(), 1)
+			case grid.AxisZ:
+				lo, hi = g.At(1, 1, -1), g.At(1, 1, g.NZ())
+			}
+			return [2]float64{lo, hi}
+		})
+		if err != nil {
+			t.Fatalf("axis %v: %v", axis, err)
+		}
+		for r := 0; r < p; r++ {
+			sl := slabs[r]
+			var wantLo, wantHi float64
+			switch axis {
+			case grid.AxisX:
+				wantLo, wantHi = f(sl.R.Lo-1, 1, 1), f(sl.R.Hi, 1, 1)
+			case grid.AxisY:
+				wantLo, wantHi = f(1, sl.R.Lo-1, 1), f(1, sl.R.Hi, 1)
+			case grid.AxisZ:
+				wantLo, wantHi = f(1, 1, sl.R.Lo-1), f(1, 1, sl.R.Hi)
+			}
+			if r > 0 && res[r][0] != wantLo {
+				t.Fatalf("axis %v proc %d: lower ghost %v want %v", axis, r, res[r][0], wantLo)
+			}
+			if r < p-1 && res[r][1] != wantHi {
+				t.Fatalf("axis %v proc %d: upper ghost %v want %v", axis, r, res[r][1], wantHi)
+			}
+		}
+	}
+}
+
+// jacobi3D runs a few steps of a 7-point Jacobi sweep decomposed along
+// the given axis and returns the full field flattened.  Decomposing
+// along any axis must give identical results (the decomposition is an
+// implementation detail, not a semantic one).
+func jacobi3D(t *testing.T, axis grid.Axis, p int) []float64 {
+	t.Helper()
+	const nx, ny, nz, steps = 10, 9, 8, 4
+	slabs := grid.SlabDecompose3(nx, ny, nz, p, axis)
+	res, err := Run(p, Sim, DefaultOptions(), func(c *Comm) *grid.G3 {
+		sl := slabs[c.Rank()]
+		cur := sl.NewLocal3(1)
+		next := sl.NewLocal3(1)
+		glob := func(i, j, k int) (int, int, int) {
+			switch axis {
+			case grid.AxisX:
+				return sl.ToGlobal(i), j, k
+			case grid.AxisY:
+				return i, sl.ToGlobal(j), k
+			default:
+				return i, j, sl.ToGlobal(k)
+			}
+		}
+		cur.FillFunc(func(i, j, k int) float64 {
+			gi, gj, gk := glob(i, j, k)
+			return float64(gi*gi+2*gj+3*gk) * 0.01
+		})
+		for s := 0; s < steps; s++ {
+			c.ExchangeGhostPlanes(cur, axis)
+			for i := 0; i < cur.NX(); i++ {
+				for j := 0; j < cur.NY(); j++ {
+					for k := 0; k < cur.NZ(); k++ {
+						gi, gj, gk := glob(i, j, k)
+						get := func(di, dj, dk int) float64 {
+							ni, nj, nk := gi+di, gj+dj, gk+dk
+							if ni < 0 || ni >= nx || nj < 0 || nj >= ny || nk < 0 || nk >= nz {
+								return 0
+							}
+							return cur.At(i+di, j+dj, k+dk)
+						}
+						v := (get(-1, 0, 0) + get(1, 0, 0) + get(0, -1, 0) +
+							get(0, 1, 0) + get(0, 0, -1) + get(0, 0, 1)) / 6
+						next.Set(i, j, k, v)
+					}
+				}
+			}
+			cur, next = next, cur
+		}
+		// Gather along x only works for AxisX; flatten and ship via a
+		// reduction-free path: return the local grid and let the test
+		// reassemble per-slab.
+		return cur
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reassemble globally from the per-process local sections.
+	out := make([]float64, nx*ny*nz)
+	for r, g := range res {
+		sl := slabs[r]
+		for i := 0; i < g.NX(); i++ {
+			for j := 0; j < g.NY(); j++ {
+				for k := 0; k < g.NZ(); k++ {
+					gi, gj, gk := i, j, k
+					switch axis {
+					case grid.AxisX:
+						gi = sl.ToGlobal(i)
+					case grid.AxisY:
+						gj = sl.ToGlobal(j)
+					case grid.AxisZ:
+						gk = sl.ToGlobal(k)
+					}
+					out[(gi*ny+gj)*nz+gk] = g.At(i, j, k)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestJacobiAgreesAcrossDecompositionAxes(t *testing.T) {
+	ref := jacobi3D(t, grid.AxisX, 1)
+	for _, axis := range []grid.Axis{grid.AxisX, grid.AxisY, grid.AxisZ} {
+		for _, p := range []int{2, 4} {
+			got := jacobi3D(t, axis, p)
+			if !reflect.DeepEqual(got, ref) {
+				t.Fatalf("axis %v p=%d: decomposition changed the result", axis, p)
+			}
+		}
+	}
+}
+
+func TestDirectionalAllAxes(t *testing.T) {
+	const p = 3
+	for _, axis := range []grid.Axis{grid.AxisY, grid.AxisZ} {
+		slabs := grid.SlabDecompose3(6, 9, 12, p, axis)
+		res, err := Run(p, Sim, DefaultOptions(), func(c *Comm) [2]float64 {
+			sl := slabs[c.Rank()]
+			g := sl.NewLocal3(1)
+			g.FillFunc(func(i, j, k int) float64 {
+				switch axis {
+				case grid.AxisY:
+					return float64(sl.ToGlobal(j))
+				default:
+					return float64(sl.ToGlobal(k))
+				}
+			})
+			c.SendUp(axis, g)
+			c.SendDown(axis, g)
+			switch axis {
+			case grid.AxisY:
+				return [2]float64{g.At(0, -1, 0), g.At(0, g.NY(), 0)}
+			default:
+				return [2]float64{g.At(0, 0, -1), g.At(0, 0, g.NZ())}
+			}
+		})
+		if err != nil {
+			t.Fatalf("axis %v: %v", axis, err)
+		}
+		for r := 0; r < p; r++ {
+			sl := slabs[r]
+			if r > 0 && res[r][0] != float64(sl.R.Lo-1) {
+				t.Fatalf("axis %v proc %d: SendUp ghost %v", axis, r, res[r][0])
+			}
+			if r < p-1 && res[r][1] != float64(sl.R.Hi) {
+				t.Fatalf("axis %v proc %d: SendDown ghost %v", axis, r, res[r][1])
+			}
+		}
+	}
+}
+
+func TestAxisExchangePanics(t *testing.T) {
+	_, err := Run(2, Sim, DefaultOptions(), func(c *Comm) bool {
+		defer func() { recover() }()
+		g := grid.New3(4, 4, 4, 0)
+		c.ExchangeGhostPlanes(g, grid.AxisY)
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(2, Sim, DefaultOptions(), func(c *Comm) bool {
+		defer func() { recover() }()
+		a := grid.New3G(4, 4, 4, 0, 1, 0)
+		b := grid.New3G(4, 5, 4, 0, 1, 0)
+		c.SendUp(grid.AxisY, a, b)
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+package mesh
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// Host/grid redistribution of 3-D grids distributed over a 2-D process
+// topology (x and y split, z whole): the file-I/O pattern for the
+// 2-D-decomposed builds of the FDTD application.
+
+// packLocal3 serialises a local section's interior, x-major then
+// y-major then z.
+func packLocal3(g *grid.G3) []float64 {
+	out := make([]float64, 0, g.NX()*g.NY()*g.NZ())
+	for i := 0; i < g.NX(); i++ {
+		for j := 0; j < g.NY(); j++ {
+			out = append(out, g.Pencil(i, j)...)
+		}
+	}
+	return out
+}
+
+// unpackInto writes a packed local section into the global grid at the
+// block position (xr, yr).
+func unpackInto(global *grid.G3, xr, yr grid.Range, data []float64) {
+	nz := global.NZ()
+	off := 0
+	for i := 0; i < xr.Len(); i++ {
+		for j := 0; j < yr.Len(); j++ {
+			copy(global.Pencil(xr.Lo+i, yr.Lo+j), data[off:off+nz])
+			off += nz
+		}
+	}
+}
+
+// Gather3DBlocks collects a 3-D grid distributed as (x, y) blocks onto
+// root, returning the assembled global grid there and nil elsewhere.
+// nz is the (undistributed) z extent.
+func (c *Comm) Gather3DBlocks(local *grid.G3, t *Topo2D, nz, root int) *grid.G3 {
+	if c.P() != t.P() {
+		panic(fmt.Sprintf("mesh: topology has %d processes, run has %d", t.P(), c.P()))
+	}
+	defer c.endPhase("gather-3d-blocks")
+	r := c.Rank()
+	if r != root {
+		c.send(root, packLocal3(local))
+		return nil
+	}
+	global := grid.New3(t.NX, t.NY, nz, 0)
+	xr, yr := t.Block(r)
+	unpackInto(global, xr, yr, packLocal3(local))
+	for src := 0; src < c.P(); src++ {
+		if src == root {
+			continue
+		}
+		sxr, syr := t.Block(src)
+		unpackInto(global, sxr, syr, c.recv(src))
+	}
+	return global
+}
+
+// Scatter3DBlocks distributes a global 3-D grid held by root into
+// (x, y) block local sections with the given per-axis ghost widths.
+// Every process returns its local section; global is read only on root.
+func (c *Comm) Scatter3DBlocks(global *grid.G3, t *Topo2D, nz, root, gx, gy int) *grid.G3 {
+	if c.P() != t.P() {
+		panic(fmt.Sprintf("mesh: topology has %d processes, run has %d", t.P(), c.P()))
+	}
+	defer c.endPhase("scatter-3d-blocks")
+	r := c.Rank()
+	mkLocal := func(rank int) *grid.G3 {
+		xr, yr := t.Block(rank)
+		return grid.New3G(xr.Len(), yr.Len(), nz, gx, gy, 0)
+	}
+	pack := func(rank int) []float64 {
+		xr, yr := t.Block(rank)
+		out := make([]float64, 0, xr.Len()*yr.Len()*nz)
+		for i := xr.Lo; i < xr.Hi; i++ {
+			for j := yr.Lo; j < yr.Hi; j++ {
+				out = append(out, global.Pencil(i, j)...)
+			}
+		}
+		return out
+	}
+	fill := func(local *grid.G3, data []float64) {
+		off := 0
+		for i := 0; i < local.NX(); i++ {
+			for j := 0; j < local.NY(); j++ {
+				copy(local.Pencil(i, j), data[off:off+nz])
+				off += nz
+			}
+		}
+	}
+	if r == root {
+		if global == nil {
+			panic("mesh: Scatter3DBlocks requires the global grid on root")
+		}
+		for dst := 0; dst < c.P(); dst++ {
+			if dst != root {
+				c.send(dst, pack(dst))
+			}
+		}
+		local := mkLocal(r)
+		fill(local, pack(r))
+		return local
+	}
+	local := mkLocal(r)
+	fill(local, c.recv(root))
+	return local
+}

@@ -1,0 +1,109 @@
+package mesh
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestScatterGather3DBlocksRoundTrip(t *testing.T) {
+	const nx, ny, nz = 9, 8, 5
+	global := grid.New3(nx, ny, nz, 0)
+	global.FillFunc(func(i, j, k int) float64 { return float64(i*1000 + j*10 + k) })
+	for _, pq := range [][2]int{{1, 1}, {2, 2}, {3, 2}, {1, 4}} {
+		topo := NewTopo2D(nx, ny, pq[0], pq[1])
+		for _, mode := range bothModes {
+			res, err := Run(topo.P(), mode, DefaultOptions(), func(c *Comm) *grid.G3 {
+				var src *grid.G3
+				if c.Rank() == 0 {
+					src = global
+				}
+				local := c.Scatter3DBlocks(src, topo, nz, 0, 1, 1)
+				// Spot-check the local contents and ghost allocation.
+				xr, yr := topo.Block(c.Rank())
+				if local.GhostX() != 1 || local.GhostY() != 1 || local.GhostZ() != 0 {
+					panic("scatter ghost widths wrong")
+				}
+				for i := 0; i < local.NX(); i++ {
+					if local.At(i, 0, 0) != global.At(xr.Lo+i, yr.Lo, 0) {
+						panic("scatter delivered wrong block")
+					}
+				}
+				return c.Gather3DBlocks(local, topo, nz, 0)
+			})
+			if err != nil {
+				t.Fatalf("%v %v: %v", pq, mode, err)
+			}
+			if res[0] == nil || !res[0].Equal(global) {
+				t.Fatalf("%v %v: gather(scatter(g)) != g", pq, mode)
+			}
+			for r := 1; r < topo.P(); r++ {
+				if res[r] != nil {
+					t.Fatalf("non-root %d returned a grid", r)
+				}
+			}
+		}
+	}
+}
+
+func TestGather3DBlocksToNonZeroRoot(t *testing.T) {
+	topo := NewTopo2D(6, 6, 2, 2)
+	res, err := Run(4, Sim, DefaultOptions(), func(c *Comm) *grid.G3 {
+		xr, yr := topo.Block(c.Rank())
+		local := grid.New3G(xr.Len(), yr.Len(), 3, 0, 0, 0)
+		local.FillFunc(func(i, j, k int) float64 {
+			return float64((xr.Lo+i)*100 + (yr.Lo+j)*10 + k)
+		})
+		return c.Gather3DBlocks(local, topo, 3, 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != nil || res[1] != nil || res[3] != nil || res[2] == nil {
+		t.Fatal("only root 2 should hold the gathered grid")
+	}
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			for k := 0; k < 3; k++ {
+				if res[2].At(i, j, k) != float64(i*100+j*10+k) {
+					t.Fatalf("gathered (%d,%d,%d) wrong", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestBlocks3DPanics(t *testing.T) {
+	topo := NewTopo2D(6, 6, 2, 2)
+	_, err := Run(2, Sim, DefaultOptions(), func(c *Comm) bool {
+		defer func() { recover() }()
+		g := grid.New3(3, 3, 3, 0)
+		c.Gather3DBlocks(g, topo, 3, 0) // run P != topo P
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(4, Sim, DefaultOptions(), func(c *Comm) bool {
+		defer func() { recover() }()
+		c.Scatter3DBlocks(nil, topo, 3, c.Rank(), 0, 0) // nil global on root
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommOptionsAccessor(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Combine = false
+	res, err := Run(1, Sim, opt, func(c *Comm) bool {
+		return c.Options().Combine
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] {
+		t.Fatal("Options() should reflect the run options")
+	}
+}

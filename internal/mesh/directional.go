@@ -1,0 +1,31 @@
+package mesh
+
+import "repro/internal/grid"
+
+// Directional boundary exchange along x.  A full ghost exchange
+// refreshes both sides, but stencils like the FDTD leapfrog only need
+// one direction per half-step: the E update reads H at i-1 (data flows
+// up the ranks), the H update reads E at i+1 (data flows down).
+// Exchanging only the needed direction halves the communication volume.
+//
+// Both operations accept several grids at once: when message combining
+// is enabled, the boundary planes of all grids travel to a neighbour in
+// a single message — the paper's combining of message-passing
+// operations "with a common sender and a common receiver".
+//
+// These are the AxisX specialisations of SendUp and SendDown.
+
+// SendUpX ships each grid's top interior x-plane to the upper
+// neighbour and fills each grid's lower ghost plane (x = -1) from the
+// lower neighbour.  Grids must have x ghost width >= 1; only one plane
+// is exchanged per grid.
+func (c *Comm) SendUpX(gs ...*grid.G3) {
+	c.SendUp(grid.AxisX, gs...)
+}
+
+// SendDownX ships each grid's bottom interior x-plane to the lower
+// neighbour and fills each grid's upper ghost plane (x = NX) from the
+// upper neighbour.
+func (c *Comm) SendDownX(gs ...*grid.G3) {
+	c.SendDown(grid.AxisX, gs...)
+}

@@ -1,0 +1,154 @@
+package mesh
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/machine"
+)
+
+func TestSendUpXFillsLowerGhost(t *testing.T) {
+	const nx, ny, nz, p = 8, 3, 2, 4
+	slabs := grid.SlabDecompose3(nx, ny, nz, p, grid.AxisX)
+	for _, combine := range []bool{true, false} {
+		for _, mode := range bothModes {
+			opt := DefaultOptions()
+			opt.Combine = combine
+			res, err := Run(p, mode, opt, func(c *Comm) [2]float64 {
+				sl := slabs[c.Rank()]
+				a := sl.NewLocal3(1)
+				b := sl.NewLocal3(1)
+				a.FillFunc(func(i, j, k int) float64 { return float64(sl.ToGlobal(i)) })
+				b.FillFunc(func(i, j, k int) float64 { return float64(100 + sl.ToGlobal(i)) })
+				c.SendUpX(a, b)
+				return [2]float64{a.At(-1, 1, 1), b.At(-1, 1, 1)}
+			})
+			if err != nil {
+				t.Fatalf("combine=%v %v: %v", combine, mode, err)
+			}
+			for r := 1; r < p; r++ {
+				lo := slabs[r].R.Lo
+				if res[r][0] != float64(lo-1) || res[r][1] != float64(100+lo-1) {
+					t.Fatalf("combine=%v %v proc %d: ghosts = %v", combine, mode, r, res[r])
+				}
+			}
+		}
+	}
+}
+
+func TestSendDownXFillsUpperGhost(t *testing.T) {
+	const nx, ny, nz, p = 9, 2, 2, 3
+	slabs := grid.SlabDecompose3(nx, ny, nz, p, grid.AxisX)
+	res, err := Run(p, Sim, DefaultOptions(), func(c *Comm) float64 {
+		sl := slabs[c.Rank()]
+		g := sl.NewLocal3(1)
+		g.FillFunc(func(i, j, k int) float64 { return float64(sl.ToGlobal(i)) })
+		c.SendDownX(g)
+		return g.At(g.NX(), 0, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < p-1; r++ {
+		if res[r] != float64(slabs[r].R.Hi) {
+			t.Fatalf("proc %d upper ghost = %v want %v", r, res[r], float64(slabs[r].R.Hi))
+		}
+	}
+}
+
+func TestDirectionalHalvesMessagesVsFullExchange(t *testing.T) {
+	const nx, ny, nz, p = 8, 2, 2, 4
+	slabs := grid.SlabDecompose3(nx, ny, nz, p, grid.AxisX)
+	count := func(f func(c *Comm, g *grid.G3)) int {
+		ta := machine.NewTally(p)
+		opt := DefaultOptions()
+		opt.Tally = ta
+		_, err := Run(p, Sim, opt, func(c *Comm) int {
+			g := slabs[c.Rank()].NewLocal3(1)
+			f(c, g)
+			return 0
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ta.TotalMessages()
+	}
+	full := count(func(c *Comm, g *grid.G3) { c.ExchangeGhostPlanesX(g) })
+	up := count(func(c *Comm, g *grid.G3) { c.SendUpX(g) })
+	if up*2 != full {
+		t.Fatalf("directional should halve messages: up=%d full=%d", up, full)
+	}
+}
+
+func TestDirectionalCombiningMergesGrids(t *testing.T) {
+	const p = 3
+	slabs := grid.SlabDecompose3(9, 2, 2, p, grid.AxisX)
+	count := func(combine bool) int {
+		ta := machine.NewTally(p)
+		opt := DefaultOptions()
+		opt.Combine = combine
+		opt.Tally = ta
+		_, err := Run(p, Sim, opt, func(c *Comm) int {
+			a := slabs[c.Rank()].NewLocal3(1)
+			b := slabs[c.Rank()].NewLocal3(1)
+			c.SendUpX(a, b)
+			return 0
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ta.TotalMessages()
+	}
+	combined, uncombined := count(true), count(false)
+	if uncombined != 2*combined {
+		t.Fatalf("two grids should combine into one message: %d vs %d", combined, uncombined)
+	}
+}
+
+func TestDirectionalEmptyAndErrors(t *testing.T) {
+	_, err := Run(2, Sim, DefaultOptions(), func(c *Comm) int {
+		c.SendUpX() // no grids: still a phase, no messages
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ghostless grid panics.
+	_, err = Run(2, Sim, DefaultOptions(), func(c *Comm) bool {
+		defer func() { recover() }()
+		g := grid.New3(4, 2, 2, 0)
+		c.SendUpX(g)
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mismatched y-z extents panic.
+	_, err = Run(2, Sim, DefaultOptions(), func(c *Comm) bool {
+		defer func() { recover() }()
+		a := grid.New3G(4, 2, 2, 1, 0, 0)
+		b := grid.New3G(4, 3, 2, 1, 0, 0)
+		c.SendUpX(a, b)
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectionalSingleProcessNoop(t *testing.T) {
+	slabs := grid.SlabDecompose3(4, 2, 2, 1, grid.AxisX)
+	res, err := Run(1, Sim, DefaultOptions(), func(c *Comm) float64 {
+		g := slabs[0].NewLocal3(1)
+		g.Fill(3)
+		c.SendUpX(g)
+		c.SendDownX(g)
+		return g.At(0, 0, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 3 {
+		t.Fatal("single-process exchange should be a no-op")
+	}
+}

@@ -1,0 +1,263 @@
+package mesh
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// The operations in this file assume a one-dimensional block ("slab")
+// distribution along the x axis: process r owns a contiguous range of
+// global x indices, with rank r-1 holding the slab below and r+1 the
+// slab above.  This is the distribution the paper's FDTD experiments
+// use; the archetype generalises to 2-D and 3-D process grids, but the
+// communication structure per axis is identical to what is here.
+
+// ExchangeGhostRows refreshes the ghost rows of a 2-D local section
+// split along x: each process sends its top and bottom interior rows to
+// its neighbours and receives their boundary rows into its ghost rows.
+// All sends are performed before any receives, the ordering that
+// guarantees no receive from an empty channel in the simulated-parallel
+// execution.
+func (c *Comm) ExchangeGhostRows(g *grid.G2) {
+	p, r := c.P(), c.Rank()
+	w := g.Ghost()
+	if w == 0 {
+		panic("mesh: ExchangeGhostRows requires a ghost boundary")
+	}
+	nx := g.NX()
+	if 2*w > nx {
+		panic(fmt.Sprintf("mesh: ghost width %d too large for %d local rows", w, nx))
+	}
+	row := func(i int) []float64 {
+		buf := make([]float64, g.NY())
+		copy(buf, g.Row(i))
+		return buf
+	}
+	// Sends first.
+	if r > 0 { // to lower neighbour: my lowest w interior rows
+		c.sendPlanes(r-1, w, func(k int) []float64 { return row(k) })
+	}
+	if r < p-1 { // to upper neighbour: my highest w interior rows
+		c.sendPlanes(r+1, w, func(k int) []float64 { return row(nx - w + k) })
+	}
+	// Then receives.
+	if r > 0 { // from lower neighbour into ghost rows -w..-1
+		c.recvPlanes(r-1, w, func(k int, data []float64) {
+			copyRow2(g, -w+k, data)
+		})
+	}
+	if r < p-1 { // from upper neighbour into ghost rows nx..nx+w-1
+		c.recvPlanes(r+1, w, func(k int, data []float64) {
+			copyRow2(g, nx+k, data)
+		})
+	}
+	c.endPhase("ghost-exchange")
+}
+
+func copyRow2(g *grid.G2, i int, data []float64) {
+	if len(data) != g.NY() {
+		panic(fmt.Sprintf("mesh: ghost row length %d, want %d", len(data), g.NY()))
+	}
+	for j, v := range data {
+		g.Set(i, j, v)
+	}
+}
+
+// ExchangeGhostPlanesX refreshes the x-ghost planes of a 3-D local
+// section split along x, exchanging full y-z planes with the lower and
+// upper neighbours.  It is the AxisX specialisation of
+// ExchangeGhostPlanes.
+func (c *Comm) ExchangeGhostPlanesX(g *grid.G3) {
+	c.ExchangeGhostPlanes(g, grid.AxisX)
+}
+
+// sendPlanes transmits w planes to a neighbour: as a single combined
+// message when Options.Combine is set, otherwise as w individual
+// messages (the message-combining ablation).
+func (c *Comm) sendPlanes(to, w int, plane func(k int) []float64) {
+	if c.opt.Combine {
+		var buf []float64
+		for k := 0; k < w; k++ {
+			buf = append(buf, plane(k)...)
+		}
+		c.send(to, buf)
+		return
+	}
+	for k := 0; k < w; k++ {
+		c.send(to, plane(k))
+	}
+}
+
+// recvPlanes receives w planes from a neighbour, mirroring sendPlanes.
+func (c *Comm) recvPlanes(from, w int, deliver func(k int, data []float64)) {
+	if c.opt.Combine {
+		buf := c.recv(from)
+		if w == 0 {
+			return
+		}
+		if len(buf)%w != 0 {
+			panic(fmt.Sprintf("mesh: combined message length %d not divisible by %d planes", len(buf), w))
+		}
+		sz := len(buf) / w
+		for k := 0; k < w; k++ {
+			deliver(k, buf[k*sz:(k+1)*sz])
+		}
+		return
+	}
+	for k := 0; k < w; k++ {
+		deliver(k, c.recv(from))
+	}
+}
+
+// GatherX collects the distributed slabs of a 3-D grid onto the root
+// process (the archetype's grid-to-host redistribution for file
+// output).  It returns the assembled global grid on root and nil on
+// every other process.  slabs must be the decomposition used to build
+// the local sections.
+func (c *Comm) GatherX(local *grid.G3, slabs []grid.Slab, root int) *grid.G3 {
+	p, r := c.P(), c.Rank()
+	if len(slabs) != p {
+		panic(fmt.Sprintf("mesh: %d slabs for %d processes", len(slabs), p))
+	}
+	defer c.endPhase("gather")
+	if r != root {
+		c.sendPlanes(root, local.NX(), func(k int) []float64 { return local.PackPlaneX(k, nil) })
+		return nil
+	}
+	s := slabs[r]
+	global := grid.New3(s.NX, s.NY, s.NZ, 0)
+	// Own slab directly.
+	for k := 0; k < local.NX(); k++ {
+		global.UnpackPlaneX(s.ToGlobal(k), local.PackPlaneX(k, nil))
+	}
+	// Remote slabs in rank order.
+	for src := 0; src < p; src++ {
+		if src == root {
+			continue
+		}
+		sl := slabs[src]
+		c.recvPlanes(src, sl.LocalNX(), func(k int, data []float64) {
+			global.UnpackPlaneX(sl.ToGlobal(k), data)
+		})
+	}
+	return global
+}
+
+// ScatterX distributes a global 3-D grid held by root into per-process
+// local sections with the given ghost width along x (the archetype's
+// host-to-grid redistribution for file input).  Every process returns
+// its local section; global is only read on root.
+func (c *Comm) ScatterX(global *grid.G3, slabs []grid.Slab, root, ghost int) *grid.G3 {
+	p, r := c.P(), c.Rank()
+	if len(slabs) != p {
+		panic(fmt.Sprintf("mesh: %d slabs for %d processes", len(slabs), p))
+	}
+	defer c.endPhase("scatter")
+	if r == root {
+		if global == nil {
+			panic("mesh: ScatterX requires the global grid on root")
+		}
+		for dst := 0; dst < p; dst++ {
+			if dst == root {
+				continue
+			}
+			sl := slabs[dst]
+			c.sendPlanes(dst, sl.LocalNX(), func(k int) []float64 {
+				return global.PackPlaneX(sl.ToGlobal(k), nil)
+			})
+		}
+		sl := slabs[r]
+		local := sl.NewLocal3(ghost)
+		for k := 0; k < sl.LocalNX(); k++ {
+			local.UnpackPlaneX(k, global.PackPlaneX(sl.ToGlobal(k), nil))
+		}
+		return local
+	}
+	sl := slabs[r]
+	local := sl.NewLocal3(ghost)
+	c.recvPlanes(root, sl.LocalNX(), func(k int, data []float64) {
+		local.UnpackPlaneX(k, data)
+	})
+	return local
+}
+
+// GatherRows collects a 2-D grid distributed by rows onto root,
+// returning the global grid on root and nil elsewhere.  ranges is the
+// x decomposition (grid.Decompose of the global NX).
+func (c *Comm) GatherRows(local *grid.G2, ranges []grid.Range, globalNX int, root int) *grid.G2 {
+	p, r := c.P(), c.Rank()
+	if len(ranges) != p {
+		panic(fmt.Sprintf("mesh: %d ranges for %d processes", len(ranges), p))
+	}
+	defer c.endPhase("gather")
+	packRow := func(g *grid.G2, i int) []float64 {
+		buf := make([]float64, g.NY())
+		copy(buf, g.Row(i))
+		return buf
+	}
+	if r != root {
+		c.sendPlanes(root, local.NX(), func(k int) []float64 { return packRow(local, k) })
+		return nil
+	}
+	global := grid.New2(globalNX, local.NY(), 0)
+	for k := 0; k < local.NX(); k++ {
+		copyRow2(global, ranges[r].Lo+k, packRow(local, k))
+	}
+	for src := 0; src < p; src++ {
+		if src == root {
+			continue
+		}
+		rg := ranges[src]
+		c.recvPlanes(src, rg.Len(), func(k int, data []float64) {
+			copyRow2(global, rg.Lo+k, data)
+		})
+	}
+	return global
+}
+
+// ScatterRows distributes a global 2-D grid held by root into local
+// row-blocks with the given ghost width.  Every process returns its
+// local section.
+func (c *Comm) ScatterRows(global *grid.G2, ranges []grid.Range, ghost int, root int) *grid.G2 {
+	p, r := c.P(), c.Rank()
+	if len(ranges) != p {
+		panic(fmt.Sprintf("mesh: %d ranges for %d processes", len(ranges), p))
+	}
+	defer c.endPhase("scatter")
+	if r == root {
+		if global == nil {
+			panic("mesh: ScatterRows requires the global grid on root")
+		}
+		packRow := func(i int) []float64 {
+			buf := make([]float64, global.NY())
+			copy(buf, global.Row(i))
+			return buf
+		}
+		for dst := 0; dst < p; dst++ {
+			if dst == root {
+				continue
+			}
+			rg := ranges[dst]
+			c.sendPlanes(dst, rg.Len(), func(k int) []float64 { return packRow(rg.Lo + k) })
+		}
+		rg := ranges[r]
+		local := grid.New2(rg.Len(), global.NY(), ghost)
+		for k := 0; k < rg.Len(); k++ {
+			copyRow2(local, k, packRow(rg.Lo+k))
+		}
+		return local
+	}
+	rg := ranges[r]
+	var ny int
+	// Non-root processes learn NY from the first received row.
+	local := (*grid.G2)(nil)
+	c.recvPlanes(root, rg.Len(), func(k int, data []float64) {
+		if local == nil {
+			ny = len(data)
+			local = grid.New2(rg.Len(), ny, ghost)
+		}
+		copyRow2(local, k, data)
+	})
+	return local
+}

@@ -1,0 +1,311 @@
+package mesh
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/machine"
+)
+
+// buildLocal2 fills a local 2-D section so that every interior cell
+// holds its unique global value f(globalX, y).
+func buildLocal2(rg grid.Range, ny, ghost int, f func(gx, y int) float64) *grid.G2 {
+	g := grid.New2(rg.Len(), ny, ghost)
+	g.FillFunc(func(i, j int) float64 { return f(rg.Lo+i, j) })
+	return g
+}
+
+func TestExchangeGhostRows(t *testing.T) {
+	f := func(gx, y int) float64 { return float64(1000*gx + y) }
+	const nx, ny = 13, 4
+	for _, combine := range []bool{true, false} {
+		for _, mode := range bothModes {
+			for _, p := range []int{2, 3, 5} {
+				ranges := grid.Decompose(nx, p)
+				opt := DefaultOptions()
+				opt.Combine = combine
+				res, err := Run(p, mode, opt, func(c *Comm) []float64 {
+					rg := ranges[c.Rank()]
+					g := buildLocal2(rg, ny, 1, f)
+					c.ExchangeGhostRows(g)
+					// Return the ghost rows for verification.
+					out := make([]float64, 0, 2*ny)
+					for j := 0; j < ny; j++ {
+						out = append(out, g.At(-1, j))
+					}
+					for j := 0; j < ny; j++ {
+						out = append(out, g.At(rg.Len(), j))
+					}
+					return out
+				})
+				if err != nil {
+					t.Fatalf("combine=%v %v p=%d: %v", combine, mode, p, err)
+				}
+				for r, ghost := range res {
+					rg := ranges[r]
+					for j := 0; j < ny; j++ {
+						if r > 0 {
+							want := f(rg.Lo-1, j)
+							if ghost[j] != want {
+								t.Fatalf("p=%d proc %d lower ghost[%d] = %v want %v", p, r, j, ghost[j], want)
+							}
+						}
+						if r < p-1 {
+							want := f(rg.Hi, j)
+							if ghost[ny+j] != want {
+								t.Fatalf("p=%d proc %d upper ghost[%d] = %v want %v", p, r, j, ghost[ny+j], want)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestExchangeGhostRowsWidth2(t *testing.T) {
+	f := func(gx, y int) float64 { return float64(gx)*7.5 - float64(y) }
+	const nx, ny, w = 12, 3, 2
+	ranges := grid.Decompose(nx, 3)
+	res, err := Run(3, Sim, DefaultOptions(), func(c *Comm) [][]float64 {
+		rg := ranges[c.Rank()]
+		g := buildLocal2(rg, ny, w, f)
+		c.ExchangeGhostRows(g)
+		var rows [][]float64
+		for i := -w; i < 0; i++ {
+			row := make([]float64, ny)
+			for j := range row {
+				row[j] = g.At(i, j)
+			}
+			rows = append(rows, row)
+		}
+		return rows
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Process 1's ghost rows -2,-1 are global rows Lo-2, Lo-1.
+	rg := ranges[1]
+	for k, row := range res[1] {
+		gx := rg.Lo - w + k
+		for j, v := range row {
+			if v != f(gx, j) {
+				t.Fatalf("ghost row %d col %d = %v want %v", k, j, v, f(gx, j))
+			}
+		}
+	}
+}
+
+func TestExchangeGhostPlanesX(t *testing.T) {
+	f := func(gx, y, z int) float64 { return float64(10000*gx + 100*y + z) }
+	const nx, ny, nz = 9, 3, 4
+	for _, combine := range []bool{true, false} {
+		for _, p := range []int{2, 3} {
+			slabs := grid.SlabDecompose3(nx, ny, nz, p, grid.AxisX)
+			opt := DefaultOptions()
+			opt.Combine = combine
+			res, err := Run(p, Sim, opt, func(c *Comm) [2]float64 {
+				sl := slabs[c.Rank()]
+				g := sl.NewLocal3(1)
+				g.FillFunc(func(i, j, k int) float64 { return f(sl.ToGlobal(i), j, k) })
+				c.ExchangeGhostPlanesX(g)
+				// Sample one ghost cell each side.
+				var out [2]float64
+				out[0] = g.At(-1, 1, 2)
+				out[1] = g.At(g.NX(), 1, 2)
+				return out
+			})
+			if err != nil {
+				t.Fatalf("combine=%v p=%d: %v", combine, p, err)
+			}
+			for r, pair := range res {
+				sl := slabs[r]
+				if r > 0 && pair[0] != f(sl.R.Lo-1, 1, 2) {
+					t.Fatalf("p=%d proc %d lower ghost = %v want %v", p, r, pair[0], f(sl.R.Lo-1, 1, 2))
+				}
+				if r < p-1 && pair[1] != f(sl.R.Hi, 1, 2) {
+					t.Fatalf("p=%d proc %d upper ghost = %v want %v", p, r, pair[1], f(sl.R.Hi, 1, 2))
+				}
+			}
+		}
+	}
+}
+
+func TestGhostExchangePanicsWithoutGhosts(t *testing.T) {
+	_, err := Run(2, Sim, DefaultOptions(), func(c *Comm) bool {
+		defer func() { recover() }()
+		g := grid.New2(4, 4, 0)
+		c.ExchangeGhostRows(g)
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterGatherRoundTrip3D(t *testing.T) {
+	const nx, ny, nz = 11, 4, 3
+	global := grid.New3(nx, ny, nz, 0)
+	rng := rand.New(rand.NewSource(8))
+	global.FillFunc(func(i, j, k int) float64 { return rng.NormFloat64() })
+	for _, combine := range []bool{true, false} {
+		for _, mode := range bothModes {
+			for _, p := range []int{1, 2, 4} {
+				slabs := grid.SlabDecompose3(nx, ny, nz, p, grid.AxisX)
+				opt := DefaultOptions()
+				opt.Combine = combine
+				res, err := Run(p, mode, opt, func(c *Comm) *grid.G3 {
+					var src *grid.G3
+					if c.Rank() == 0 {
+						src = global
+					}
+					local := c.ScatterX(src, slabs, 0, 1)
+					// Verify local contents in passing.
+					sl := slabs[c.Rank()]
+					for i := 0; i < local.NX(); i++ {
+						if local.At(i, 1, 1) != global.At(sl.ToGlobal(i), 1, 1) {
+							panic("scatter delivered wrong plane")
+						}
+					}
+					return c.GatherX(local, slabs, 0)
+				})
+				if err != nil {
+					t.Fatalf("combine=%v %v p=%d: %v", combine, mode, p, err)
+				}
+				if res[0] == nil || !res[0].Equal(global) {
+					t.Fatalf("combine=%v %v p=%d: gather(scatter(g)) != g", combine, mode, p)
+				}
+				for r := 1; r < p; r++ {
+					if res[r] != nil {
+						t.Fatalf("non-root %d should return nil from GatherX", r)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestScatterGatherRoundTrip2D(t *testing.T) {
+	const nx, ny = 10, 5
+	global := grid.New2(nx, ny, 0)
+	global.FillFunc(func(i, j int) float64 { return float64(i*100 + j) })
+	for _, p := range []int{1, 2, 3} {
+		ranges := grid.Decompose(nx, p)
+		res, err := Run(p, Sim, DefaultOptions(), func(c *Comm) *grid.G2 {
+			var src *grid.G2
+			if c.Rank() == 0 {
+				src = global
+			}
+			local := c.ScatterRows(src, ranges, 1, 0)
+			return c.GatherRows(local, ranges, nx, 0)
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if res[0] == nil || !res[0].Equal(global) {
+			t.Fatalf("p=%d: 2-D round trip failed", p)
+		}
+	}
+}
+
+func TestGatherToNonZeroRoot(t *testing.T) {
+	const nx, ny, nz = 6, 2, 2
+	slabs := grid.SlabDecompose3(nx, ny, nz, 3, grid.AxisX)
+	res, err := Run(3, Sim, DefaultOptions(), func(c *Comm) *grid.G3 {
+		sl := slabs[c.Rank()]
+		local := sl.NewLocal3(0)
+		local.FillFunc(func(i, j, k int) float64 { return float64(sl.ToGlobal(i)) })
+		return c.GatherX(local, slabs, 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != nil || res[1] != nil || res[2] == nil {
+		t.Fatal("only root 2 should hold the gathered grid")
+	}
+	for i := 0; i < nx; i++ {
+		if res[2].At(i, 0, 0) != float64(i) {
+			t.Fatalf("gathered plane %d wrong", i)
+		}
+	}
+}
+
+func TestCombiningReducesMessages(t *testing.T) {
+	// Ghost width 2 and 3 processes: uncombined sends one message per
+	// plane; combined sends one per neighbour.  The payload bytes must
+	// be identical either way.
+	run := func(combine bool) (msgs int, bytes int64) {
+		ta := machine.NewTally(3)
+		opt := DefaultOptions()
+		opt.Combine = combine
+		opt.Tally = ta
+		ranges := grid.Decompose(12, 3)
+		_, err := Run(3, Sim, opt, func(c *Comm) int {
+			g := buildLocal2(ranges[c.Rank()], 4, 2, func(gx, y int) float64 { return 1 })
+			c.ExchangeGhostRows(g)
+			return 0
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ta.TotalMessages(), ta.TotalBytes()
+	}
+	mc, bc := run(true)
+	mu, bu := run(false)
+	if mu != 2*mc {
+		t.Fatalf("ghost width 2: uncombined %d msgs, combined %d", mu, mc)
+	}
+	if bc != bu {
+		t.Fatalf("payload must match: %d vs %d", bc, bu)
+	}
+}
+
+func TestGhostExchangeSimEqualsPar(t *testing.T) {
+	// A diffusion-like sweep with exchanges every step: Sim and Par
+	// results must be bitwise identical.
+	const nx, ny, steps, p = 16, 6, 5, 4
+	ranges := grid.Decompose(nx, p)
+	prog := func(c *Comm) []float64 {
+		rg := ranges[c.Rank()]
+		g := buildLocal2(rg, ny, 1, func(gx, y int) float64 {
+			return float64(gx*gx) * 0.013 * float64(y+1)
+		})
+		next := g.Clone()
+		for s := 0; s < steps; s++ {
+			c.ExchangeGhostRows(g)
+			for i := 0; i < g.NX(); i++ {
+				gi := rg.Lo + i
+				for j := 0; j < ny; j++ {
+					up := g.At(i+1, j)
+					down := g.At(i-1, j)
+					if gi == 0 {
+						down = 0
+					}
+					if gi == nx-1 {
+						up = 0
+					}
+					next.Set(i, j, 0.25*down+0.5*g.At(i, j)+0.25*up)
+				}
+			}
+			g, next = next, g
+		}
+		out := make([]float64, 0, g.NX()*ny)
+		for i := 0; i < g.NX(); i++ {
+			out = append(out, g.Row(i)...)
+		}
+		return out
+	}
+	sim, err := Run(p, Sim, DefaultOptions(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(p, Par, DefaultOptions(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sim, par) {
+		t.Fatal("Sim and Par diverged on ghost-exchange sweep")
+	}
+}

@@ -1,0 +1,194 @@
+// Package mesh implements the paper's mesh archetype: the communication
+// library and runtime support for parallel programs structured as grid
+// operations, reductions, and file I/O over 1-, 2-, or 3-dimensional
+// grids distributed as regular contiguous subgrids.
+//
+// Applications are written once, in SPMD style, as a function of a
+// *Comm, and can then be executed under two interchangeable runtimes:
+//
+//   - Sim: the sequential simulated-parallel execution.  Exactly one
+//     simulated process runs at a time under a deterministic schedule
+//     (each process runs until it blocks on a receive), so the whole
+//     execution is sequential and reproducible — this is the paper's
+//     "sequential simulated-parallel version", and the archetype
+//     library is "made available in both parallel and simulated-
+//     parallel versions".
+//   - Par: real concurrent execution with one goroutine per process
+//     over single-reader single-writer channels with infinite slack.
+//
+// By Theorem 1, a deterministic SPMD program produces identical results
+// under both runtimes; the fdtd package's tests verify this bitwise.
+//
+// The communication operations are the archetype's catalogue:
+// boundary exchange (ExchangeGhostRows / ExchangeGhostPlanesX),
+// broadcast of global data (Broadcast, BroadcastVec), reductions
+// (AllReduce, AllReduceVec, with recursive-doubling and all-to-one
+// algorithms), and host↔grid redistribution for file I/O (GatherX,
+// ScatterX, GatherRows, ScatterRows).
+package mesh
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/sched"
+)
+
+// Mode selects a runtime.
+type Mode int
+
+// Runtimes.
+const (
+	// Sim is the sequential simulated-parallel execution.
+	Sim Mode = iota
+	// Par is the real concurrent execution.
+	Par
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Sim:
+		return "simulated-parallel"
+	case Par:
+		return "parallel"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Msg is the payload of archetype messages: a flat vector of float64.
+type Msg struct {
+	Data []float64
+}
+
+// Options configures a run.
+type Options struct {
+	// Combine merges the per-plane messages of a ghost exchange into
+	// one message per neighbour (the paper's "group of message-passing
+	// operations with a common sender and a common receiver can be
+	// combined for efficiency").  On by default via DefaultOptions.
+	Combine bool
+	// ReduceAlg selects the reduction algorithm.
+	ReduceAlg ReduceAlg
+	// Tally, if non-nil, records per-phase work and message counts for
+	// the machine performance model's bulk-synchronous bound.
+	Tally *machine.Tally
+	// Events, if non-nil, records the full per-process event sequence
+	// for the machine model's discrete-event replay (machine.Model.DES),
+	// which preserves the actual wait-for structure instead of
+	// synchronising every phase globally.
+	Events *machine.EventLog
+}
+
+// DefaultOptions returns the archetype defaults: combined messages and
+// recursive-doubling reductions.
+func DefaultOptions() Options {
+	return Options{Combine: true, ReduceAlg: RecursiveDoubling}
+}
+
+// Comm is one process's handle to the archetype library.  It is valid
+// only within the function passed to Run.
+type Comm struct {
+	ctx   *sched.Ctx[Msg]
+	opt   Options
+	phase int // this process's bulk-synchronous phase index
+}
+
+// Rank returns this process's rank in [0, P).
+func (c *Comm) Rank() int { return c.ctx.ID() }
+
+// P returns the number of processes.
+func (c *Comm) P() int { return c.ctx.P() }
+
+// Options returns the run options (read-only by convention).
+func (c *Comm) Options() Options { return c.opt }
+
+// Work credits compute work (in abstract units, e.g. cell updates) to
+// this process in its current phase, for the performance model.
+func (c *Comm) Work(units float64) {
+	if c.opt.Tally != nil {
+		c.opt.Tally.AddWork(c.phase, c.Rank(), units)
+	}
+	if c.opt.Events != nil {
+		c.opt.Events.AddWork(c.Rank(), units)
+	}
+}
+
+// send transmits data to process `to`, recording it in the tally.  The
+// slice is copied: archetype messages never alias sender memory, just
+// as real message passing cannot.
+func (c *Comm) send(to int, data []float64) {
+	buf := make([]float64, len(data))
+	copy(buf, data)
+	c.ctx.Send(to, Msg{Data: buf})
+	if c.opt.Tally != nil {
+		c.opt.Tally.Message(c.phase, c.Rank(), to, 8*len(data))
+	}
+	if c.opt.Events != nil {
+		c.opt.Events.AddSend(c.Rank(), to, 8*len(data))
+	}
+}
+
+// recv receives the next message from process `from`.
+func (c *Comm) recv(from int) []float64 {
+	m := c.ctx.Recv(from)
+	if c.opt.Events != nil {
+		c.opt.Events.AddRecv(c.Rank(), from)
+	}
+	return m.Data
+}
+
+// endPhase closes this process's current bulk-synchronous phase.
+// Every collective calls it exactly once, so all processes advance
+// through the same phase sequence.
+func (c *Comm) endPhase(label string) {
+	if c.opt.Tally != nil && c.Rank() == 0 {
+		c.opt.Tally.Label(c.phase, label)
+	}
+	c.phase++
+}
+
+// Run executes the SPMD function f on p processes under the given mode
+// and returns the per-process results.  Under Sim the execution is
+// sequential and deterministic; under Par it uses one goroutine per
+// process.  Run returns an error only for Sim-mode deadlocks, which a
+// correct archetype program never produces.
+func Run[R any](p int, mode Mode, opt Options, f func(c *Comm) R) ([]R, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("mesh: process count must be positive, got %d", p)
+	}
+	procs := make([]sched.Proc[Msg, R], p)
+	for i := 0; i < p; i++ {
+		procs[i] = func(ctx *sched.Ctx[Msg]) R {
+			return f(&Comm{ctx: ctx, opt: opt})
+		}
+	}
+	schedOpt := sched.Options[Msg]{Tag: func(m Msg) string { return fmt.Sprintf("[%d]f64", len(m.Data)) }}
+	switch mode {
+	case Sim:
+		// Lowest-rank-first scheduling: each simulated process runs
+		// until it blocks on a receive — the sequential simulated-
+		// parallel order of the paper's Figure 1.
+		return sched.RunControlled(procs, sched.Lowest{}, schedOpt)
+	case Par:
+		return sched.RunConcurrent(procs, schedOpt), nil
+	default:
+		return nil, fmt.Errorf("mesh: unknown mode %v", mode)
+	}
+}
+
+// RunControlledPolicy executes the SPMD function under an explicit
+// interleaving policy — used by the determinacy experiments to show
+// that archetype programs reach the same final state under arbitrary
+// maximal interleavings.
+func RunControlledPolicy[R any](p int, pol sched.Policy, opt Options, f func(c *Comm) R) ([]R, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("mesh: process count must be positive, got %d", p)
+	}
+	procs := make([]sched.Proc[Msg, R], p)
+	for i := 0; i < p; i++ {
+		procs[i] = func(ctx *sched.Ctx[Msg]) R {
+			return f(&Comm{ctx: ctx, opt: opt})
+		}
+	}
+	return sched.RunControlled(procs, pol, sched.Options[Msg]{})
+}

@@ -1,0 +1,91 @@
+package mesh
+
+import "fmt"
+
+// Additional collectives beyond the paper's core catalogue: inclusive
+// prefix reduction (scan), all-gather, and gather-to-root of scalars.
+// Scans appear in mesh computations for, e.g., global indexing of
+// distributed irregular data; all-gather re-establishes copy
+// consistency of per-process contributions in one step.
+
+// Scan returns, on each process r, the fold of the values held by
+// processes 0..r in rank order (an inclusive prefix reduction).  The
+// implementation is the Hillis-Steele doubling scan: ceil(log2 P)
+// rounds, each with one send and at most one receive per process.
+func (c *Comm) Scan(v float64, op ReduceOp) float64 {
+	p, r := c.P(), c.Rank()
+	acc := v
+	for k := 1; k < p; k <<= 1 {
+		// Send first (infinite slack), then receive: the SSP-safe order.
+		if r+k < p {
+			c.send(r+k, []float64{acc})
+		}
+		if r-k >= 0 {
+			got := c.recv(r - k)
+			// The received value folds ranks r-2k+1..r-k; it combines on
+			// the left of acc to preserve rank order.
+			acc = op.F(got[0], acc)
+		}
+	}
+	c.endPhase("scan(" + op.Name + ")")
+	return acc
+}
+
+// AllGather returns, on every process, the slice of all processes'
+// values indexed by rank.
+func (c *Comm) AllGather(v float64) []float64 {
+	out := c.AllGatherVec([]float64{v})
+	flat := make([]float64, len(out))
+	for i, vec := range out {
+		flat[i] = vec[0]
+	}
+	return flat
+}
+
+// AllGatherVec returns, on every process, every process's vector,
+// indexed by rank.  All processes must pass equal-length vectors.
+func (c *Comm) AllGatherVec(vals []float64) [][]float64 {
+	p, r := c.P(), c.Rank()
+	out := make([][]float64, p)
+	own := make([]float64, len(vals))
+	copy(own, vals)
+	out[r] = own
+	for dst := 0; dst < p; dst++ {
+		if dst != r {
+			c.send(dst, vals)
+		}
+	}
+	for src := 0; src < p; src++ {
+		if src != r {
+			got := c.recv(src)
+			if len(got) != len(vals) {
+				panic(fmt.Sprintf("mesh: AllGatherVec length mismatch: %d vs %d", len(got), len(vals)))
+			}
+			out[src] = got
+		}
+	}
+	c.endPhase("allgather")
+	return out
+}
+
+// GatherValues returns, on root, the per-process scalars indexed by
+// rank, and nil on every other process.
+func (c *Comm) GatherValues(v float64, root int) []float64 {
+	p, r := c.P(), c.Rank()
+	if root < 0 || root >= p {
+		panic(fmt.Sprintf("mesh: gather root %d out of range [0,%d)", root, p))
+	}
+	defer c.endPhase("gather-values")
+	if r != root {
+		c.send(root, []float64{v})
+		return nil
+	}
+	out := make([]float64, p)
+	out[r] = v
+	for src := 0; src < p; src++ {
+		if src != root {
+			out[src] = c.recv(src)[0]
+		}
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package mesh
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestScanExactData(t *testing.T) {
+	for _, mode := range bothModes {
+		for _, p := range []int{1, 2, 3, 5, 8, 9} {
+			res, err := Run(p, mode, DefaultOptions(), func(c *Comm) float64 {
+				return c.Scan(float64(c.Rank()+1), OpSum)
+			})
+			if err != nil {
+				t.Fatalf("%v p=%d: %v", mode, p, err)
+			}
+			for r, v := range res {
+				want := float64((r + 1) * (r + 2) / 2) // 1+2+...+(r+1)
+				if v != want {
+					t.Fatalf("%v p=%d: scan[%d] = %v want %v", mode, p, r, v, want)
+				}
+			}
+		}
+	}
+}
+
+func TestScanMax(t *testing.T) {
+	vals := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	res, err := Run(len(vals), Sim, DefaultOptions(), func(c *Comm) float64 {
+		return c.Scan(vals[c.Rank()], OpMax)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 3, 4, 4, 5, 9, 9, 9}
+	if !reflect.DeepEqual(res, want) {
+		t.Fatalf("scan max = %v", res)
+	}
+}
+
+// Property: a sum scan over random integer data matches the sequential
+// prefix sums exactly, for any process count.
+func TestScanPrefixProperty(t *testing.T) {
+	prop := func(raw []int8) bool {
+		if len(raw) == 0 || len(raw) > 12 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			vals[i] = float64(v)
+		}
+		res, err := Run(len(vals), Sim, DefaultOptions(), func(c *Comm) float64 {
+			return c.Scan(vals[c.Rank()], OpSum)
+		})
+		if err != nil {
+			return false
+		}
+		acc := 0.0
+		for r, v := range vals {
+			acc += v
+			if res[r] != acc {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	for _, mode := range bothModes {
+		res, err := Run(5, mode, DefaultOptions(), func(c *Comm) []float64 {
+			return c.AllGather(float64(c.Rank() * 10))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []float64{0, 10, 20, 30, 40}
+		for r, v := range res {
+			if !reflect.DeepEqual(v, want) {
+				t.Fatalf("%v proc %d: %v", mode, r, v)
+			}
+		}
+	}
+}
+
+func TestAllGatherVec(t *testing.T) {
+	res, err := Run(3, Sim, DefaultOptions(), func(c *Comm) [][]float64 {
+		return c.AllGatherVec([]float64{float64(c.Rank()), -float64(c.Rank())})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 3; r++ {
+		for src := 0; src < 3; src++ {
+			if res[r][src][0] != float64(src) || res[r][src][1] != -float64(src) {
+				t.Fatalf("proc %d entry %d = %v", r, src, res[r][src])
+			}
+		}
+	}
+	// Returned vectors must not alias the sender's buffer.
+	res2, err := Run(2, Sim, DefaultOptions(), func(c *Comm) bool {
+		mine := []float64{float64(c.Rank())}
+		all := c.AllGatherVec(mine)
+		mine[0] = 99
+		return all[c.Rank()][0] != 99
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2[0] || !res2[1] {
+		t.Fatal("AllGatherVec aliases caller memory")
+	}
+}
+
+func TestGatherValues(t *testing.T) {
+	res, err := Run(4, Sim, DefaultOptions(), func(c *Comm) []float64 {
+		return c.GatherValues(float64(c.Rank()*c.Rank()), 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		if r == 2 {
+			if !reflect.DeepEqual(res[r], []float64{0, 1, 4, 9}) {
+				t.Fatalf("root gather = %v", res[r])
+			}
+		} else if res[r] != nil {
+			t.Fatalf("non-root %d got %v", r, res[r])
+		}
+	}
+	_, err = Run(2, Sim, DefaultOptions(), func(c *Comm) bool {
+		defer func() { recover() }()
+		c.GatherValues(1, 7)
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanSimEqualsPar(t *testing.T) {
+	prog := func(c *Comm) float64 {
+		v := float64(c.Rank())*1.37 + 0.1
+		s := c.Scan(v, OpSum)
+		g := c.AllGather(s)
+		return g[c.P()-1] + s
+	}
+	sim, err := Run(6, Sim, DefaultOptions(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(6, Par, DefaultOptions(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sim, par) {
+		t.Fatal("scan/allgather Sim != Par")
+	}
+}

@@ -1,0 +1,176 @@
+package mesh
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// Topo2D arranges P = PX*PY processes in a logical 2-D grid and
+// distributes a global NX-by-NY data grid as a PX-by-PY array of
+// contiguous blocks — the general form of the mesh archetype's
+// "partitioning the data grid into regular contiguous subgrids".
+// Process rank r sits at coordinates (r / PY, r % PY).
+type Topo2D struct {
+	NX, NY  int
+	PX, PY  int
+	XRanges []grid.Range
+	YRanges []grid.Range
+}
+
+// NewTopo2D builds the topology; it panics if the grid cannot be
+// decomposed (each process must own at least one row and column).
+func NewTopo2D(nx, ny, px, py int) *Topo2D {
+	return &Topo2D{
+		NX: nx, NY: ny, PX: px, PY: py,
+		XRanges: grid.Decompose(nx, px),
+		YRanges: grid.Decompose(ny, py),
+	}
+}
+
+// P returns the total process count.
+func (t *Topo2D) P() int { return t.PX * t.PY }
+
+// Coords returns the logical coordinates of a rank.
+func (t *Topo2D) Coords(rank int) (rx, ry int) { return rank / t.PY, rank % t.PY }
+
+// Rank returns the rank at logical coordinates (rx, ry), or -1 if the
+// coordinates fall outside the process grid.
+func (t *Topo2D) Rank(rx, ry int) int {
+	if rx < 0 || rx >= t.PX || ry < 0 || ry >= t.PY {
+		return -1
+	}
+	return rx*t.PY + ry
+}
+
+// Block returns the global index ranges owned by a rank.
+func (t *Topo2D) Block(rank int) (xr, yr grid.Range) {
+	rx, ry := t.Coords(rank)
+	return t.XRanges[rx], t.YRanges[ry]
+}
+
+// NewLocal allocates rank's local section with the given ghost width
+// on all four sides.
+func (t *Topo2D) NewLocal(rank, ghost int) *grid.G2 {
+	xr, yr := t.Block(rank)
+	return grid.New2(xr.Len(), yr.Len(), ghost)
+}
+
+// Owner returns the rank owning global point (i, j).
+func (t *Topo2D) Owner(i, j int) int {
+	rx := grid.Owner(t.XRanges, i)
+	ry := grid.Owner(t.YRanges, j)
+	if rx < 0 || ry < 0 {
+		return -1
+	}
+	return t.Rank(rx, ry)
+}
+
+// ExchangeGhost2D refreshes the ghost boundary of a 2-D local section
+// in a 2-D block distribution: row strips travel to the x-neighbours,
+// column strips to the y-neighbours, and, when corners is set, the
+// corner blocks to the four diagonal neighbours (needed by 9-point
+// stencils; 5-point stencils can pass corners=false and halve the
+// neighbour count).  All sends precede all receives.
+func (c *Comm) ExchangeGhost2D(g *grid.G2, t *Topo2D, corners bool) {
+	if c.P() != t.P() {
+		panic(fmt.Sprintf("mesh: topology has %d processes, run has %d", t.P(), c.P()))
+	}
+	w := g.Ghost()
+	if w == 0 {
+		panic("mesh: ExchangeGhost2D requires a ghost boundary")
+	}
+	nx, ny := g.NX(), g.NY()
+	if 2*w > nx || 2*w > ny {
+		panic(fmt.Sprintf("mesh: ghost width %d too large for %dx%d local block", w, nx, ny))
+	}
+	rx, ry := t.Coords(c.Rank())
+	up := t.Rank(rx-1, ry)
+	down := t.Rank(rx+1, ry)
+	left := t.Rank(rx, ry-1)
+	right := t.Rank(rx, ry+1)
+	ul := t.Rank(rx-1, ry-1)
+	ur := t.Rank(rx-1, ry+1)
+	dl := t.Rank(rx+1, ry-1)
+	dr := t.Rank(rx+1, ry+1)
+
+	// Sends: edge strips, then corner blocks.
+	if up >= 0 {
+		c.sendPlanes(up, w, func(k int) []float64 { return g.PackRow(k, 0, ny, nil) })
+	}
+	if down >= 0 {
+		c.sendPlanes(down, w, func(k int) []float64 { return g.PackRow(nx-w+k, 0, ny, nil) })
+	}
+	if left >= 0 {
+		c.sendPlanes(left, w, func(k int) []float64 { return g.PackCol(k, 0, nx, nil) })
+	}
+	if right >= 0 {
+		c.sendPlanes(right, w, func(k int) []float64 { return g.PackCol(ny-w+k, 0, nx, nil) })
+	}
+	if corners {
+		if ul >= 0 {
+			c.send(ul, g.PackBlock(0, 0, w, w, nil))
+		}
+		if ur >= 0 {
+			c.send(ur, g.PackBlock(0, ny-w, w, w, nil))
+		}
+		if dl >= 0 {
+			c.send(dl, g.PackBlock(nx-w, 0, w, w, nil))
+		}
+		if dr >= 0 {
+			c.send(dr, g.PackBlock(nx-w, ny-w, w, w, nil))
+		}
+	}
+	// Receives, mirroring the neighbours' sends.
+	if up >= 0 {
+		c.recvPlanes(up, w, func(k int, data []float64) { g.UnpackRow(-w+k, 0, data) })
+	}
+	if down >= 0 {
+		c.recvPlanes(down, w, func(k int, data []float64) { g.UnpackRow(nx+k, 0, data) })
+	}
+	if left >= 0 {
+		c.recvPlanes(left, w, func(k int, data []float64) { g.UnpackCol(-w+k, 0, data) })
+	}
+	if right >= 0 {
+		c.recvPlanes(right, w, func(k int, data []float64) { g.UnpackCol(ny+k, 0, data) })
+	}
+	if corners {
+		if ul >= 0 {
+			g.UnpackBlock(-w, -w, w, w, c.recv(ul))
+		}
+		if ur >= 0 {
+			g.UnpackBlock(-w, ny, w, w, c.recv(ur))
+		}
+		if dl >= 0 {
+			g.UnpackBlock(nx, -w, w, w, c.recv(dl))
+		}
+		if dr >= 0 {
+			g.UnpackBlock(nx, ny, w, w, c.recv(dr))
+		}
+	}
+	c.endPhase("ghost-exchange-2d")
+}
+
+// Gather2D collects a 2-D block-distributed grid onto root, returning
+// the assembled global grid there and nil elsewhere.
+func (c *Comm) Gather2D(local *grid.G2, t *Topo2D, root int) *grid.G2 {
+	defer c.endPhase("gather-2d")
+	r := c.Rank()
+	if r != root {
+		c.send(root, local.PackBlock(0, 0, local.NX(), local.NY(), nil))
+		return nil
+	}
+	global := grid.New2(t.NX, t.NY, 0)
+	place := func(rank int, data []float64) {
+		xr, yr := t.Block(rank)
+		global.UnpackBlock(xr.Lo, yr.Lo, xr.Len(), yr.Len(), data)
+	}
+	place(root, local.PackBlock(0, 0, local.NX(), local.NY(), nil))
+	for src := 0; src < c.P(); src++ {
+		if src == root {
+			continue
+		}
+		place(src, c.recv(src))
+	}
+	return global
+}

@@ -1,0 +1,21 @@
+package sched
+
+import "testing"
+
+// BenchmarkControlledPingPong measures the cooperative scheduler's
+// per-action overhead.
+func BenchmarkControlledPingPong(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunControlled(pingPong(100), NewRoundRobin(), Options[int]{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConcurrentPingPong measures the free-running executor on the
+// same workload.
+func BenchmarkConcurrentPingPong(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RunConcurrent(pingPong(100), Options[int]{})
+	}
+}

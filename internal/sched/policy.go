@@ -1,0 +1,119 @@
+package sched
+
+import "math/rand"
+
+// Policy chooses, at each scheduling point, which enabled process
+// performs the next action of the interleaving.  enabled is non-empty
+// and sorted by process rank; step is the number of actions executed so
+// far.  A Policy together with a process network fully determines a
+// maximal interleaving, so controlled runs are reproducible.
+type Policy interface {
+	Name() string
+	Pick(enabled []int, step int) int
+}
+
+// RoundRobin cycles through the processes, granting each enabled
+// process one action in turn.  This is a fair interleaving in the sense
+// required by the paper's execution model.
+type RoundRobin struct {
+	last int
+}
+
+// NewRoundRobin returns a round-robin policy starting before rank 0.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{last: -1} }
+
+// Name implements Policy.
+func (r *RoundRobin) Name() string { return "round-robin" }
+
+// Pick implements Policy.
+func (r *RoundRobin) Pick(enabled []int, step int) int {
+	// Smallest enabled rank strictly greater than last, wrapping.
+	for _, e := range enabled {
+		if e > r.last {
+			r.last = e
+			return e
+		}
+	}
+	r.last = enabled[0]
+	return enabled[0]
+}
+
+// Lowest always picks the lowest-ranked enabled process: process 0 runs
+// until it blocks or finishes, then process 1, and so on.  Combined
+// with exchange operations this reproduces the sequential
+// simulated-parallel ordering of Figure 1 (all of P0's sends, then
+// P1's, then the receives as they become enabled).
+type Lowest struct{}
+
+// Name implements Policy.
+func (Lowest) Name() string { return "lowest" }
+
+// Pick implements Policy.
+func (Lowest) Pick(enabled []int, step int) int { return enabled[0] }
+
+// Highest always picks the highest-ranked enabled process — an
+// adversarial mirror image of Lowest.
+type Highest struct{}
+
+// Name implements Policy.
+func (Highest) Name() string { return "highest" }
+
+// Pick implements Policy.
+func (Highest) Pick(enabled []int, step int) int { return enabled[len(enabled)-1] }
+
+// Random picks uniformly at random among enabled processes using a
+// deterministic seeded generator, so each seed is a reproducible
+// interleaving.
+type Random struct {
+	rng  *rand.Rand
+	seed int64
+}
+
+// NewRandom returns a seeded random policy.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// Name implements Policy.
+func (r *Random) Name() string { return "random" }
+
+// Pick implements Policy.
+func (r *Random) Pick(enabled []int, step int) int {
+	return enabled[r.rng.Intn(len(enabled))]
+}
+
+// Alternating switches to a different enabled process at every action
+// when possible, maximising context switches — a stress order for
+// interleaving-sensitivity.
+type Alternating struct {
+	last int
+}
+
+// NewAlternating returns an alternating policy.
+func NewAlternating() *Alternating { return &Alternating{last: -1} }
+
+// Name implements Policy.
+func (a *Alternating) Name() string { return "alternating" }
+
+// Pick implements Policy.
+func (a *Alternating) Pick(enabled []int, step int) int {
+	for _, e := range enabled {
+		if e != a.last {
+			a.last = e
+			return e
+		}
+	}
+	a.last = enabled[0]
+	return enabled[0]
+}
+
+// DefaultPolicies returns a representative family of interleaving
+// policies used by the determinacy checker: deterministic extremes,
+// fair rotation, alternation, and several random seeds.
+func DefaultPolicies(randomSeeds int) []Policy {
+	ps := []Policy{Lowest{}, Highest{}, NewRoundRobin(), NewAlternating()}
+	for s := 0; s < randomSeeds; s++ {
+		ps = append(ps, NewRandom(int64(s)+1))
+	}
+	return ps
+}

@@ -1,0 +1,355 @@
+// Package sched executes networks of deterministic processes that
+// interact only through single-reader single-writer channels with
+// infinite slack — the parallel program model of the paper's §3.1.
+//
+// Two executors are provided.  RunControlled is a cooperative
+// scheduler: exactly one process runs at a time, and at every
+// communication action a pluggable Policy chooses which enabled process
+// acts next.  Running the same network under many policies (or many
+// random seeds) and comparing final states is the empirical form of
+// Theorem 1: all maximal interleavings terminate in the same final
+// state.  RunConcurrent executes the network with real goroutines over
+// concurrent unbounded channels — the "real parallel" version that the
+// mechanical transformation targets.
+//
+// Processes are functions of a Ctx; they must not share memory (the
+// scheduler cannot enforce this, but the determinacy checker in
+// internal/core detects violations by exhibiting diverging final
+// states).
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/channel"
+	"repro/internal/trace"
+)
+
+// Proc is one deterministic process.  Its return value is the process's
+// final state for determinacy comparison.
+type Proc[T, R any] func(ctx *Ctx[T]) R
+
+// Ctx gives a process access to its identity and its channels.
+type Ctx[T any] struct {
+	id, p int
+	ops   ops[T]
+}
+
+// ops abstracts the two execution backends.
+type ops[T any] interface {
+	send(from, to int, v T)
+	recv(from, to int) T
+	step(id int, name string)
+}
+
+// ID returns the process's rank, in [0, P).
+func (c *Ctx[T]) ID() int { return c.id }
+
+// P returns the number of processes in the network.
+func (c *Ctx[T]) P() int { return c.p }
+
+// Send sends v on the channel from this process to process `to`.  It
+// never blocks: channels have infinite slack.
+func (c *Ctx[T]) Send(to int, v T) {
+	if to < 0 || to >= c.p {
+		panic(fmt.Sprintf("sched: send to process %d out of range [0,%d)", to, c.p))
+	}
+	c.ops.send(c.id, to, v)
+}
+
+// Recv receives the next value on the channel from process `from` to
+// this process, blocking until one is available.
+func (c *Ctx[T]) Recv(from int) T {
+	if from < 0 || from >= c.p {
+		panic(fmt.Sprintf("sched: recv from process %d out of range [0,%d)", from, c.p))
+	}
+	return c.ops.recv(from, c.id)
+}
+
+// Step marks a named local-computation action.  In controlled runs it
+// is an interleaving point; it has no semantic effect.
+func (c *Ctx[T]) Step(name string) { c.ops.step(c.id, name) }
+
+// ErrDeadlock is returned by RunControlled when no process can make
+// progress but not all have terminated — i.e. the interleaving is
+// maximal yet the network hangs.  Well-formed transformations of SSP
+// programs never deadlock (all sends precede the matching receives).
+var ErrDeadlock = errors.New("sched: deadlock: all unfinished processes are blocked on empty channels")
+
+// request kinds exchanged between process coroutines and the controller.
+type reqKind int
+
+const (
+	reqSend reqKind = iota
+	reqRecv
+	reqStep
+	reqDone
+)
+
+type request[T any] struct {
+	kind reqKind
+	peer int
+	val  T
+	tag  string
+	err  error // for reqDone: non-nil if the process panicked
+}
+
+type pstate[T any] struct {
+	req     chan request[T]
+	resume  chan T
+	pending *request[T]
+	done    bool
+	blocked bool // diagnostic: last scheduling pass found it disabled
+}
+
+// controlled is the cooperative backend handed to process Ctxs.
+type controlled[T any] struct {
+	ps  []*pstate[T]
+	tag func(T) string
+}
+
+func (b *controlled[T]) send(from, to int, v T) {
+	b.ps[from].req <- request[T]{kind: reqSend, peer: to, val: v, tag: b.tag(v)}
+	<-b.ps[from].resume
+}
+
+func (b *controlled[T]) recv(from, to int) T {
+	b.ps[to].req <- request[T]{kind: reqRecv, peer: from}
+	return <-b.ps[to].resume
+}
+
+func (b *controlled[T]) step(id int, name string) {
+	b.ps[id].req <- request[T]{kind: reqStep, tag: name}
+	<-b.ps[id].resume
+}
+
+// Options configures a controlled run.
+type Options[T any] struct {
+	// Trace, if non-nil, records every action of the interleaving.
+	Trace *trace.Recorder
+	// Tag renders a message for tracing; defaults to fmt.Sprint.
+	Tag func(T) string
+	// MaxActions aborts runs exceeding this many actions (0 = no limit);
+	// a backstop against non-terminating networks in tests.
+	MaxActions int
+}
+
+// RunControlled executes the processes under the given interleaving
+// policy and returns their final states.  The run is fully
+// deterministic given the policy.  It returns ErrDeadlock if the
+// maximal interleaving leaves unfinished processes blocked.
+func RunControlled[T, R any](procs []Proc[T, R], pol Policy, opt Options[T]) ([]R, error) {
+	p := len(procs)
+	if p == 0 {
+		return nil, nil
+	}
+	if opt.Tag == nil {
+		opt.Tag = func(v T) string { return fmt.Sprint(v) }
+	}
+	back := &controlled[T]{ps: make([]*pstate[T], p), tag: opt.Tag}
+	results := make([]R, p)
+	for i := range back.ps {
+		back.ps[i] = &pstate[T]{
+			req:    make(chan request[T]),
+			resume: make(chan T),
+		}
+	}
+	// Spawn coroutines; each waits for an initial resume before touching
+	// user code, so exactly one process ever runs at a time.  A panic in
+	// user code is captured and surfaced as a run error rather than
+	// crashing the whole scheduler.
+	for i := 0; i < p; i++ {
+		i := i
+		ctx := &Ctx[T]{id: i, p: p, ops: back}
+		go func() {
+			<-back.ps[i].resume
+			done := request[T]{kind: reqDone}
+			defer func() {
+				if r := recover(); r != nil {
+					done.err = fmt.Errorf("sched: process %d panicked: %v", i, r)
+				}
+				back.ps[i].req <- done
+			}()
+			results[i] = procs[i](ctx)
+		}()
+	}
+
+	net := channel.NewQueueNet[T](p)
+	var zero T
+	var failure error
+	// advance lets process i run to its next request and records it.
+	advance := func(i int, v T) {
+		back.ps[i].resume <- v
+		r := <-back.ps[i].req
+		if r.kind == reqDone {
+			back.ps[i].done = true
+			back.ps[i].pending = nil
+			if r.err != nil && failure == nil {
+				failure = r.err
+			}
+			opt.Trace.Add(i, trace.Done, -1, "")
+			return
+		}
+		back.ps[i].pending = &r
+		if r.kind == reqRecv && net.Chan(r.peer, i).Len() == 0 {
+			opt.Trace.Add(i, trace.Block, r.peer, "")
+		}
+	}
+
+	// Bring every process to its first request, in rank order.
+	for i := 0; i < p; i++ {
+		advance(i, zero)
+	}
+
+	enabled := make([]int, 0, p)
+	actions := 0
+	for {
+		enabled = enabled[:0]
+		allDone := true
+		for i, ps := range back.ps {
+			if ps.done {
+				continue
+			}
+			allDone = false
+			r := ps.pending
+			if r == nil {
+				continue
+			}
+			if r.kind == reqRecv && net.Chan(r.peer, i).Len() == 0 {
+				ps.blocked = true
+				continue
+			}
+			ps.blocked = false
+			enabled = append(enabled, i)
+		}
+		if allDone {
+			return results, failure
+		}
+		if len(enabled) == 0 {
+			if failure != nil {
+				// A panicked process explains the stall better than a
+				// generic deadlock report.
+				return results, failure
+			}
+			// Unblocking the coroutines is impossible; they leak by
+			// design in this error path (tests construct few of them).
+			// Report the wait-for relation so the cycle is visible.
+			var waits []string
+			for i, ps := range back.ps {
+				if ps.done || ps.pending == nil {
+					continue
+				}
+				if r := ps.pending; r.kind == reqRecv {
+					waits = append(waits, fmt.Sprintf("P%d waits on P%d", i, r.peer))
+				}
+			}
+			return results, fmt.Errorf("%w (after %d actions; %s)",
+				ErrDeadlock, actions, strings.Join(waits, ", "))
+		}
+		pick := pol.Pick(enabled, actions)
+		if !contains(enabled, pick) {
+			panic(fmt.Sprintf("sched: policy %q picked disabled process %d from %v", pol.Name(), pick, enabled))
+		}
+		ps := back.ps[pick]
+		r := *ps.pending
+		ps.pending = nil
+		switch r.kind {
+		case reqSend:
+			net.Send(pick, r.peer, r.val)
+			opt.Trace.Add(pick, trace.Send, r.peer, r.tag)
+			advance(pick, zero)
+		case reqRecv:
+			v := net.Recv(r.peer, pick)
+			opt.Trace.Add(pick, trace.Recv, r.peer, opt.Tag(v))
+			advance(pick, v)
+		case reqStep:
+			opt.Trace.Add(pick, trace.Step, -1, r.tag)
+			advance(pick, zero)
+		}
+		actions++
+		if opt.MaxActions > 0 && actions > opt.MaxActions {
+			return results, fmt.Errorf("sched: exceeded MaxActions=%d; network may not terminate", opt.MaxActions)
+		}
+	}
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// concurrent is the free-running goroutine backend.
+type concurrent[T any] struct {
+	net *channel.Net[T]
+	mu  sync.Mutex
+	tr  *trace.Recorder
+	tag func(T) string
+}
+
+func (b *concurrent[T]) send(from, to int, v T) {
+	b.net.Send(from, to, v)
+	if b.tr != nil {
+		b.mu.Lock()
+		b.tr.Add(from, trace.Send, to, b.tag(v))
+		b.mu.Unlock()
+	}
+}
+
+func (b *concurrent[T]) recv(from, to int) T {
+	v := b.net.Recv(from, to)
+	if b.tr != nil {
+		b.mu.Lock()
+		b.tr.Add(to, trace.Recv, from, b.tag(v))
+		b.mu.Unlock()
+	}
+	return v
+}
+
+func (b *concurrent[T]) step(id int, name string) {
+	if b.tr != nil {
+		b.mu.Lock()
+		b.tr.Add(id, trace.Step, -1, name)
+		b.mu.Unlock()
+	}
+}
+
+// RunConcurrent executes the processes as real goroutines over
+// concurrent unbounded channels and returns their final states.  The
+// Go runtime chooses the interleaving; by Theorem 1 the results equal
+// those of any controlled run of the same (well-formed) network.  If
+// opt.Trace is non-nil it records one legal interleaving order.
+func RunConcurrent[T, R any](procs []Proc[T, R], opt Options[T]) []R {
+	p := len(procs)
+	if p == 0 {
+		return nil
+	}
+	if opt.Tag == nil {
+		opt.Tag = func(v T) string { return fmt.Sprint(v) }
+	}
+	back := &concurrent[T]{net: channel.NewChanNet[T](p), tr: opt.Trace, tag: opt.Tag}
+	results := make([]R, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for i := 0; i < p; i++ {
+		i := i
+		ctx := &Ctx[T]{id: i, p: p, ops: back}
+		go func() {
+			defer wg.Done()
+			results[i] = procs[i](ctx)
+			if back.tr != nil {
+				back.mu.Lock()
+				back.tr.Add(i, trace.Done, -1, "")
+				back.mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}

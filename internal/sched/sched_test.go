@@ -1,0 +1,386 @@
+package sched
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// pingPong builds a 2-process network: P0 sends k, P1 doubles and
+// replies, repeatedly.  Deterministic, so all interleavings must agree.
+func pingPong(rounds int) []Proc[int, int] {
+	p0 := func(ctx *Ctx[int]) int {
+		acc := 0
+		for i := 0; i < rounds; i++ {
+			ctx.Send(1, i)
+			acc += ctx.Recv(1)
+		}
+		return acc
+	}
+	p1 := func(ctx *Ctx[int]) int {
+		last := 0
+		for i := 0; i < rounds; i++ {
+			v := ctx.Recv(0)
+			last = v
+			ctx.Send(0, 2*v)
+		}
+		return last
+	}
+	return []Proc[int, int]{p0, p1}
+}
+
+func TestControlledPingPong(t *testing.T) {
+	res, err := RunControlled(pingPong(5), Lowest{}, Options[int]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// acc = sum 2*i for i<5 = 20; last = 4.
+	if res[0] != 20 || res[1] != 4 {
+		t.Fatalf("results = %v", res)
+	}
+}
+
+func TestAllPoliciesAgree(t *testing.T) {
+	var ref []int
+	for _, pol := range DefaultPolicies(5) {
+		res, err := RunControlled(pingPong(8), pol, Options[int]{})
+		if err != nil {
+			t.Fatalf("policy %s: %v", pol.Name(), err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(res, ref) {
+			t.Fatalf("policy %s diverged: %v vs %v", pol.Name(), res, ref)
+		}
+	}
+}
+
+func TestTracesOfDifferentPoliciesAreEquivalent(t *testing.T) {
+	trA := trace.New()
+	if _, err := RunControlled(pingPong(3), Lowest{}, Options[int]{Trace: trA}); err != nil {
+		t.Fatal(err)
+	}
+	trB := trace.New()
+	if _, err := RunControlled(pingPong(3), NewRandom(42), Options[int]{Trace: trB}); err != nil {
+		t.Fatal(err)
+	}
+	if trA.Format() == trB.Format() {
+		t.Log("note: the two policies happened to produce the same order")
+	}
+	if !trA.EquivalentTo(trB, 2) {
+		t.Fatalf("traces not permutation-equivalent: %s", trA.ExplainInequivalence(trB, 2))
+	}
+}
+
+func TestConcurrentMatchesControlled(t *testing.T) {
+	want, err := RunControlled(pingPong(10), NewRoundRobin(), Options[int]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 20; rep++ {
+		got := RunConcurrent(pingPong(10), Options[int]{})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("concurrent run %d diverged: %v vs %v", rep, got, want)
+		}
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	// Both processes receive first: classic deadlock.
+	procs := []Proc[int, int]{
+		func(ctx *Ctx[int]) int { v := ctx.Recv(1); ctx.Send(1, v); return v },
+		func(ctx *Ctx[int]) int { v := ctx.Recv(0); ctx.Send(0, v); return v },
+	}
+	_, err := RunControlled(procs, Lowest{}, Options[int]{})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+}
+
+func TestNoDeadlockWhenSendsPrecedeReceives(t *testing.T) {
+	// The SSP-order rule: all sends of an exchange before any receives.
+	procs := []Proc[int, int]{
+		func(ctx *Ctx[int]) int { ctx.Send(1, 1); return ctx.Recv(1) },
+		func(ctx *Ctx[int]) int { ctx.Send(0, 2); return ctx.Recv(0) },
+	}
+	for _, pol := range DefaultPolicies(3) {
+		res, err := RunControlled(procs, pol, Options[int]{})
+		if err != nil {
+			t.Fatalf("policy %s: %v", pol.Name(), err)
+		}
+		if res[0] != 2 || res[1] != 1 {
+			t.Fatalf("policy %s: results %v", pol.Name(), res)
+		}
+	}
+}
+
+func TestMaxActionsBackstop(t *testing.T) {
+	procs := []Proc[int, int]{
+		func(ctx *Ctx[int]) int {
+			for {
+				ctx.Step("spin")
+			}
+		},
+	}
+	_, err := RunControlled(procs, Lowest{}, Options[int]{MaxActions: 100})
+	if err == nil || !strings.Contains(err.Error(), "MaxActions") {
+		t.Fatalf("want MaxActions error, got %v", err)
+	}
+}
+
+func TestRacyNetworkExposedByPolicies(t *testing.T) {
+	// Violates the model: both processes mutate a shared variable.
+	// Different interleavings must be able to produce different results;
+	// this is what the determinacy checker relies on to flag violations.
+	results := map[int]bool{}
+	for _, pol := range DefaultPolicies(10) {
+		shared := 0
+		procs := []Proc[int, int]{
+			func(ctx *Ctx[int]) int {
+				ctx.Step("a")
+				shared = 1
+				ctx.Step("b")
+				return shared
+			},
+			func(ctx *Ctx[int]) int {
+				ctx.Step("a")
+				shared = 2
+				ctx.Step("b")
+				return shared
+			},
+		}
+		res, err := RunControlled(procs, pol, Options[int]{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[res[0]*10+res[1]] = true
+	}
+	if len(results) < 2 {
+		t.Fatalf("expected diverging results across policies, got only %v", results)
+	}
+}
+
+func TestFanInFanOut(t *testing.T) {
+	// P0 scatters to workers, workers square, P0 gathers. 1 + 3 workers.
+	const workers = 3
+	procs := make([]Proc[int, []int], workers+1)
+	procs[0] = func(ctx *Ctx[int]) []int {
+		for w := 1; w <= workers; w++ {
+			ctx.Send(w, w*10)
+		}
+		out := make([]int, workers)
+		for w := 1; w <= workers; w++ {
+			out[w-1] = ctx.Recv(w)
+		}
+		return out
+	}
+	for w := 1; w <= workers; w++ {
+		procs[w] = func(ctx *Ctx[int]) []int {
+			v := ctx.Recv(0)
+			ctx.Send(0, v*v)
+			return nil
+		}
+	}
+	want := []int{100, 400, 900}
+	for _, pol := range DefaultPolicies(4) {
+		res, err := RunControlled(procs, pol, Options[int]{})
+		if err != nil {
+			t.Fatalf("policy %s: %v", pol.Name(), err)
+		}
+		if !reflect.DeepEqual(res[0], want) {
+			t.Fatalf("policy %s: gather = %v", pol.Name(), res[0])
+		}
+	}
+	got := RunConcurrent(procs, Options[int]{})
+	if !reflect.DeepEqual(got[0], want) {
+		t.Fatalf("concurrent gather = %v", got[0])
+	}
+}
+
+func TestCtxBoundsChecks(t *testing.T) {
+	procs := []Proc[int, int]{
+		func(ctx *Ctx[int]) int {
+			defer func() {
+				if recover() == nil {
+					panic("expected out-of-range send to panic")
+				}
+			}()
+			ctx.Send(5, 1)
+			return 0
+		},
+	}
+	if _, err := RunControlled(procs, Lowest{}, Options[int]{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCtxIdentity(t *testing.T) {
+	procs := make([]Proc[int, int], 4)
+	for i := range procs {
+		procs[i] = func(ctx *Ctx[int]) int { return ctx.ID()*100 + ctx.P() }
+	}
+	res, err := RunControlled(procs, NewRoundRobin(), Options[int]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r != i*100+4 {
+			t.Fatalf("proc %d result %d", i, r)
+		}
+	}
+}
+
+func TestEmptyNetwork(t *testing.T) {
+	res, err := RunControlled[int, int](nil, Lowest{}, Options[int]{})
+	if err != nil || res != nil {
+		t.Fatalf("empty network: %v, %v", res, err)
+	}
+	if got := RunConcurrent[int, int](nil, Options[int]{}); got != nil {
+		t.Fatalf("empty concurrent network: %v", got)
+	}
+}
+
+func TestConcurrentTraceIsLegalInterleaving(t *testing.T) {
+	tr := trace.New()
+	RunConcurrent(pingPong(4), Options[int]{Trace: tr})
+	ctrl := trace.New()
+	if _, err := RunControlled(pingPong(4), Lowest{}, Options[int]{Trace: ctrl}); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.EquivalentTo(ctrl, 2) {
+		t.Fatalf("concurrent trace not equivalent to controlled: %s",
+			tr.ExplainInequivalence(ctrl, 2))
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	for _, pol := range DefaultPolicies(1) {
+		if pol.Name() == "" {
+			t.Fatal("policy with empty name")
+		}
+	}
+}
+
+func TestRoundRobinCyclesFairly(t *testing.T) {
+	rr := NewRoundRobin()
+	enabled := []int{0, 1, 2}
+	seen := []int{}
+	for i := 0; i < 6; i++ {
+		seen = append(seen, rr.Pick(enabled, i))
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	if !reflect.DeepEqual(seen, want) {
+		t.Fatalf("round robin order = %v", seen)
+	}
+}
+
+func TestAlternatingAvoidsRepeat(t *testing.T) {
+	a := NewAlternating()
+	last := -1
+	for i := 0; i < 10; i++ {
+		p := a.Pick([]int{0, 1}, i)
+		if p == last {
+			t.Fatalf("alternating repeated %d at step %d", p, i)
+		}
+		last = p
+	}
+	// With only one enabled process it must still pick it.
+	if a.Pick([]int{3}, 0) != 3 {
+		t.Fatal("alternating must pick the only enabled process")
+	}
+	if a.Pick([]int{3}, 1) != 3 {
+		t.Fatal("alternating must pick the only enabled process repeatedly")
+	}
+}
+
+func TestRandomPolicyIsSeedDeterministic(t *testing.T) {
+	a, b := NewRandom(7), NewRandom(7)
+	enabled := []int{0, 1, 2, 3}
+	for i := 0; i < 50; i++ {
+		if a.Pick(enabled, i) != b.Pick(enabled, i) {
+			t.Fatal("same seed must give same picks")
+		}
+	}
+}
+
+func TestPanickingProcessReportedAsError(t *testing.T) {
+	procs := []Proc[int, int]{
+		func(ctx *Ctx[int]) int { ctx.Step("ok"); return 1 },
+		func(ctx *Ctx[int]) int { ctx.Step("boom"); panic("injected failure") },
+	}
+	_, err := RunControlled(procs, Lowest{}, Options[int]{})
+	if err == nil || !strings.Contains(err.Error(), "process 1 panicked: injected failure") {
+		t.Fatalf("want panic error, got %v", err)
+	}
+}
+
+func TestPanickedSenderExplainsStall(t *testing.T) {
+	// Process 0 waits for a message that process 1 dies before sending:
+	// the reported error must be the panic, not a bare deadlock.
+	procs := []Proc[int, int]{
+		func(ctx *Ctx[int]) int { return ctx.Recv(1) },
+		func(ctx *Ctx[int]) int { panic("died before sending") },
+	}
+	_, err := RunControlled(procs, Lowest{}, Options[int]{})
+	if err == nil || !strings.Contains(err.Error(), "died before sending") {
+		t.Fatalf("want panic error, got %v", err)
+	}
+	if errors.Is(err, ErrDeadlock) {
+		t.Fatal("panic should take precedence over deadlock")
+	}
+}
+
+func TestSurvivorsCompleteDespitePanic(t *testing.T) {
+	// Independent survivors still finish and report results.
+	procs := []Proc[int, int]{
+		func(ctx *Ctx[int]) int { ctx.Step("a"); return 42 },
+		func(ctx *Ctx[int]) int { panic("x") },
+		func(ctx *Ctx[int]) int { ctx.Step("b"); return 7 },
+	}
+	res, err := RunControlled(procs, NewRoundRobin(), Options[int]{})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if res[0] != 42 || res[2] != 7 {
+		t.Fatalf("survivors lost: %v", res)
+	}
+}
+
+func TestDeadlockReportNamesWaiters(t *testing.T) {
+	procs := []Proc[int, int]{
+		func(ctx *Ctx[int]) int { return ctx.Recv(1) },
+		func(ctx *Ctx[int]) int { return ctx.Recv(2) },
+		func(ctx *Ctx[int]) int { return ctx.Recv(0) },
+	}
+	_, err := RunControlled(procs, Lowest{}, Options[int]{})
+	if err == nil {
+		t.Fatal("expected deadlock")
+	}
+	for _, want := range []string{"P0 waits on P1", "P1 waits on P2", "P2 waits on P0"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("deadlock report missing %q: %v", want, err)
+		}
+	}
+}
+
+func TestSchedulerTracesAreCausallyConsistent(t *testing.T) {
+	for _, pol := range DefaultPolicies(5) {
+		tr := trace.New()
+		if _, err := RunControlled(pingPong(6), pol, Options[int]{Trace: tr}); err != nil {
+			t.Fatal(err)
+		}
+		if msg := tr.CheckCausality(2); msg != "" {
+			t.Fatalf("policy %s produced a causally inconsistent trace: %s", pol.Name(), msg)
+		}
+	}
+	tr := trace.New()
+	RunConcurrent(pingPong(6), Options[int]{Trace: tr})
+	if msg := tr.CheckCausality(2); msg != "" {
+		t.Fatalf("concurrent trace causally inconsistent: %s", msg)
+	}
+}

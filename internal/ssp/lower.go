@@ -1,0 +1,166 @@
+package ssp
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// Message is the payload of the point-to-point messages produced by the
+// mechanical SSP-to-parallel transformation.  Without combining, each
+// message carries one assignment's value; with combining, all
+// assignments sharing a sender and receiver within one exchange travel
+// in a single message ("a group of message-passing operations with a
+// common sender and a common receiver can be combined for efficiency").
+type Message struct {
+	Exchange int // ordinal of the exchange phase, for diagnostics
+	Idxs     []int
+	Vals     []float64
+}
+
+func (m Message) String() string {
+	return fmt.Sprintf("x%d%v=%v", m.Exchange, m.Idxs, m.Vals)
+}
+
+// LowerOptions configures the SSP-to-parallel transformation.
+type LowerOptions struct {
+	// CombineMessages merges same-sender same-receiver assignments of
+	// an exchange into one message.
+	CombineMessages bool
+}
+
+// Procs mechanically transforms the program into a network of parallel
+// processes (Theorem 1's transformation): simulated processes become
+// real processes, simulated address spaces become private per-process
+// spaces (deep copies of init), and each data-exchange operation
+// becomes point-to-point messages with all of a process's sends
+// performed before any of its receives.  Each process returns its final
+// address space.
+//
+// The caller should Validate the program first; Procs panics on
+// malformed programs.
+func (p *Program) Procs(init []*Space, opt LowerOptions) []sched.Proc[Message, *Space] {
+	if len(init) != p.N {
+		panic(fmt.Sprintf("ssp: got %d spaces for %d processes", len(init), p.N))
+	}
+	// Precompute per-exchange plans once; they are shared read-only.
+	type xinfo struct {
+		ord   int
+		ex    Exchange
+		plans []exchangePlan
+	}
+	var phases []any // Local func-slices or *xinfo
+	ord := 0
+	for _, ph := range p.Phases {
+		switch ph := ph.(type) {
+		case Local:
+			phases = append(phases, ph)
+		case Exchange:
+			phases = append(phases, &xinfo{ord: ord, ex: ph, plans: planExchange(ph, p.N)})
+			ord++
+		}
+	}
+
+	procs := make([]sched.Proc[Message, *Space], p.N)
+	for rank := 0; rank < p.N; rank++ {
+		rank := rank
+		start := init[rank]
+		procs[rank] = func(ctx *sched.Ctx[Message]) *Space {
+			local := start.Clone()
+			for _, ph := range phases {
+				switch ph := ph.(type) {
+				case Local:
+					if f := ph.Blocks[rank]; f != nil {
+						f(rank, local)
+					}
+				case *xinfo:
+					runExchange(ctx, rank, ph.ord, ph.ex, ph.plans[rank], local, opt)
+				}
+			}
+			return local
+		}
+	}
+	return procs
+}
+
+// runExchange performs one data-exchange operation for one process:
+// first all sends, then all receives, in the shared global assignment
+// order.  Because every send in the whole exchange precedes the
+// matching receive in program order on the sending side, and receives
+// block until data arrives, no receive can observe an empty channel
+// forever: the ordering restriction of §3.3 is satisfied by
+// construction.
+func runExchange(ctx *sched.Ctx[Message], rank, ord int, e Exchange, plan exchangePlan, local *Space, opt LowerOptions) {
+	if opt.CombineMessages {
+		// Group consecutive (in global order) assignments per receiver.
+		byDst := map[int]*Message{}
+		var dstOrder []int
+		for _, idx := range plan.sends {
+			a := e.Assignments[idx]
+			m, ok := byDst[a.DstProc]
+			if !ok {
+				m = &Message{Exchange: ord}
+				byDst[a.DstProc] = m
+				dstOrder = append(dstOrder, a.DstProc)
+			}
+			m.Idxs = append(m.Idxs, idx)
+			m.Vals = append(m.Vals, a.eval(local))
+		}
+		for _, dst := range dstOrder {
+			ctx.Send(dst, *byDst[dst])
+		}
+		// Receive one combined message per distinct source, in the order
+		// of first appearance in the global assignment order (matching
+		// the sender's dstOrder construction on the other side).
+		seen := map[int]bool{}
+		for _, idx := range plan.recvs {
+			src := e.Assignments[idx].SrcProc
+			if seen[src] {
+				continue
+			}
+			seen[src] = true
+			m := ctx.Recv(src)
+			for i, ai := range m.Idxs {
+				a := e.Assignments[ai]
+				if a.DstProc != rank {
+					panic(fmt.Sprintf("ssp: misrouted assignment %d to process %d", ai, rank))
+				}
+				local.Set(a.Dst, m.Vals[i])
+			}
+		}
+		return
+	}
+	// One message per assignment.
+	for _, idx := range plan.sends {
+		a := e.Assignments[idx]
+		ctx.Send(a.DstProc, Message{Exchange: ord, Idxs: []int{idx}, Vals: []float64{a.eval(local)}})
+	}
+	for _, idx := range plan.recvs {
+		a := e.Assignments[idx]
+		m := ctx.Recv(a.SrcProc)
+		if len(m.Idxs) != 1 || m.Idxs[0] != idx {
+			panic(fmt.Sprintf("ssp: process %d expected assignment %d from %d, got %v",
+				rank, idx, a.SrcProc, m.Idxs))
+		}
+		local.Set(a.Dst, m.Vals[0])
+	}
+}
+
+// MessageCounts returns the total number of point-to-point messages the
+// parallel program sends across all exchanges, with and without
+// message combining — the quantity the combining ablation varies.
+func (p *Program) MessageCounts() (uncombined, combined int) {
+	for _, ph := range p.Phases {
+		e, ok := ph.(Exchange)
+		if !ok {
+			continue
+		}
+		uncombined += len(e.Assignments)
+		pairs := map[[2]int]bool{}
+		for _, a := range e.Assignments {
+			pairs[[2]int{a.SrcProc, a.DstProc}] = true
+		}
+		combined += len(pairs)
+	}
+	return uncombined, combined
+}

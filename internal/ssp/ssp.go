@@ -1,0 +1,375 @@
+// Package ssp models sequential simulated-parallel (SSP) programs — the
+// key intermediate stage of the paper's parallelization methodology
+// (§2.2) — and implements the mechanical transformation of Theorem 1
+// that turns a valid SSP program into an equivalent parallel
+// message-passing program.
+//
+// An SSP program for N simulated processes is an alternating sequence
+// of local-computation blocks and data-exchange operations:
+//
+//   - A local-computation block is a composition of N program blocks,
+//     where block i accesses only the local data of simulated process i.
+//   - A data-exchange operation is a set of assignment statements
+//     subject to three restrictions: (i) an object assigned by one
+//     assignment is not referenced by any other; (ii) each side of an
+//     assignment references objects of exactly one partition; and
+//     (iii) every process is assigned at least one value.
+//
+// Validate checks the restrictions.  RunSequential executes the program
+// sequentially (the simulated-parallel execution).  Procs lowers the
+// program to a network of sched processes in which every data-exchange
+// assignment becomes one point-to-point message, with all of a
+// process's sends performed before any of its receives — the ordering
+// that §3.3 shows can never read from an empty channel.
+package ssp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ScalarIndex marks a Ref or assignment target as a scalar variable
+// rather than a vector element.
+const ScalarIndex = -1
+
+// Ref identifies one atomic data object within a single process's
+// simulated address space: a scalar variable (Index == ScalarIndex) or
+// one element of a vector variable.
+type Ref struct {
+	Name  string
+	Index int
+}
+
+func (r Ref) String() string {
+	if r.Index == ScalarIndex {
+		return r.Name
+	}
+	return fmt.Sprintf("%s[%d]", r.Name, r.Index)
+}
+
+// object is a fully qualified atomic data object (process + ref),
+// used by the restriction validators.
+type object struct {
+	proc int
+	ref  Ref
+}
+
+func (o object) String() string { return fmt.Sprintf("P%d.%s", o.proc, o.ref) }
+
+// Space is one simulated process's local data: named scalars and named
+// vectors of float64.
+type Space struct {
+	Scalars map[string]float64
+	Vectors map[string][]float64
+}
+
+// NewSpace returns an empty address space.
+func NewSpace() *Space {
+	return &Space{Scalars: map[string]float64{}, Vectors: map[string][]float64{}}
+}
+
+// Get reads the atomic object r; it panics on an undeclared name or an
+// out-of-range index, because referencing unallocated data is a program
+// bug, not a runtime condition.
+func (s *Space) Get(r Ref) float64 {
+	if r.Index == ScalarIndex {
+		v, ok := s.Scalars[r.Name]
+		if !ok {
+			panic(fmt.Sprintf("ssp: read of undeclared scalar %q", r.Name))
+		}
+		return v
+	}
+	vec, ok := s.Vectors[r.Name]
+	if !ok {
+		panic(fmt.Sprintf("ssp: read of undeclared vector %q", r.Name))
+	}
+	return vec[r.Index]
+}
+
+// Set writes the atomic object r.
+func (s *Space) Set(r Ref, v float64) {
+	if r.Index == ScalarIndex {
+		if _, ok := s.Scalars[r.Name]; !ok {
+			panic(fmt.Sprintf("ssp: write to undeclared scalar %q", r.Name))
+		}
+		s.Scalars[r.Name] = v
+		return
+	}
+	vec, ok := s.Vectors[r.Name]
+	if !ok {
+		panic(fmt.Sprintf("ssp: write to undeclared vector %q", r.Name))
+	}
+	vec[r.Index] = v
+}
+
+// Clone deep-copies the space.
+func (s *Space) Clone() *Space {
+	c := NewSpace()
+	for k, v := range s.Scalars {
+		c.Scalars[k] = v
+	}
+	for k, v := range s.Vectors {
+		vv := make([]float64, len(v))
+		copy(vv, v)
+		c.Vectors[k] = vv
+	}
+	return c
+}
+
+// Equal reports bitwise equality of two spaces (same names, same
+// values).
+func (s *Space) Equal(o *Space) bool {
+	if len(s.Scalars) != len(o.Scalars) || len(s.Vectors) != len(o.Vectors) {
+		return false
+	}
+	for k, v := range s.Scalars {
+		ov, ok := o.Scalars[k]
+		if !ok || ov != v {
+			return false
+		}
+	}
+	for k, v := range s.Vectors {
+		ov, ok := o.Vectors[k]
+		if !ok || len(ov) != len(v) {
+			return false
+		}
+		for i := range v {
+			if v[i] != ov[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SpacesEqual reports element-wise equality of two slices of spaces.
+func SpacesEqual(a, b []*Space) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// CloneSpaces deep-copies a slice of spaces.
+func CloneSpaces(ss []*Space) []*Space {
+	out := make([]*Space, len(ss))
+	for i, s := range ss {
+		out[i] = s.Clone()
+	}
+	return out
+}
+
+// Assignment is one statement of a data-exchange operation:
+//
+//	DstProc.Dst = Compute(SrcProc.Reads...)
+//
+// The structure itself enforces restriction (ii): the target lives in
+// exactly one partition (DstProc) and every read in exactly one
+// partition (SrcProc).
+type Assignment struct {
+	DstProc int
+	Dst     Ref
+	SrcProc int
+	Reads   []Ref
+	// Compute combines the read values; nil means identity of Reads[0]
+	// (a plain copy, the common case for boundary exchange).
+	Compute func(vals []float64) float64
+}
+
+func (a Assignment) eval(src *Space) float64 {
+	vals := make([]float64, len(a.Reads))
+	for i, r := range a.Reads {
+		vals[i] = src.Get(r)
+	}
+	if a.Compute == nil {
+		return vals[0]
+	}
+	return a.Compute(vals)
+}
+
+// Copy builds the common copy assignment dst := src.
+func Copy(dstProc int, dst Ref, srcProc int, src Ref) Assignment {
+	return Assignment{DstProc: dstProc, Dst: dst, SrcProc: srcProc, Reads: []Ref{src}}
+}
+
+// Phase is one stage of an SSP program: a Local block or an Exchange.
+type Phase interface {
+	phase()
+	// Name labels the phase for diagnostics.
+	Name() string
+}
+
+// Local is a local-computation block: Blocks[i] runs on (and may access
+// only) the local data of simulated process i.  A nil entry is an empty
+// block for that process.
+type Local struct {
+	Label  string
+	Blocks []func(p int, s *Space)
+}
+
+func (Local) phase() {}
+
+// Name implements Phase.
+func (l Local) Name() string { return l.Label }
+
+// Exchange is a data-exchange operation: a set of assignments executed
+// "simultaneously" (reads before writes).
+type Exchange struct {
+	Label       string
+	Assignments []Assignment
+}
+
+func (Exchange) phase() {}
+
+// Name implements Phase.
+func (e Exchange) Name() string { return e.Label }
+
+// Program is a sequential simulated-parallel program: N simulated
+// processes and an alternating sequence of phases.
+type Program struct {
+	N      int
+	Phases []Phase
+}
+
+// RestrictionError reports a violation of one of the three data-
+// exchange restrictions of §2.2, or a malformed program.
+type RestrictionError struct {
+	Phase  string
+	Rule   string // "i", "ii", "iii", or "form"
+	Detail string
+}
+
+func (e *RestrictionError) Error() string {
+	return fmt.Sprintf("ssp: exchange %q violates restriction (%s): %s", e.Phase, e.Rule, e.Detail)
+}
+
+// Validate checks that the program is well formed: process counts in
+// range, local blocks sized N, and every exchange satisfying the three
+// restrictions.  It returns the first violation found, or nil.
+func (p *Program) Validate() error {
+	if p.N <= 0 {
+		return &RestrictionError{Rule: "form", Detail: fmt.Sprintf("N must be positive, got %d", p.N)}
+	}
+	for _, ph := range p.Phases {
+		switch ph := ph.(type) {
+		case Local:
+			if len(ph.Blocks) != p.N {
+				return &RestrictionError{Phase: ph.Label, Rule: "form",
+					Detail: fmt.Sprintf("local block has %d entries for %d processes", len(ph.Blocks), p.N)}
+			}
+		case Exchange:
+			if err := p.validateExchange(ph); err != nil {
+				return err
+			}
+		default:
+			return &RestrictionError{Rule: "form", Detail: fmt.Sprintf("unknown phase type %T", ph)}
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateExchange(e Exchange) error {
+	targets := map[object]int{} // object -> assignment index
+	assigned := make([]bool, p.N)
+	for idx, a := range e.Assignments {
+		if a.DstProc < 0 || a.DstProc >= p.N {
+			return &RestrictionError{Phase: e.Label, Rule: "form",
+				Detail: fmt.Sprintf("assignment %d: DstProc %d out of range", idx, a.DstProc)}
+		}
+		if a.SrcProc < 0 || a.SrcProc >= p.N {
+			return &RestrictionError{Phase: e.Label, Rule: "form",
+				Detail: fmt.Sprintf("assignment %d: SrcProc %d out of range", idx, a.SrcProc)}
+		}
+		if len(a.Reads) == 0 {
+			return &RestrictionError{Phase: e.Label, Rule: "form",
+				Detail: fmt.Sprintf("assignment %d: no reads declared", idx)}
+		}
+		tgt := object{a.DstProc, a.Dst}
+		if prev, dup := targets[tgt]; dup {
+			return &RestrictionError{Phase: e.Label, Rule: "i",
+				Detail: fmt.Sprintf("%v is the target of assignments %d and %d", tgt, prev, idx)}
+		}
+		targets[tgt] = idx
+		assigned[a.DstProc] = true
+	}
+	// Restriction (i): a target must not be referenced by any *other*
+	// assignment (as a read).
+	for idx, a := range e.Assignments {
+		for _, r := range a.Reads {
+			obj := object{a.SrcProc, r}
+			if tidx, isTarget := targets[obj]; isTarget && tidx != idx {
+				return &RestrictionError{Phase: e.Label, Rule: "i",
+					Detail: fmt.Sprintf("%v is the target of assignment %d but read by assignment %d", obj, tidx, idx)}
+			}
+		}
+	}
+	// Restriction (ii) is structural: each Assignment has exactly one
+	// DstProc and one SrcProc.  (The paper allows the two to differ.)
+	// Restriction (iii): every process receives at least one value.
+	for i, ok := range assigned {
+		if !ok {
+			return &RestrictionError{Phase: e.Label, Rule: "iii",
+				Detail: fmt.Sprintf("no assignment targets process %d", i)}
+		}
+	}
+	return nil
+}
+
+// RunSequential executes the program as a sequential simulated-parallel
+// program over the given address spaces (one per simulated process),
+// mutating them in place.  Local blocks run in process order; exchange
+// operations evaluate every right-hand side before performing any
+// write, matching the "all sends before any receives" discipline.
+func (p *Program) RunSequential(spaces []*Space) error {
+	if len(spaces) != p.N {
+		return fmt.Errorf("ssp: got %d spaces for %d processes", len(spaces), p.N)
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	for _, ph := range p.Phases {
+		switch ph := ph.(type) {
+		case Local:
+			for i, f := range ph.Blocks {
+				if f != nil {
+					f(i, spaces[i])
+				}
+			}
+		case Exchange:
+			vals := make([]float64, len(ph.Assignments))
+			for i, a := range ph.Assignments {
+				vals[i] = a.eval(spaces[a.SrcProc])
+			}
+			for i, a := range ph.Assignments {
+				spaces[a.DstProc].Set(a.Dst, vals[i])
+			}
+		}
+	}
+	return nil
+}
+
+// exchangePlan precomputes, for one exchange and one process, the
+// assignments it must send (as source) and receive (as destination), in
+// the deterministic global assignment order that both sides share.
+type exchangePlan struct {
+	sends []int // assignment indices with SrcProc == p
+	recvs []int // assignment indices with DstProc == p
+}
+
+func planExchange(e Exchange, n int) []exchangePlan {
+	plans := make([]exchangePlan, n)
+	for idx, a := range e.Assignments {
+		plans[a.SrcProc].sends = append(plans[a.SrcProc].sends, idx)
+		plans[a.DstProc].recvs = append(plans[a.DstProc].recvs, idx)
+	}
+	for p := range plans {
+		sort.Ints(plans[p].sends)
+		sort.Ints(plans[p].recvs)
+	}
+	return plans
+}

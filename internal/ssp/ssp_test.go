@@ -1,0 +1,341 @@
+package ssp
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// ringProgram builds a small but representative SSP program over n
+// processes: each process holds a scalar x and a 3-element vector v;
+// phases alternate local computation with a ring boundary exchange.
+func ringProgram(n, steps int) (*Program, []*Space) {
+	spaces := make([]*Space, n)
+	for i := range spaces {
+		s := NewSpace()
+		s.Scalars["x"] = float64(i + 1)
+		s.Scalars["left"] = 0
+		s.Vectors["v"] = []float64{float64(i), float64(2 * i), float64(3 * i)}
+		spaces[i] = s
+	}
+	var phases []Phase
+	for st := 0; st < steps; st++ {
+		blocks := make([]func(int, *Space), n)
+		for i := range blocks {
+			blocks[i] = func(p int, s *Space) {
+				// Uses only local data.
+				s.Scalars["x"] = s.Scalars["x"]*1.5 + s.Scalars["left"]
+				s.Vectors["v"][0] += s.Scalars["x"]
+			}
+		}
+		phases = append(phases, Local{Label: "compute", Blocks: blocks})
+		// Ring exchange: each process receives its left neighbour's x.
+		var as []Assignment
+		for i := 0; i < n; i++ {
+			src := (i + n - 1) % n
+			as = append(as, Copy(i, Ref{"left", ScalarIndex}, src, Ref{"x", ScalarIndex}))
+		}
+		phases = append(phases, Exchange{Label: "ring", Assignments: as})
+	}
+	return &Program{N: n, Phases: phases}, spaces
+}
+
+func TestValidateAcceptsRing(t *testing.T) {
+	p, _ := ringProgram(4, 2)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestrictionIDuplicateTarget(t *testing.T) {
+	p := &Program{N: 2, Phases: []Phase{Exchange{Label: "bad", Assignments: []Assignment{
+		Copy(0, Ref{"a", ScalarIndex}, 1, Ref{"b", ScalarIndex}),
+		Copy(0, Ref{"a", ScalarIndex}, 1, Ref{"c", ScalarIndex}),
+		Copy(1, Ref{"d", ScalarIndex}, 0, Ref{"e", ScalarIndex}),
+	}}}}
+	var re *RestrictionError
+	err := p.Validate()
+	if !errors.As(err, &re) || re.Rule != "i" {
+		t.Fatalf("want restriction (i) violation, got %v", err)
+	}
+}
+
+func TestRestrictionITargetReadElsewhere(t *testing.T) {
+	p := &Program{N: 2, Phases: []Phase{Exchange{Label: "bad", Assignments: []Assignment{
+		Copy(0, Ref{"a", ScalarIndex}, 1, Ref{"b", ScalarIndex}),
+		// Reads P0.a, which is the target of the assignment above.
+		Copy(1, Ref{"c", ScalarIndex}, 0, Ref{"a", ScalarIndex}),
+	}}}}
+	var re *RestrictionError
+	err := p.Validate()
+	if !errors.As(err, &re) || re.Rule != "i" {
+		t.Fatalf("want restriction (i) violation, got %v", err)
+	}
+}
+
+func TestRestrictionIAllowsTargetReadInOwnAssignment(t *testing.T) {
+	// "not referenced in any OTHER assignment": x := f(x) is legal.
+	p := &Program{N: 2, Phases: []Phase{Exchange{Label: "ok", Assignments: []Assignment{
+		{DstProc: 0, Dst: Ref{"a", ScalarIndex}, SrcProc: 0, Reads: []Ref{{"a", ScalarIndex}},
+			Compute: func(v []float64) float64 { return v[0] + 1 }},
+		Copy(1, Ref{"b", ScalarIndex}, 0, Ref{"c", ScalarIndex}),
+	}}}}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("self-read should be legal: %v", err)
+	}
+}
+
+func TestRestrictionIIIMissingProcess(t *testing.T) {
+	p := &Program{N: 3, Phases: []Phase{Exchange{Label: "bad", Assignments: []Assignment{
+		Copy(0, Ref{"a", ScalarIndex}, 1, Ref{"b", ScalarIndex}),
+		Copy(1, Ref{"c", ScalarIndex}, 0, Ref{"d", ScalarIndex}),
+		// Process 2 never assigned.
+	}}}}
+	var re *RestrictionError
+	err := p.Validate()
+	if !errors.As(err, &re) || re.Rule != "iii" {
+		t.Fatalf("want restriction (iii) violation, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "process 2") {
+		t.Fatalf("error should name the process: %v", err)
+	}
+}
+
+func TestValidateFormErrors(t *testing.T) {
+	cases := []*Program{
+		{N: 0},
+		{N: 2, Phases: []Phase{Local{Label: "l", Blocks: make([]func(int, *Space), 1)}}},
+		{N: 2, Phases: []Phase{Exchange{Label: "x", Assignments: []Assignment{
+			Copy(5, Ref{"a", ScalarIndex}, 0, Ref{"b", ScalarIndex})}}}},
+		{N: 2, Phases: []Phase{Exchange{Label: "x", Assignments: []Assignment{
+			Copy(0, Ref{"a", ScalarIndex}, 9, Ref{"b", ScalarIndex})}}}},
+		{N: 2, Phases: []Phase{Exchange{Label: "x", Assignments: []Assignment{
+			{DstProc: 0, Dst: Ref{"a", ScalarIndex}, SrcProc: 1}}}}},
+	}
+	for i, p := range cases {
+		var re *RestrictionError
+		if err := p.Validate(); !errors.As(err, &re) {
+			t.Fatalf("case %d: want RestrictionError, got %v", i, err)
+		}
+	}
+}
+
+func TestRunSequentialRing(t *testing.T) {
+	p, spaces := ringProgram(3, 4)
+	if err := p.RunSequential(spaces); err != nil {
+		t.Fatal(err)
+	}
+	// The exchange after the final compute must leave each left equal
+	// to the left neighbour's final x.
+	for i := 0; i < 3; i++ {
+		src := (i + 2) % 3
+		if spaces[i].Scalars["left"] != spaces[src].Scalars["x"] {
+			t.Fatalf("proc %d: left=%v want %v", i,
+				spaces[i].Scalars["left"], spaces[src].Scalars["x"])
+		}
+	}
+}
+
+func TestRunSequentialSpaceCountMismatch(t *testing.T) {
+	p, _ := ringProgram(3, 1)
+	if err := p.RunSequential(make([]*Space, 2)); err == nil {
+		t.Fatal("expected error for wrong space count")
+	}
+}
+
+// TestTheorem1Transformation is the central test of the package: the
+// mechanically derived parallel program produces, under every
+// interleaving policy and under free-running goroutines, final spaces
+// bitwise identical to the sequential simulated-parallel execution —
+// with and without message combining.
+func TestTheorem1Transformation(t *testing.T) {
+	prog, init := ringProgram(4, 3)
+	seq := CloneSpaces(init)
+	if err := prog.RunSequential(seq); err != nil {
+		t.Fatal(err)
+	}
+	for _, combine := range []bool{false, true} {
+		procs := prog.Procs(init, LowerOptions{CombineMessages: combine})
+		for _, pol := range sched.DefaultPolicies(5) {
+			got, err := sched.RunControlled(procs, pol, sched.Options[Message]{})
+			if err != nil {
+				t.Fatalf("combine=%v policy=%s: %v", combine, pol.Name(), err)
+			}
+			if !SpacesEqual(got, seq) {
+				t.Fatalf("combine=%v policy=%s: parallel result differs from SSP", combine, pol.Name())
+			}
+		}
+		got := sched.RunConcurrent(procs, sched.Options[Message]{})
+		if !SpacesEqual(got, seq) {
+			t.Fatalf("combine=%v: concurrent result differs from SSP", combine)
+		}
+	}
+}
+
+// TestTheorem1RandomPrograms property-checks the transformation on
+// randomly generated valid programs.
+func TestTheorem1RandomPrograms(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(4) + 2
+		prog, init := randomProgram(rng, n)
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("seed %d: generated invalid program: %v", seed, err)
+		}
+		seq := CloneSpaces(init)
+		if err := prog.RunSequential(seq); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		combine := seed%2 == 0
+		procs := prog.Procs(init, LowerOptions{CombineMessages: combine})
+		got, err := sched.RunControlled(procs, sched.NewRandom(seed+100), sched.Options[Message]{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !SpacesEqual(got, seq) {
+			t.Fatalf("seed %d (combine=%v): parallel != sequential", seed, combine)
+		}
+	}
+}
+
+// randomProgram generates a valid SSP program: alternating local blocks
+// (deterministic arithmetic on local scalars) and exchanges built from
+// a random permutation (so targets are unique and every process is
+// assigned).
+func randomProgram(rng *rand.Rand, n int) (*Program, []*Space) {
+	vars := []string{"a", "b", "c"}
+	init := make([]*Space, n)
+	for i := range init {
+		s := NewSpace()
+		for _, v := range vars {
+			s.Scalars[v] = rng.Float64()*10 - 5
+		}
+		s.Scalars["in"] = 0
+		init[i] = s
+	}
+	var phases []Phase
+	rounds := rng.Intn(4) + 1
+	for r := 0; r < rounds; r++ {
+		k := rng.Intn(3)
+		blocks := make([]func(int, *Space), n)
+		for i := range blocks {
+			blocks[i] = func(p int, s *Space) {
+				s.Scalars[vars[k]] = s.Scalars[vars[k]]*0.5 + s.Scalars["in"] + float64(p)
+			}
+		}
+		phases = append(phases, Local{Label: "L", Blocks: blocks})
+		perm := rng.Perm(n) // src for each dst
+		var as []Assignment
+		for dst := 0; dst < n; dst++ {
+			src := perm[dst]
+			v := vars[rng.Intn(len(vars))]
+			as = append(as, Assignment{
+				DstProc: dst, Dst: Ref{"in", ScalarIndex},
+				SrcProc: src, Reads: []Ref{{v, ScalarIndex}, {vars[0], ScalarIndex}},
+				Compute: func(vals []float64) float64 { return vals[0] + 0.25*vals[1] },
+			})
+		}
+		phases = append(phases, Exchange{Label: "X", Assignments: as})
+	}
+	return &Program{N: n, Phases: phases}, init
+}
+
+func TestMessageCounts(t *testing.T) {
+	// Two assignments 0->1 plus one 1->0: 3 uncombined, 2 combined.
+	p := &Program{N: 2, Phases: []Phase{Exchange{Label: "x", Assignments: []Assignment{
+		Copy(1, Ref{"a", ScalarIndex}, 0, Ref{"p", ScalarIndex}),
+		Copy(1, Ref{"b", ScalarIndex}, 0, Ref{"q", ScalarIndex}),
+		Copy(0, Ref{"c", ScalarIndex}, 1, Ref{"r", ScalarIndex}),
+	}}}}
+	u, c := p.MessageCounts()
+	if u != 3 || c != 2 {
+		t.Fatalf("MessageCounts = %d,%d want 3,2", u, c)
+	}
+}
+
+func TestSpaceOps(t *testing.T) {
+	s := NewSpace()
+	s.Scalars["x"] = 1
+	s.Vectors["v"] = []float64{1, 2, 3}
+	if s.Get(Ref{"x", ScalarIndex}) != 1 || s.Get(Ref{"v", 1}) != 2 {
+		t.Fatal("Get wrong")
+	}
+	s.Set(Ref{"v", 2}, 9)
+	if s.Get(Ref{"v", 2}) != 9 {
+		t.Fatal("Set wrong")
+	}
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Set(Ref{"x", ScalarIndex}, 5)
+	if s.Equal(c) {
+		t.Fatal("clone aliases")
+	}
+	c2 := s.Clone()
+	c2.Vectors["v"][0] = 99
+	if s.Equal(c2) {
+		t.Fatal("vector clone aliases")
+	}
+}
+
+func TestSpacePanicsOnUndeclared(t *testing.T) {
+	s := NewSpace()
+	for _, f := range []func(){
+		func() { s.Get(Ref{"nope", ScalarIndex}) },
+		func() { s.Get(Ref{"nope", 0}) },
+		func() { s.Set(Ref{"nope", ScalarIndex}, 1) },
+		func() { s.Set(Ref{"nope", 0}, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSpacesEqualShapes(t *testing.T) {
+	a := []*Space{NewSpace()}
+	b := []*Space{NewSpace(), NewSpace()}
+	if SpacesEqual(a, b) {
+		t.Fatal("different lengths should differ")
+	}
+	x, y := NewSpace(), NewSpace()
+	x.Scalars["k"] = 1
+	if SpacesEqual([]*Space{x}, []*Space{y}) {
+		t.Fatal("different contents should differ")
+	}
+	y2 := NewSpace()
+	y2.Vectors["v"] = []float64{1}
+	x2 := NewSpace()
+	x2.Vectors["v"] = []float64{2}
+	if SpacesEqual([]*Space{x2}, []*Space{y2}) {
+		t.Fatal("different vector contents should differ")
+	}
+}
+
+func TestRefString(t *testing.T) {
+	if (Ref{"x", ScalarIndex}).String() != "x" {
+		t.Fatal("scalar ref string")
+	}
+	if (Ref{"v", 3}).String() != "v[3]" {
+		t.Fatal("vector ref string")
+	}
+}
+
+func TestProcsPanicsOnBadSpaceCount(t *testing.T) {
+	p, _ := ringProgram(3, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Procs(make([]*Space, 1), LowerOptions{})
+}

@@ -1,0 +1,201 @@
+package ssp
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// Automatic SSP construction for 1-D stencil programs — a step toward
+// the paper's closing goal of "providing automatic support for
+// transformations where feasible" (§6).  Given a declarative
+// description of a sequential grid computation (initial values, a
+// stencil radius, an update function, a step count), Stencil1D.Program
+// mechanically produces the sequential simulated-parallel version:
+// partitioned data, ghost scalars, alternating exchange/compute phases,
+// and exchange operations that satisfy the three restrictions by
+// construction.  Stencil1D.RunSequentialDirect executes the original
+// (unpartitioned) program for comparison.
+//
+// The generated exchanges give every process its neighbours' boundary
+// values; edge processes receive the fixed boundary value instead, via
+// self-assignments, so restriction (iii) holds for any process count.
+
+// Stencil1D declares a sequential 1-D stencil computation.
+type Stencil1D struct {
+	// N is the number of grid points.
+	N int
+	// Radius is the stencil half-width (1 for three-point stencils).
+	Radius int
+	// Steps is the number of sweeps.
+	Steps int
+	// Init gives the initial value of point i.
+	Init func(i int) float64
+	// Boundary is the fixed value seen beyond the domain edges.
+	Boundary float64
+	// Update computes a point's new value from a window of old values:
+	// w[Radius] is the point itself, w[Radius+d] its d-th neighbour.
+	Update func(w []float64) float64
+}
+
+// Validate reports structural problems.
+func (s Stencil1D) Validate() error {
+	switch {
+	case s.N <= 0:
+		return fmt.Errorf("ssp: stencil N must be positive, got %d", s.N)
+	case s.Radius < 1:
+		return fmt.Errorf("ssp: stencil radius must be >= 1, got %d", s.Radius)
+	case s.Steps < 0:
+		return fmt.Errorf("ssp: stencil steps must be >= 0, got %d", s.Steps)
+	case s.Init == nil || s.Update == nil:
+		return fmt.Errorf("ssp: stencil needs Init and Update functions")
+	}
+	return nil
+}
+
+// RunSequentialDirect executes the original sequential program: one
+// array, plain sweeps.
+func (s Stencil1D) RunSequentialDirect() ([]float64, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	cur := make([]float64, s.N)
+	for i := range cur {
+		cur[i] = s.Init(i)
+	}
+	next := make([]float64, s.N)
+	w := make([]float64, 2*s.Radius+1)
+	for step := 0; step < s.Steps; step++ {
+		for i := 0; i < s.N; i++ {
+			for d := -s.Radius; d <= s.Radius; d++ {
+				j := i + d
+				if j < 0 || j >= s.N {
+					w[d+s.Radius] = s.Boundary
+				} else {
+					w[d+s.Radius] = cur[j]
+				}
+			}
+			next[i] = s.Update(w)
+		}
+		cur, next = next, cur
+	}
+	return cur, nil
+}
+
+// Program mechanically generates the sequential simulated-parallel
+// version for p simulated processes, returning the program and the
+// initial address spaces.  Each space holds the local block "u", a
+// scratch block "next", and ghost vectors "glo"/"ghi" of length Radius.
+func (s Stencil1D) Program(p int) (*Program, []*Space, error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if p <= 0 || p > s.N {
+		return nil, nil, fmt.Errorf("ssp: cannot distribute %d points over %d processes", s.N, p)
+	}
+	ranges := grid.Decompose(s.N, p)
+	// Every block must be at least Radius wide so neighbour ghosts come
+	// from adjacent blocks only.
+	for _, r := range ranges {
+		if p > 1 && r.Len() < s.Radius {
+			return nil, nil, fmt.Errorf("ssp: block %v narrower than stencil radius %d", r, s.Radius)
+		}
+	}
+
+	spaces := make([]*Space, p)
+	for r := 0; r < p; r++ {
+		sp := NewSpace()
+		block := make([]float64, ranges[r].Len())
+		for i := range block {
+			block[i] = s.Init(ranges[r].Lo + i)
+		}
+		sp.Vectors["u"] = block
+		sp.Vectors["next"] = make([]float64, len(block))
+		sp.Vectors["glo"] = make([]float64, s.Radius)
+		sp.Vectors["ghi"] = make([]float64, s.Radius)
+		spaces[r] = sp
+	}
+
+	boundary := s.Boundary
+	exchange := func(label string) Exchange {
+		var as []Assignment
+		for r := 0; r < p; r++ {
+			left := r - 1
+			right := r + 1
+			for d := 0; d < s.Radius; d++ {
+				// glo[d] holds the value of global point lo-Radius+d.
+				if left >= 0 {
+					src := ranges[left].Len() - s.Radius + d
+					as = append(as, Copy(r, Ref{Name: "glo", Index: d}, left, Ref{Name: "u", Index: src}))
+				} else {
+					as = append(as, Assignment{
+						DstProc: r, Dst: Ref{Name: "glo", Index: d},
+						SrcProc: r, Reads: []Ref{{Name: "u", Index: 0}},
+						Compute: func([]float64) float64 { return boundary },
+					})
+				}
+				// ghi[d] holds the value of global point hi+d.
+				if right < p {
+					as = append(as, Copy(r, Ref{Name: "ghi", Index: d}, right, Ref{Name: "u", Index: d}))
+				} else {
+					as = append(as, Assignment{
+						DstProc: r, Dst: Ref{Name: "ghi", Index: d},
+						SrcProc: r, Reads: []Ref{{Name: "u", Index: 0}},
+						Compute: func([]float64) float64 { return boundary },
+					})
+				}
+			}
+		}
+		return Exchange{Label: label, Assignments: as}
+	}
+
+	radius := s.Radius
+	update := s.Update
+	compute := func(pid int, sp *Space) {
+		u := sp.Vectors["u"]
+		next := sp.Vectors["next"]
+		glo := sp.Vectors["glo"]
+		ghi := sp.Vectors["ghi"]
+		w := make([]float64, 2*radius+1)
+		for i := range u {
+			for d := -radius; d <= radius; d++ {
+				j := i + d
+				switch {
+				case j < 0:
+					w[d+radius] = glo[radius+j]
+				case j >= len(u):
+					w[d+radius] = ghi[j-len(u)]
+				default:
+					w[d+radius] = u[j]
+				}
+			}
+			next[i] = update(w)
+		}
+		copy(u, next)
+	}
+
+	var phases []Phase
+	for step := 0; step < s.Steps; step++ {
+		phases = append(phases, exchange(fmt.Sprintf("ghosts@%d", step)))
+		blocks := make([]func(int, *Space), p)
+		for r := range blocks {
+			blocks[r] = compute
+		}
+		phases = append(phases, Local{Label: fmt.Sprintf("sweep@%d", step), Blocks: blocks})
+	}
+	prog := &Program{N: p, Phases: phases}
+	if err := prog.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("ssp: generated program invalid (bug): %w", err)
+	}
+	return prog, spaces, nil
+}
+
+// Flatten reassembles the distributed "u" blocks of the final spaces
+// into the global array.
+func (s Stencil1D) Flatten(spaces []*Space) []float64 {
+	out := make([]float64, 0, s.N)
+	for _, sp := range spaces {
+		out = append(out, sp.Vectors["u"]...)
+	}
+	return out
+}

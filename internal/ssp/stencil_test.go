@@ -1,0 +1,187 @@
+package ssp
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func smoothing(n, radius, steps int) Stencil1D {
+	return Stencil1D{
+		N: n, Radius: radius, Steps: steps,
+		Init:     func(i int) float64 { return float64(i*i)*0.03 - float64(i) },
+		Boundary: 0,
+		Update: func(w []float64) float64 {
+			s := 0.0
+			for _, v := range w {
+				s += v
+			}
+			return s / float64(len(w))
+		},
+	}
+}
+
+func TestStencilValidate(t *testing.T) {
+	good := smoothing(10, 1, 2)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Stencil1D{
+		{N: 0, Radius: 1, Steps: 1, Init: good.Init, Update: good.Update},
+		{N: 5, Radius: 0, Steps: 1, Init: good.Init, Update: good.Update},
+		{N: 5, Radius: 1, Steps: -1, Init: good.Init, Update: good.Update},
+		{N: 5, Radius: 1, Steps: 1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("case %d should fail validation", i)
+		}
+	}
+}
+
+// TestAutoSSPMatchesSequential is the headline property of the
+// automatic transformation: for any process count, the generated SSP
+// program produces results bitwise identical to the original
+// sequential program.
+func TestAutoSSPMatchesSequential(t *testing.T) {
+	st := smoothing(17, 1, 5)
+	want, err := st.RunSequentialDirect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 3, 5, 8, 17} {
+		prog, spaces, err := st.Program(p)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if err := prog.RunSequential(spaces); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		got := st.Flatten(spaces)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("p=%d: auto-SSP diverged from sequential\n got %v\nwant %v", p, got, want)
+		}
+	}
+}
+
+func TestAutoSSPWiderStencil(t *testing.T) {
+	st := Stencil1D{
+		N: 20, Radius: 2, Steps: 4,
+		Init:     func(i int) float64 { return math.Sin(float64(i) * 0.7) },
+		Boundary: -1,
+		Update: func(w []float64) float64 {
+			// Asymmetric five-point stencil with a fixed boundary value.
+			return 0.1*w[0] + 0.2*w[1] + 0.4*w[2] + 0.2*w[3] + 0.1*w[4]
+		},
+	}
+	want, err := st.RunSequentialDirect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 4, 10} {
+		prog, spaces, err := st.Program(p)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if err := prog.RunSequential(spaces); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if !reflect.DeepEqual(st.Flatten(spaces), want) {
+			t.Fatalf("p=%d: radius-2 auto-SSP diverged", p)
+		}
+	}
+}
+
+// TestAutoSSPTheorem1 closes the loop: the generated SSP program,
+// lowered to a parallel network by the Theorem 1 transformation, agrees
+// with the sequential original under arbitrary interleavings.
+func TestAutoSSPTheorem1(t *testing.T) {
+	st := smoothing(12, 1, 3)
+	want, err := st.RunSequentialDirect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, init, err := st.Program(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range sched.DefaultPolicies(4) {
+		spaces, err := sched.RunControlled(prog.Procs(init, LowerOptions{CombineMessages: true}),
+			pol, sched.Options[Message]{})
+		if err != nil {
+			t.Fatalf("policy %s: %v", pol.Name(), err)
+		}
+		if !reflect.DeepEqual(st.Flatten(spaces), want) {
+			t.Fatalf("policy %s: parallel auto-SSP diverged", pol.Name())
+		}
+	}
+	spaces := sched.RunConcurrent(prog.Procs(init, LowerOptions{}), sched.Options[Message]{})
+	if !reflect.DeepEqual(st.Flatten(spaces), want) {
+		t.Fatal("concurrent auto-SSP diverged")
+	}
+}
+
+func TestAutoSSPRandomPrograms(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 6
+		radius := rng.Intn(2) + 1
+		coeffs := make([]float64, 2*radius+1)
+		for i := range coeffs {
+			coeffs[i] = rng.Float64() - 0.3
+		}
+		st := Stencil1D{
+			N: n, Radius: radius, Steps: rng.Intn(4) + 1,
+			Init:     func(i int) float64 { return float64(i%7) - 2.5 },
+			Boundary: rng.Float64(),
+			Update: func(w []float64) float64 {
+				s := 0.0
+				for i, v := range w {
+					s += coeffs[i] * v
+				}
+				return s
+			},
+		}
+		want, err := st.RunSequentialDirect()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		maxP := n / radius
+		if maxP > 6 {
+			maxP = 6
+		}
+		for p := 1; p <= maxP; p++ {
+			prog, spaces, err := st.Program(p)
+			if err != nil {
+				t.Fatalf("seed %d p=%d: %v", seed, p, err)
+			}
+			if err := prog.RunSequential(spaces); err != nil {
+				t.Fatalf("seed %d p=%d: %v", seed, p, err)
+			}
+			if !reflect.DeepEqual(st.Flatten(spaces), want) {
+				t.Fatalf("seed %d p=%d: diverged", seed, p)
+			}
+		}
+	}
+}
+
+func TestAutoSSPErrors(t *testing.T) {
+	st := smoothing(10, 3, 1)
+	if _, _, err := st.Program(0); err == nil {
+		t.Fatal("p=0 should error")
+	}
+	if _, _, err := st.Program(11); err == nil {
+		t.Fatal("p > N should error")
+	}
+	// Blocks narrower than the radius are rejected.
+	if _, _, err := st.Program(5); err == nil {
+		t.Fatal("radius-3 stencil on 2-point blocks should error")
+	}
+	bad := Stencil1D{N: 5, Radius: 1, Steps: 1}
+	if _, _, err := bad.Program(2); err == nil {
+		t.Fatal("invalid stencil should error")
+	}
+}

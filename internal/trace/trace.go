@@ -1,0 +1,240 @@
+// Package trace records the communication actions of a parallel or
+// simulated-parallel execution and provides the permutation-equivalence
+// check that underlies Theorem 1 of the paper.
+//
+// The proof of Theorem 1 shows that any maximal interleaving I' of a
+// set of deterministic processes (sharing nothing but single-reader
+// single-writer channels with infinite slack) can be permuted into any
+// other maximal interleaving I without changing its final state.  Two
+// interleavings are permutations of each other in the relevant sense
+// exactly when (a) each process performs the same sequence of actions
+// in both, and (b) each channel carries the same sequence of messages
+// in both.  EquivalentTo checks precisely those two projections.
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies a traced action.
+type Kind int
+
+// Action kinds.
+const (
+	// Step is a local-computation action (no communication).
+	Step Kind = iota
+	// Send is the enqueueing of a message on a channel.
+	Send
+	// Recv is the dequeueing of a message from a channel.
+	Recv
+	// Block records a receive attempt on an empty channel; the process
+	// is suspended until a matching send occurs.  Block events are
+	// scheduling artifacts, not semantic actions, and are ignored by
+	// the equivalence check.
+	Block
+	// Done records process termination.
+	Done
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Step:
+		return "step"
+	case Send:
+		return "send"
+	case Recv:
+		return "recv"
+	case Block:
+		return "block"
+	case Done:
+		return "done"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one traced action.
+type Event struct {
+	Seq  int    // global sequence number within the interleaving
+	Proc int    // acting process
+	Kind Kind   // what it did
+	Peer int    // the other endpoint for Send/Recv (-1 otherwise)
+	Tag  string // optional label (message summary, step name)
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case Send:
+		return fmt.Sprintf("#%d P%d send->P%d %s", e.Seq, e.Proc, e.Peer, e.Tag)
+	case Recv:
+		return fmt.Sprintf("#%d P%d recv<-P%d %s", e.Seq, e.Proc, e.Peer, e.Tag)
+	case Block:
+		return fmt.Sprintf("#%d P%d block<-P%d", e.Seq, e.Proc, e.Peer)
+	default:
+		return fmt.Sprintf("#%d P%d %s %s", e.Seq, e.Proc, e.Kind, e.Tag)
+	}
+}
+
+// Recorder accumulates events of one execution.  A nil *Recorder is a
+// valid no-op recorder, so tracing can be disabled without branching at
+// call sites.
+type Recorder struct {
+	events []Event
+}
+
+// New returns an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Add appends an event, assigning its sequence number.  Safe on nil.
+func (r *Recorder) Add(proc int, kind Kind, peer int, tag string) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, Event{
+		Seq: len(r.events), Proc: proc, Kind: kind, Peer: peer, Tag: tag,
+	})
+}
+
+// Events returns the recorded events in interleaving order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// ProcProjection returns the sequence of semantic actions (Step, Send,
+// Recv, Done — Blocks elided) performed by process p.
+func (r *Recorder) ProcProjection(p int) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Proc == p && e.Kind != Block {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ChanProjection returns the tags of the messages sent on the channel
+// from -> to, in order.
+func (r *Recorder) ChanProjection(from, to int) []string {
+	var out []string
+	for _, e := range r.Events() {
+		if e.Kind == Send && e.Proc == from && e.Peer == to {
+			out = append(out, e.Tag)
+		}
+	}
+	return out
+}
+
+// procKey summarises one semantic action for comparison.
+type procKey struct {
+	Kind Kind
+	Peer int
+	Tag  string
+}
+
+// EquivalentTo reports whether two interleavings are permutations of
+// each other in the sense of Theorem 1's proof: identical per-process
+// action sequences and identical per-channel message sequences.  nprocs
+// is the number of processes in the system.
+func (r *Recorder) EquivalentTo(other *Recorder, nprocs int) bool {
+	return r.ExplainInequivalence(other, nprocs) == ""
+}
+
+// ExplainInequivalence returns "" when the two interleavings are
+// permutation-equivalent, or a human-readable description of the first
+// projection that differs.
+func (r *Recorder) ExplainInequivalence(other *Recorder, nprocs int) string {
+	for p := 0; p < nprocs; p++ {
+		a, b := r.ProcProjection(p), other.ProcProjection(p)
+		if len(a) != len(b) {
+			return fmt.Sprintf("process %d performs %d actions in one interleaving, %d in the other", p, len(a), len(b))
+		}
+		for i := range a {
+			ka := procKey{a[i].Kind, a[i].Peer, a[i].Tag}
+			kb := procKey{b[i].Kind, b[i].Peer, b[i].Tag}
+			if ka != kb {
+				return fmt.Sprintf("process %d action %d differs: %v vs %v", p, i, a[i], b[i])
+			}
+		}
+	}
+	for from := 0; from < nprocs; from++ {
+		for to := 0; to < nprocs; to++ {
+			a, b := r.ChanProjection(from, to), other.ChanProjection(from, to)
+			if len(a) != len(b) {
+				return fmt.Sprintf("channel %d->%d carries %d messages in one interleaving, %d in the other", from, to, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return fmt.Sprintf("channel %d->%d message %d differs: %q vs %q", from, to, i, a[i], b[i])
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// CheckCausality verifies that the interleaving is physically
+// realisable under FIFO channel semantics: the k-th receive on every
+// channel occurs after the k-th send on that channel, and the received
+// tags match the sent tags in order.  It returns "" when consistent, or
+// a description of the first violation.  The scheduler produces
+// causally consistent traces by construction; this validator exists to
+// check traces from other sources (and to test the scheduler itself).
+func (r *Recorder) CheckCausality(nprocs int) string {
+	type chanState struct {
+		sent     []string
+		received int
+	}
+	chans := map[[2]int]*chanState{}
+	get := func(from, to int) *chanState {
+		key := [2]int{from, to}
+		cs, ok := chans[key]
+		if !ok {
+			cs = &chanState{}
+			chans[key] = cs
+		}
+		return cs
+	}
+	for _, e := range r.Events() {
+		switch e.Kind {
+		case Send:
+			if e.Proc < 0 || e.Proc >= nprocs || e.Peer < 0 || e.Peer >= nprocs {
+				return fmt.Sprintf("event %v has endpoints outside [0,%d)", e, nprocs)
+			}
+			get(e.Proc, e.Peer).sent = append(get(e.Proc, e.Peer).sent, e.Tag)
+		case Recv:
+			cs := get(e.Peer, e.Proc)
+			if cs.received >= len(cs.sent) {
+				return fmt.Sprintf("event %v receives message #%d but only %d sent so far",
+					e, cs.received+1, len(cs.sent))
+			}
+			if cs.sent[cs.received] != e.Tag {
+				return fmt.Sprintf("event %v received %q but message #%d on the channel was %q",
+					e, e.Tag, cs.received+1, cs.sent[cs.received])
+			}
+			cs.received++
+		}
+	}
+	return ""
+}
+
+// Format renders the trace, one event per line, for diagnostics and
+// the Figure 1 correspondence demonstration.
+func (r *Recorder) Format() string {
+	var b strings.Builder
+	for _, e := range r.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := New()
+	r.Add(0, Send, 1, "a")
+	r.Add(1, Recv, 0, "a")
+	r.Add(0, Done, -1, "")
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	ev := r.Events()
+	if ev[0].Seq != 0 || ev[1].Seq != 1 || ev[2].Seq != 2 {
+		t.Fatal("sequence numbers wrong")
+	}
+	if ev[0].Kind != Send || ev[0].Peer != 1 {
+		t.Fatalf("event 0 = %+v", ev[0])
+	}
+}
+
+func TestNilRecorderIsNoop(t *testing.T) {
+	var r *Recorder
+	r.Add(0, Send, 1, "x") // must not panic
+	if r.Len() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder should be empty")
+	}
+}
+
+func TestProjections(t *testing.T) {
+	r := New()
+	r.Add(0, Send, 1, "m1")
+	r.Add(1, Block, 0, "")
+	r.Add(1, Recv, 0, "m1")
+	r.Add(0, Send, 1, "m2")
+	r.Add(1, Recv, 0, "m2")
+	p1 := r.ProcProjection(1)
+	if len(p1) != 2 { // Block elided
+		t.Fatalf("proc 1 projection has %d events: %v", len(p1), p1)
+	}
+	ch := r.ChanProjection(0, 1)
+	if len(ch) != 2 || ch[0] != "m1" || ch[1] != "m2" {
+		t.Fatalf("chan projection = %v", ch)
+	}
+	if got := r.ChanProjection(1, 0); len(got) != 0 {
+		t.Fatalf("empty channel projection = %v", got)
+	}
+}
+
+func TestEquivalenceIgnoresInterleavingOrder(t *testing.T) {
+	// Interleaving A: P0 sends both, then P1 receives both.
+	a := New()
+	a.Add(0, Send, 1, "x")
+	a.Add(0, Send, 1, "y")
+	a.Add(1, Recv, 0, "x")
+	a.Add(1, Recv, 0, "y")
+	// Interleaving B: strictly alternating.
+	b := New()
+	b.Add(0, Send, 1, "x")
+	b.Add(1, Recv, 0, "x")
+	b.Add(0, Send, 1, "y")
+	b.Add(1, Recv, 0, "y")
+	if !a.EquivalentTo(b, 2) {
+		t.Fatalf("reordered interleavings should be equivalent: %s",
+			a.ExplainInequivalence(b, 2))
+	}
+}
+
+func TestEquivalenceDetectsDifferentMessages(t *testing.T) {
+	a := New()
+	a.Add(0, Send, 1, "x")
+	b := New()
+	b.Add(0, Send, 1, "z")
+	if a.EquivalentTo(b, 2) {
+		t.Fatal("different message contents should not be equivalent")
+	}
+	if !strings.Contains(a.ExplainInequivalence(b, 2), "differs") {
+		t.Fatal("explanation should mention the difference")
+	}
+}
+
+func TestEquivalenceDetectsDifferentActionCounts(t *testing.T) {
+	a := New()
+	a.Add(0, Send, 1, "x")
+	a.Add(0, Send, 1, "y")
+	b := New()
+	b.Add(0, Send, 1, "x")
+	if a.EquivalentTo(b, 2) {
+		t.Fatal("different action counts should not be equivalent")
+	}
+}
+
+func TestEquivalenceDetectsDifferentPeers(t *testing.T) {
+	a := New()
+	a.Add(0, Send, 1, "x")
+	b := New()
+	b.Add(0, Send, 2, "x")
+	if a.EquivalentTo(b, 3) {
+		t.Fatal("sends to different peers should not be equivalent")
+	}
+}
+
+func TestBlockEventsIgnoredByEquivalence(t *testing.T) {
+	a := New()
+	a.Add(1, Block, 0, "")
+	a.Add(0, Send, 1, "x")
+	a.Add(1, Recv, 0, "x")
+	b := New()
+	b.Add(0, Send, 1, "x")
+	b.Add(1, Recv, 0, "x")
+	if !a.EquivalentTo(b, 2) {
+		t.Fatal("Block events are scheduling artifacts and must be ignored")
+	}
+}
+
+func TestFormatAndStrings(t *testing.T) {
+	r := New()
+	r.Add(0, Send, 1, "v")
+	r.Add(1, Recv, 0, "v")
+	r.Add(1, Block, 0, "")
+	r.Add(0, Step, -1, "compute")
+	r.Add(0, Done, -1, "")
+	out := r.Format()
+	for _, want := range []string{"send->P1", "recv<-P0", "block<-P0", "step compute", "done"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format missing %q in:\n%s", want, out)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind should still render")
+	}
+}
+
+func TestCheckCausalityAcceptsValidTrace(t *testing.T) {
+	r := New()
+	r.Add(0, Send, 1, "a")
+	r.Add(0, Send, 1, "b")
+	r.Add(1, Recv, 0, "a")
+	r.Add(1, Recv, 0, "b")
+	if msg := r.CheckCausality(2); msg != "" {
+		t.Fatalf("valid trace rejected: %s", msg)
+	}
+}
+
+func TestCheckCausalityRejectsRecvBeforeSend(t *testing.T) {
+	r := New()
+	r.Add(1, Recv, 0, "a")
+	r.Add(0, Send, 1, "a")
+	if r.CheckCausality(2) == "" {
+		t.Fatal("receive before send accepted")
+	}
+}
+
+func TestCheckCausalityRejectsFIFOViolation(t *testing.T) {
+	r := New()
+	r.Add(0, Send, 1, "a")
+	r.Add(0, Send, 1, "b")
+	r.Add(1, Recv, 0, "b") // out of order
+	if r.CheckCausality(2) == "" {
+		t.Fatal("FIFO violation accepted")
+	}
+}
+
+func TestCheckCausalityRejectsBadEndpoints(t *testing.T) {
+	r := New()
+	r.Add(0, Send, 5, "a")
+	if r.CheckCausality(2) == "" {
+		t.Fatal("out-of-range endpoint accepted")
+	}
+}

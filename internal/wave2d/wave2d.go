@@ -1,0 +1,225 @@
+// Package wave2d is a second application of the mesh archetype: a
+// two-dimensional TMz FDTD solver (field components Ez, Hx, Hy).  Where
+// the paper's electromagnetics code exercises the archetype's 1-D slab
+// distribution of a 3-D grid, this solver exercises the general 2-D
+// block distribution (mesh.Topo2D): ghost exchange along both axes,
+// per-block boundary specialisation, and a 2-D gather.
+//
+// As with the 3-D code, the same kernels serve the sequential reference
+// and the distributed builds, so results are bitwise identical across
+// builds and runtimes.
+package wave2d
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/mesh"
+)
+
+// Spec describes a TMz run.
+type Spec struct {
+	NX, NY int
+	Steps  int
+	// DT is the time step (c = cell = 1); stability needs DT < 1/sqrt(2).
+	DT float64
+	// Source: a Ricker pulse added to Ez at (SI, SJ).
+	SI, SJ       int
+	Delay, Width float64
+	// Sigma returns the electric conductivity at a cell (0 = vacuum).
+	Sigma func(i, j int) float64
+	// Probe samples Ez here every step.
+	PI, PJ int
+}
+
+// Validate reports the first structural problem.
+func (s Spec) Validate() error {
+	switch {
+	case s.NX < 4 || s.NY < 4:
+		return fmt.Errorf("wave2d: grid %dx%d too small", s.NX, s.NY)
+	case s.Steps <= 0:
+		return fmt.Errorf("wave2d: steps must be positive")
+	case s.DT <= 0 || s.DT >= 1/math.Sqrt2:
+		return fmt.Errorf("wave2d: DT=%g violates the 2-D Courant bound", s.DT)
+	case s.SI < 1 || s.SI >= s.NX || s.SJ < 1 || s.SJ >= s.NY:
+		return fmt.Errorf("wave2d: source (%d,%d) outside interior", s.SI, s.SJ)
+	case s.PI < 0 || s.PI >= s.NX || s.PJ < 0 || s.PJ >= s.NY:
+		return fmt.Errorf("wave2d: probe (%d,%d) outside grid", s.PI, s.PJ)
+	case s.Width <= 0:
+		return fmt.Errorf("wave2d: source width must be positive")
+	}
+	return nil
+}
+
+func (s Spec) sigma(i, j int) float64 {
+	if s.Sigma == nil {
+		return 0
+	}
+	return s.Sigma(i, j)
+}
+
+// coeffs returns the Ez update coefficients at a cell.
+func (s Spec) coeffs(i, j int) (ca, cb float64) {
+	l := s.sigma(i, j) * s.DT / 2
+	return (1 - l) / (1 + l), s.DT / (1 + l)
+}
+
+func (s Spec) pulse(n int) float64 {
+	u := (float64(n) - s.Delay) / s.Width
+	return (1 - 2*u*u) * math.Exp(-u*u)
+}
+
+// Result is the observable outcome.
+type Result struct {
+	Spec  Spec
+	Ez    *grid.G2 // final field, assembled on the root
+	Probe []float64
+}
+
+// Equal reports bitwise equality of fields and probe series.
+func (r *Result) Equal(o *Result) bool {
+	if len(r.Probe) != len(o.Probe) {
+		return false
+	}
+	for i := range r.Probe {
+		if r.Probe[i] != o.Probe[i] {
+			return false
+		}
+	}
+	return r.Ez.Equal(o.Ez)
+}
+
+// block holds one process's local sections and its global position.
+type block struct {
+	xr, yr     grid.Range
+	nx, ny     int // global extents
+	ez, hx, hy *grid.G2
+	ca, cb     *grid.G2
+}
+
+func newBlock(spec Spec, xr, yr grid.Range) *block {
+	b := &block{
+		xr: xr, yr: yr, nx: spec.NX, ny: spec.NY,
+		ez: grid.New2(xr.Len(), yr.Len(), 1),
+		hx: grid.New2(xr.Len(), yr.Len(), 1),
+		hy: grid.New2(xr.Len(), yr.Len(), 1),
+		ca: grid.New2(xr.Len(), yr.Len(), 0),
+		cb: grid.New2(xr.Len(), yr.Len(), 0),
+	}
+	b.ca.FillFunc(func(i, j int) float64 {
+		ca, _ := spec.coeffs(xr.Lo+i, yr.Lo+j)
+		return ca
+	})
+	b.cb.FillFunc(func(i, j int) float64 {
+		_, cb := spec.coeffs(xr.Lo+i, yr.Lo+j)
+		return cb
+	})
+	return b
+}
+
+// updateEz advances Ez over the block: global i in [1, nx), j in
+// [1, ny) (the grid edge is a perfect conductor).
+func (b *block) updateEz() {
+	i0, j0 := 0, 0
+	if b.xr.Lo == 0 {
+		i0 = 1
+	}
+	if b.yr.Lo == 0 {
+		j0 = 1
+	}
+	for i := i0; i < b.xr.Len(); i++ {
+		for j := j0; j < b.yr.Len(); j++ {
+			b.ez.Set(i, j, b.ca.At(i, j)*b.ez.At(i, j)+
+				b.cb.At(i, j)*((b.hy.At(i, j)-b.hy.At(i-1, j))-(b.hx.At(i, j)-b.hx.At(i, j-1))))
+		}
+	}
+}
+
+// updateH advances Hx (global j < ny-1) and Hy (global i < nx-1).
+func (b *block) updateH(dt float64) {
+	jEnd := b.yr.Len()
+	if b.yr.Hi == b.ny {
+		jEnd--
+	}
+	for i := 0; i < b.xr.Len(); i++ {
+		for j := 0; j < jEnd; j++ {
+			b.hx.Set(i, j, b.hx.At(i, j)-dt*(b.ez.At(i, j+1)-b.ez.At(i, j)))
+		}
+	}
+	iEnd := b.xr.Len()
+	if b.xr.Hi == b.nx {
+		iEnd--
+	}
+	for i := 0; i < iEnd; i++ {
+		for j := 0; j < b.yr.Len(); j++ {
+			b.hy.Set(i, j, b.hy.At(i, j)+dt*(b.ez.At(i+1, j)-b.ez.At(i, j)))
+		}
+	}
+}
+
+// RunSequential executes the program on a single block covering the
+// whole domain.
+func RunSequential(spec Spec) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	b := newBlock(spec, grid.Range{Lo: 0, Hi: spec.NX}, grid.Range{Lo: 0, Hi: spec.NY})
+	probe := make([]float64, 0, spec.Steps)
+	for n := 0; n < spec.Steps; n++ {
+		b.updateEz()
+		b.ez.Add(spec.SI, spec.SJ, spec.pulse(n))
+		b.updateH(spec.DT)
+		probe = append(probe, b.ez.At(spec.PI, spec.PJ))
+	}
+	final := grid.New2(spec.NX, spec.NY, 0)
+	final.FillFunc(func(i, j int) float64 { return b.ez.At(i, j) })
+	return &Result{Spec: spec, Ez: final, Probe: probe}, nil
+}
+
+// RunArchetype executes the program on a px-by-py process grid under
+// the given runtime mode and returns the assembled result.
+func RunArchetype(spec Spec, px, py int, mode mesh.Mode, opt mesh.Options) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if px <= 0 || py <= 0 || px > spec.NX || py > spec.NY {
+		return nil, fmt.Errorf("wave2d: cannot distribute %dx%d over %dx%d processes", spec.NX, spec.NY, px, py)
+	}
+	topo := mesh.NewTopo2D(spec.NX, spec.NY, px, py)
+	srcOwner := topo.Owner(spec.SI, spec.SJ)
+	probeOwner := topo.Owner(spec.PI, spec.PJ)
+	results, err := mesh.Run(topo.P(), mode, opt, func(c *mesh.Comm) *Result {
+		xr, yr := topo.Block(c.Rank())
+		b := newBlock(spec, xr, yr)
+		var probe []float64
+		for n := 0; n < spec.Steps; n++ {
+			// Ez reads Hy at i-1 and Hx at j-1: refresh the H ghosts.
+			c.ExchangeGhost2D(b.hx, topo, false)
+			c.ExchangeGhost2D(b.hy, topo, false)
+			b.updateEz()
+			c.Work(float64(xr.Len() * yr.Len()))
+			if c.Rank() == srcOwner {
+				b.ez.Add(spec.SI-xr.Lo, spec.SJ-yr.Lo, spec.pulse(n))
+			}
+			// Hx reads Ez at j+1, Hy at i+1: refresh the Ez ghosts.
+			c.ExchangeGhost2D(b.ez, topo, false)
+			b.updateH(spec.DT)
+			c.Work(float64(2 * xr.Len() * yr.Len()))
+			if c.Rank() == probeOwner {
+				probe = append(probe, b.ez.At(spec.PI-xr.Lo, spec.PJ-yr.Lo))
+			}
+		}
+		fullProbe := c.BroadcastVec(probe, probeOwner)
+		final := c.Gather2D(b.ez, topo, 0)
+		res := &Result{Spec: spec, Probe: fullProbe}
+		if c.Rank() == 0 {
+			res.Ez = final
+		}
+		return res
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
+}

@@ -1,0 +1,156 @@
+package wave2d
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mesh"
+)
+
+func testSpec() Spec {
+	return Spec{
+		NX: 21, NY: 17,
+		Steps: 30,
+		DT:    0.5,
+		SI:    10, SJ: 8,
+		Delay: 8, Width: 3,
+		PI: 15, PJ: 8,
+		Sigma: func(i, j int) float64 {
+			if i >= 4 && i < 8 && j >= 4 && j < 12 {
+				return 0.4 // a lossy slab
+			}
+			return 0
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := testSpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mut := []func(*Spec){
+		func(s *Spec) { s.NX = 2 },
+		func(s *Spec) { s.Steps = 0 },
+		func(s *Spec) { s.DT = 0.8 },
+		func(s *Spec) { s.SI = 0 },
+		func(s *Spec) { s.PI = -1 },
+		func(s *Spec) { s.Width = 0 },
+	}
+	for i, m := range mut {
+		s := testSpec()
+		m(&s)
+		if err := s.Validate(); err == nil {
+			t.Fatalf("case %d should fail", i)
+		}
+	}
+}
+
+func TestSequentialPhysics(t *testing.T) {
+	res, err := RunSequential(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := 0.0
+	for _, v := range res.Probe {
+		if a := math.Abs(v); a > peak {
+			peak = a
+		}
+	}
+	if peak == 0 {
+		t.Fatal("pulse never reached the probe")
+	}
+	if peak > 100 || math.IsNaN(peak) {
+		t.Fatalf("unstable: peak=%v", peak)
+	}
+}
+
+func TestArchetypeMatchesSequentialAllTopologies(t *testing.T) {
+	spec := testSpec()
+	seq, err := RunSequential(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pq := range [][2]int{{1, 1}, {1, 3}, {3, 1}, {2, 2}, {3, 2}, {2, 4}} {
+		arch, err := RunArchetype(spec, pq[0], pq[1], mesh.Sim, mesh.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%dx%d: %v", pq[0], pq[1], err)
+		}
+		if !seq.Equal(arch) {
+			t.Fatalf("%dx%d: archetype diverged from sequential (max diff %g)",
+				pq[0], pq[1], seq.Ez.MaxAbsDiff(arch.Ez))
+		}
+	}
+}
+
+func TestSimEqualsParallel(t *testing.T) {
+	spec := testSpec()
+	sim, err := RunArchetype(spec, 2, 3, mesh.Sim, mesh.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 3; rep++ {
+		par, err := RunArchetype(spec, 2, 3, mesh.Par, mesh.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sim.Equal(par) {
+			t.Fatalf("rep %d: Sim != Par", rep)
+		}
+	}
+}
+
+func TestLossySlabAttenuates(t *testing.T) {
+	withLoss := testSpec()
+	noLoss := testSpec()
+	noLoss.Sigma = nil
+	// Probe on the far side of the lossy slab from the source.
+	withLoss.PI, withLoss.PJ = 2, 8
+	noLoss.PI, noLoss.PJ = 2, 8
+	a, err := RunSequential(withLoss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSequential(noLoss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := func(r *Result) float64 {
+		p := 0.0
+		for _, v := range r.Probe {
+			if x := math.Abs(v); x > p {
+				p = x
+			}
+		}
+		return p
+	}
+	if peak(a) >= peak(b) {
+		t.Fatalf("lossy slab should attenuate: with=%g without=%g", peak(a), peak(b))
+	}
+}
+
+func TestTallyAndErrors(t *testing.T) {
+	spec := testSpec()
+	opt := mesh.DefaultOptions()
+	opt.Tally = machine.NewTally(4)
+	if _, err := RunArchetype(spec, 2, 2, mesh.Sim, opt); err != nil {
+		t.Fatal(err)
+	}
+	if opt.Tally.TotalWork() == 0 || opt.Tally.TotalMessages() == 0 {
+		t.Fatal("tally not recorded")
+	}
+	if _, err := RunArchetype(spec, 0, 1, mesh.Sim, mesh.DefaultOptions()); err == nil {
+		t.Fatal("px=0 should error")
+	}
+	if _, err := RunArchetype(spec, 1, 99, mesh.Sim, mesh.DefaultOptions()); err == nil {
+		t.Fatal("py > NY should error")
+	}
+	bad := spec
+	bad.Steps = 0
+	if _, err := RunArchetype(bad, 2, 2, mesh.Sim, mesh.DefaultOptions()); err == nil {
+		t.Fatal("invalid spec should error")
+	}
+	if _, err := RunSequential(bad); err == nil {
+		t.Fatal("invalid spec should error sequentially")
+	}
+}
