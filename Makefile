@@ -1,0 +1,23 @@
+GO ?= go
+
+# Packages whose concurrency the race detector must vet.
+RACE_PKGS = ./internal/channel ./internal/sched ./internal/mesh
+
+.PHONY: check build vet test race bench
+
+check: vet build test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...

@@ -54,6 +54,23 @@ var (
 	OpMin = mesh.OpMin
 )
 
+// Supervised-execution error contract: RunMesh (Par mode) never hangs
+// on a sick network; it returns a classifiable error instead.
+type (
+	// DeadlockError reports an exactly-detected deadlock (or watchdog
+	// stall), naming every blocked rank and the empty channel it waits
+	// on.  Retrieve it with errors.As.
+	DeadlockError = sched.DeadlockError
+)
+
+// Sentinels for errors.Is classification of supervised-run failures.
+var (
+	// ErrDeadlock classifies exactly-detected deadlocks.
+	ErrDeadlock = sched.ErrDeadlock
+	// ErrStall classifies stall-watchdog aborts (MeshOptions.StallTimeout).
+	ErrStall = sched.ErrStall
+)
+
 // DefaultMeshOptions returns the archetype defaults: combined messages
 // and recursive-doubling reductions.
 func DefaultMeshOptions() MeshOptions { return mesh.DefaultOptions() }

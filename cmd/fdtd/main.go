@@ -10,6 +10,14 @@
 // It prints a run summary, the probe series extrema, and (Version C)
 // the peak far-field potentials, plus the work/message profile when a
 // parallel build is selected.
+//
+// Fault tolerance (par build): -checkpoint-every N saves a hardened
+// checkpoint every N steps under crash recovery, -resume restarts from
+// the checkpoint file, and -inject-crash rank@step kills a rank
+// mid-run to demonstrate recovery:
+//
+//	fdtd -build par -p 4 -checkpoint-every 50 -checkpoint run.ckp \
+//	     -inject-crash 1@120
 package main
 
 import (
@@ -19,11 +27,24 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/fdtd"
 	"repro/internal/gridio"
 	"repro/internal/machine"
 	"repro/internal/mesh"
 )
+
+// parseCrash parses "rank@step" for -inject-crash.
+func parseCrash(s string) (*fault.Injector, error) {
+	var rank, step int
+	if _, err := fmt.Sscanf(s, "%d@%d", &rank, &step); err != nil {
+		return nil, fmt.Errorf("want rank@step, got %q", s)
+	}
+	if rank < 0 || step < 0 {
+		return nil, fmt.Errorf("rank and step must be non-negative in %q", s)
+	}
+	return fault.NewCrash(rank, step), nil
+}
 
 func main() {
 	version := flag.String("version", "C", "application version: A (near field) or C (near + far field)")
@@ -37,6 +58,10 @@ func main() {
 	compensated := flag.Bool("compensated", false, "use the compensated (fixed) far field")
 	boundary := flag.String("boundary", "pec", "outer boundary: pec | mur1")
 	dump := flag.String("dump", "", "write the final Ez field to this file (gridio format)")
+	ckEvery := flag.Int("checkpoint-every", 0, "par build: checkpoint every N steps under crash recovery (0 = off)")
+	ckPath := flag.String("checkpoint", "fdtd.ckp", "checkpoint file path (with -checkpoint-every or -resume)")
+	resume := flag.Bool("resume", false, "par build: resume from the checkpoint file (implies recovery)")
+	injectCrash := flag.String("inject-crash", "", "par build: crash rank@step once, to be absorbed by recovery")
 	flag.Parse()
 
 	spec := fdtd.SpecTable1()
@@ -62,15 +87,50 @@ func main() {
 
 	opt := fdtd.DefaultOptions()
 	opt.FarFieldCompensated = *compensated
+	if *injectCrash != "" {
+		inj, err := parseCrash(*injectCrash)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fdtd: -inject-crash: %v\n", err)
+			os.Exit(2)
+		}
+		opt.Inject = inj
+	}
+	recovery := *ckEvery > 0 || *resume
 	var tally *machine.Tally
 
 	start := time.Now()
 	var res *fdtd.Result
 	var err error
-	switch *build {
-	case "seq":
+	switch {
+	case *build == "seq":
 		res, err = fdtd.RunSequentialOpts(spec, *compensated)
-	case "ssp", "par":
+	case *build == "par" && recovery:
+		if *py > 1 {
+			fmt.Fprintln(os.Stderr, "fdtd: crash recovery supports the 1-D slab decomposition only (py=1)")
+			os.Exit(2)
+		}
+		var rep *fdtd.RecoveryReport
+		rep, err = fdtd.RunWithRecovery(spec, fdtd.RecoveryOptions{
+			P: *p, Opt: opt,
+			CheckpointEvery: *ckEvery,
+			Path:            *ckPath,
+			Resume:          *resume,
+		})
+		if err == nil {
+			res = rep.Result
+			if rep.ResumedFrom > 0 {
+				fmt.Printf("resumed from step %d (%s)\n", rep.ResumedFrom, *ckPath)
+			}
+			for _, c := range rep.Crashes {
+				fmt.Printf("absorbed injected crash: rank %d at step %d\n", c.Rank, c.Step)
+			}
+			if rep.FellBack {
+				fmt.Println("fell back to the retained previous checkpoint")
+			}
+			fmt.Printf("recovery: %d restarts, %d checkpoints saved\n",
+				rep.Restarts, rep.CheckpointsSaved)
+		}
+	case *build == "ssp" || *build == "par":
 		mode := mesh.Sim
 		if *build == "par" {
 			mode = mesh.Par

@@ -188,7 +188,10 @@ func main() {
 			{Name: "parallel (goroutines)", Kind: core.Parallel, Exact: true,
 				Run: func() ([]float64, error) {
 					procsFns := prog.Procs(init, ssp.LowerOptions{CombineMessages: true})
-					spaces := sched.RunConcurrent(procsFns, sched.Options[ssp.Message]{})
+					spaces, err := sched.RunConcurrent(procsFns, sched.Options[ssp.Message]{})
+					if err != nil {
+						return nil, err
+					}
 					return flatten(spaces), nil
 				}},
 		},

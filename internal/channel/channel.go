@@ -208,6 +208,21 @@ func (n *Net[T]) Chan(from, to int) Endpoint[T] {
 	return n.chans[from*n.p+to]
 }
 
+// WrapEndpoints replaces every channel in the network with
+// wrap(from, to, original) — the fault-injection seam: a wrapper can
+// delay or corrupt deliveries while the runtime keeps using the Net
+// interface unchanged.  Wrappers must preserve each channel's FIFO
+// order and single-reader single-writer discipline.  It must be called
+// before the network is in use.
+func (n *Net[T]) WrapEndpoints(wrap func(from, to int, e Endpoint[T]) Endpoint[T]) {
+	for from := 0; from < n.p; from++ {
+		for to := 0; to < n.p; to++ {
+			idx := from*n.p + to
+			n.chans[idx] = wrap(from, to, n.chans[idx])
+		}
+	}
+}
+
 // Send sends v on the channel from -> to.
 func (n *Net[T]) Send(from, to int, v T) { n.Chan(from, to).Send(v) }
 

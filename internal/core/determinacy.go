@@ -140,8 +140,8 @@ func CheckDeterminacy[T, R any](make func() []sched.Proc[T, R], opt DeterminacyO
 		}
 	}
 	for k := 0; k < opt.ConcurrentReps; k++ {
-		res := sched.RunConcurrent(make(), sched.Options[T]{})
-		record(fmt.Sprintf("concurrent#%d", k), res, nil, nil)
+		res, err := sched.RunConcurrent(make(), sched.Options[T]{})
+		record(fmt.Sprintf("concurrent#%d", k), res, err, nil)
 	}
 	if !opt.CheckTraces {
 		rep.TraceEquivalent = false // not checked; avoid claiming it

@@ -124,7 +124,7 @@ func Map[R any](n, p int, mode Mode, opt Options, f func(task int) R) ([]R, erro
 	case Sim:
 		outs, err = sched.RunControlled(procs, sched.Lowest{}, sched.Options[msg[R]]{})
 	case Par:
-		outs = sched.RunConcurrent(procs, sched.Options[msg[R]]{})
+		outs, err = sched.RunConcurrent(procs, sched.Options[msg[R]]{})
 	default:
 		return nil, fmt.Errorf("farm: unknown mode %v", mode)
 	}

@@ -1,0 +1,194 @@
+// Package fault provides deterministic fault injection for the
+// parallel runtime: process crashes at a chosen (rank, step), seeded
+// perturbation of the controlled interleaving, seeded message-delivery
+// delays for the concurrent runtime, and checkpoint-file corruption.
+//
+// Everything is seeded or exactly parameterised, so every failure
+// reproduces bit-for-bit.  That matters because the paper's Theorem 1
+// (every maximal fair interleaving of a well-formed network reaches the
+// same final state) turns determinacy into an exact oracle for fault
+// tolerance: a run that crashes, recovers from a checkpoint, and
+// resumes must equal an uninterrupted run exactly, so recovery
+// correctness is tested by bitwise comparison, not by statistical
+// tolerance.
+//
+// The injectors compose with the runtime through its existing seams:
+// Crash panics surface through the sched supervisor as errors wrapping
+// *Crash; Jitter is a sched.Policy; DelaySends is a channel.Endpoint
+// wrapper for sched.Options.WrapEndpoint / mesh.Options.WrapEndpoint.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/sched"
+)
+
+// Crash is the panic value of an injected process crash.  It is an
+// error, so the sched supervisor wraps it with %w and errors.As can
+// recognise an injected crash behind any number of runtime layers.
+type Crash struct {
+	Rank, Step int
+}
+
+// Error implements error.
+func (c *Crash) Error() string {
+	return fmt.Sprintf("fault: injected crash of rank %d at step %d", c.Rank, c.Step)
+}
+
+// AsCrash reports whether err wraps an injected *Crash and returns it.
+func AsCrash(err error) (*Crash, bool) {
+	var c *Crash
+	if errors.As(err, &c) {
+		return c, true
+	}
+	return nil, false
+}
+
+// Injector crashes one chosen rank the first time it reaches a chosen
+// step.  It fires exactly once per Injector: after a recovery restart
+// the same (rank, step) passes unharmed, which is precisely the
+// transient-fault model a checkpoint/restart runtime must survive.
+// A nil *Injector is inert, so call sites need no guards.
+type Injector struct {
+	rank, step int
+	fired      atomic.Bool
+}
+
+// NewCrash returns an injector that crashes `rank` when it begins step
+// `step` (0-based).
+func NewCrash(rank, step int) *Injector {
+	return &Injector{rank: rank, step: step}
+}
+
+// Check panics with *Crash if (rank, step) matches an armed injector.
+// Application step loops call it once per rank per step.
+func (in *Injector) Check(rank, step int) {
+	if in == nil {
+		return
+	}
+	if rank == in.rank && step == in.step && in.fired.CompareAndSwap(false, true) {
+		panic(&Crash{Rank: rank, Step: step})
+	}
+}
+
+// Fired reports whether the injector has already crashed its target.
+func (in *Injector) Fired() bool {
+	if in == nil {
+		return false
+	}
+	return in.fired.Load()
+}
+
+// Jitter is a sched.Policy wrapper that, with probability Prob per
+// scheduling point, overrides the inner policy with a seeded random
+// pick among the enabled processes.  Every pick stays inside the
+// enabled set, so the perturbed interleaving remains a legal maximal
+// interleaving — by Theorem 1 the final state must not change, which
+// determinacy tests assert.
+type Jitter struct {
+	inner sched.Policy
+	rng   *rand.Rand
+	prob  float64
+}
+
+// NewJitter wraps inner with seeded reorder perturbation; prob in
+// [0, 1] is the per-action override probability.
+func NewJitter(inner sched.Policy, seed int64, prob float64) *Jitter {
+	return &Jitter{inner: inner, rng: rand.New(rand.NewSource(seed)), prob: prob}
+}
+
+// Name implements sched.Policy.
+func (j *Jitter) Name() string {
+	return fmt.Sprintf("jitter(%s, p=%.2f)", j.inner.Name(), j.prob)
+}
+
+// Pick implements sched.Policy.
+func (j *Jitter) Pick(enabled []int, step int) int {
+	if j.rng.Float64() < j.prob {
+		return enabled[j.rng.Intn(len(enabled))]
+	}
+	return j.inner.Pick(enabled, step)
+}
+
+// delayed wraps an endpoint so every send sleeps a seeded pseudo-random
+// duration before delivering.  Per-channel FIFO order is untouched (the
+// delay happens in the sender before the enqueue), so the fault stays
+// inside the legal interleaving space of the infinite-slack model.
+type delayed[T any] struct {
+	channel.Endpoint[T]
+	rng *rand.Rand
+	max time.Duration
+}
+
+// Send implements channel.Endpoint.
+func (d *delayed[T]) Send(v T) {
+	// Single-writer channels: the sender owns d.rng, no lock needed.
+	time.Sleep(time.Duration(d.rng.Int63n(int64(d.max) + 1)))
+	d.Endpoint.Send(v)
+}
+
+// DelaySends returns an endpoint wrapper (for
+// sched.Options.WrapEndpoint) that delays every delivery by a seeded
+// pseudo-random duration in [0, max].  Each channel gets its own
+// deterministic stream derived from (seed, from, to).
+func DelaySends[T any](seed int64, max time.Duration) func(from, to int, e channel.Endpoint[T]) channel.Endpoint[T] {
+	if max <= 0 {
+		panic("fault: DelaySends requires a positive max delay")
+	}
+	return func(from, to int, e channel.Endpoint[T]) channel.Endpoint[T] {
+		sub := seed ^ int64(from)*0x6C62272E07BB0142 ^ int64(to)*0x27D4EB2F165667C5
+		return &delayed[T]{Endpoint: e, rng: rand.New(rand.NewSource(sub)), max: max}
+	}
+}
+
+// FlipByte corrupts the file at path by XOR-ing the byte at offset with
+// 0xFF.  A negative offset counts back from the end of the file.
+func FlipByte(path string, offset int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if offset < 0 {
+		offset += st.Size()
+	}
+	if offset < 0 || offset >= st.Size() {
+		return fmt.Errorf("fault: flip offset %d outside file of %d bytes", offset, st.Size())
+	}
+	b := make([]byte, 1)
+	if _, err := f.ReadAt(b, offset); err != nil {
+		return err
+	}
+	b[0] ^= 0xFF
+	if _, err := f.WriteAt(b, offset); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// Truncate cuts the file at path to n bytes; a negative n removes |n|
+// bytes from the end.  It models a save interrupted mid-write.
+func Truncate(path string, n int64) error {
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if n < 0 {
+		n += st.Size()
+	}
+	if n < 0 || n > st.Size() {
+		return fmt.Errorf("fault: truncation to %d bytes outside file of %d bytes", n, st.Size())
+	}
+	return os.Truncate(path, n)
+}

@@ -3,6 +3,7 @@ package fdtd
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/grid"
 	"repro/internal/mesh"
 )
@@ -25,6 +26,11 @@ type Options struct {
 	// When clear, every process computes its local coefficients
 	// directly ("perform I/O concurrently in all processes").
 	HostIO bool
+	// Inject, when non-nil, is checked by each rank at the top of each
+	// time step and crashes its target (rank, step) by panicking with a
+	// *fault.Crash, which the runtime supervisor converts into an error.
+	// Nil injects nothing.
+	Inject *fault.Injector
 }
 
 // DefaultOptions returns the archetype defaults used by the paper's
@@ -134,6 +140,7 @@ func spmd(c *mesh.Comm, spec Spec, slabs []grid.Slab, opt Options) *Result {
 	localWork := 0.0
 
 	for n := 0; n < spec.Steps; n++ {
+		opt.Inject.Check(rank, n)
 		// The E update reads Hy and Hz one plane below the local
 		// section: refresh the lower ghost planes.
 		c.SendUpX(f.Hy, f.Hz)

@@ -102,6 +102,7 @@ func spmd2D(c *mesh.Comm, spec Spec, topo *mesh.Topo2D, opt Options) *Result {
 	localWork := 0.0
 
 	for n := 0; n < spec.Steps; n++ {
+		opt.Inject.Check(rank, n)
 		// The E update reads Hy, Hz one plane below along x and Hx, Hz
 		// one plane below along y: refresh both lower ghost sets.
 		c.SendUpTo(grid.AxisX, xUp, xDown, f.Hy, f.Hz)

@@ -1,0 +1,392 @@
+package fdtd
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/grid"
+	"repro/internal/gridio"
+	"repro/internal/mesh"
+)
+
+// mustRecover runs RunWithRecovery and fails the test on error.
+func mustRecover(t *testing.T, spec Spec, ro RecoveryOptions) *RecoveryReport {
+	t.Helper()
+	rep, err := RunWithRecovery(spec, ro)
+	if err != nil {
+		t.Fatalf("RunWithRecovery: %v", err)
+	}
+	return rep
+}
+
+// TestRecoveryBitwiseIdentical is the headline fault-tolerance
+// property: a parallel run that crashes mid-flight, reloads the last
+// good checkpoint, and resumes ends bitwise identical to the same run
+// left uninterrupted — Theorem 1 determinacy as the recovery oracle.
+func TestRecoveryBitwiseIdentical(t *testing.T) {
+	spec := SpecSmall() // Version C: near field, probe, and far field
+	const p, every = 3, 5
+
+	baseline := mustRecover(t, spec, RecoveryOptions{
+		P: p, Opt: DefaultOptions(), CheckpointEvery: every,
+	})
+	if baseline.Restarts != 0 || len(baseline.Crashes) != 0 {
+		t.Fatalf("baseline should not crash: %+v", baseline)
+	}
+
+	dir := t.TempDir()
+	crashed := mustRecover(t, spec, RecoveryOptions{
+		P: p, CheckpointEvery: every,
+		Path: filepath.Join(dir, "run.ckp"),
+		Opt: func() Options {
+			o := DefaultOptions()
+			o.Inject = fault.NewCrash(1, 7) // rank 1 dies in the second segment
+			return o
+		}(),
+	})
+	if crashed.Restarts != 1 || len(crashed.Crashes) != 1 {
+		t.Fatalf("expected exactly one absorbed crash, got %+v", crashed)
+	}
+	if c := crashed.Crashes[0]; c.Rank != 1 || c.Step != 7 {
+		t.Fatalf("wrong crash recorded: %+v", c)
+	}
+
+	a, b := baseline.Result, crashed.Result
+	if !a.NearFieldEqual(b) {
+		t.Fatal("recovered near field / probe differ from uninterrupted run")
+	}
+	if !a.FarFieldEqual(b) {
+		t.Fatal("recovered far field differs from uninterrupted run")
+	}
+	if a.Work != b.Work {
+		t.Fatalf("recovered work differs: %v vs %v", a.Work, b.Work)
+	}
+
+	// The near field and probe are furthermore identical to the plain
+	// (single-segment) parallel run and to the sequential program.
+	seq := mustSeq(t, spec)
+	if !seq.NearFieldEqual(b) {
+		t.Fatal("recovered near field differs from sequential run")
+	}
+	// The far field is only reordered by the per-segment reductions.
+	if d := seq.FarFieldMaxRelDiff(b); d > 1e-9 {
+		t.Fatalf("recovered far field too far from sequential: %g", d)
+	}
+}
+
+// TestRecoveryCrashInFirstSegment exercises recovery before any
+// checkpoint file exists: the driver restarts from the in-memory step-0
+// state.
+func TestRecoveryCrashInFirstSegment(t *testing.T) {
+	spec := SpecSmallA()
+	baseline := mustRecover(t, spec, RecoveryOptions{
+		P: 2, Opt: DefaultOptions(), CheckpointEvery: 6,
+	})
+	opt := DefaultOptions()
+	opt.Inject = fault.NewCrash(0, 2)
+	crashed := mustRecover(t, spec, RecoveryOptions{
+		P: 2, Opt: opt, CheckpointEvery: 6,
+		Path: filepath.Join(t.TempDir(), "run.ckp"),
+	})
+	if crashed.Restarts != 1 {
+		t.Fatalf("expected one restart, got %+v", crashed)
+	}
+	if !baseline.Result.NearFieldEqual(crashed.Result) {
+		t.Fatal("recovered run diverged")
+	}
+}
+
+// TestRecoveryGivesUp checks that the restart budget is honoured: more
+// distinct crashes than MaxRestarts surfaces the injected error.
+func TestRecoveryGivesUp(t *testing.T) {
+	spec := SpecSmallA()
+	opt := DefaultOptions()
+	opt.Inject = fault.NewCrash(1, 3)
+	rep, err := RunWithRecovery(spec, RecoveryOptions{
+		P: 2, Opt: opt, CheckpointEvery: 4, MaxRestarts: -1,
+	})
+	if err == nil {
+		t.Fatal("expected the crash to surface with a zero restart budget")
+	}
+	if _, ok := fault.AsCrash(err); !ok {
+		t.Fatalf("error does not wrap the injected crash: %v", err)
+	}
+	if rep.Restarts != 0 {
+		t.Fatalf("no restarts should have happened: %+v", rep)
+	}
+}
+
+// TestInjectedCrashSurfacesFromRunArchetype checks the plain parallel
+// build: an injected crash panics in one rank and comes back as an
+// error wrapping *fault.Crash, instead of tearing the process down.
+func TestInjectedCrashSurfacesFromRunArchetype(t *testing.T) {
+	spec := SpecSmallA()
+	opt := DefaultOptions()
+	opt.Inject = fault.NewCrash(2, 4)
+	_, err := RunArchetype(spec, 3, mesh.Par, opt)
+	if err == nil {
+		t.Fatal("injected crash did not surface")
+	}
+	c, ok := fault.AsCrash(err)
+	if !ok {
+		t.Fatalf("error does not wrap *fault.Crash: %v", err)
+	}
+	if c.Rank != 2 || c.Step != 4 {
+		t.Fatalf("wrong crash: %+v", c)
+	}
+}
+
+// TestResumeArchetype resumes a sequential checkpoint on the parallel
+// runtime: the parallel continuation reproduces the sequential near
+// field bitwise.
+func TestResumeArchetype(t *testing.T) {
+	spec := SpecSmall()
+	ck, err := RunSequentialUntil(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ResumeArchetype(ck, 3, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := mustSeq(t, spec)
+	if !seq.NearFieldEqual(res) {
+		t.Fatal("parallel resume diverged from sequential run")
+	}
+	if d := seq.FarFieldMaxRelDiff(res); d > 1e-9 {
+		t.Fatalf("parallel resume far field too far off: %g", d)
+	}
+	if seq.Work != res.Work {
+		t.Fatalf("work differs: %v vs %v", seq.Work, res.Work)
+	}
+}
+
+// TestRecoveryResume drives the -resume workflow: a run cut short by an
+// exhausted restart budget leaves a checkpoint file behind, and a new
+// RunWithRecovery with Resume finishes the job with identical results.
+func TestRecoveryResume(t *testing.T) {
+	spec := SpecSmallA()
+	path := filepath.Join(t.TempDir(), "run.ckp")
+
+	opt := DefaultOptions()
+	opt.Inject = fault.NewCrash(0, 9)
+	_, err := RunWithRecovery(spec, RecoveryOptions{
+		P: 2, Opt: opt, CheckpointEvery: 4, Path: path, MaxRestarts: -1,
+	})
+	if err == nil {
+		t.Fatal("first run should have died at step 9")
+	}
+
+	rep := mustRecover(t, spec, RecoveryOptions{
+		P: 2, Opt: DefaultOptions(), CheckpointEvery: 4, Path: path, Resume: true,
+	})
+	if rep.ResumedFrom != 8 {
+		t.Fatalf("expected resume from step 8, got %d", rep.ResumedFrom)
+	}
+	baseline := mustRecover(t, spec, RecoveryOptions{
+		P: 2, Opt: DefaultOptions(), CheckpointEvery: 4,
+	})
+	if !baseline.Result.NearFieldEqual(rep.Result) || baseline.Result.Work != rep.Result.Work {
+		t.Fatal("resumed run diverged from uninterrupted run")
+	}
+}
+
+// TestCheckpointCorruptionDetected is the hardening acceptance test: a
+// flipped byte or a truncated tail is rejected with ErrCorrupt, and the
+// loader falls back to the retained previous good checkpoint.
+func TestCheckpointCorruptionDetected(t *testing.T) {
+	spec := SpecSmall()
+	path := filepath.Join(t.TempDir(), "run.ckp")
+
+	ck4, err := RunSequentialUntil(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck9, err := RunSequentialUntil(spec, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two saves: run.ckp holds step 9, run.ckp.prev holds step 4.
+	if err := SaveCheckpoint(path, ck4); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCheckpoint(path, ck9); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one payload byte deep in the file: checksum catches it.
+	if err := fault.FlipByte(path, -100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path, spec); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("flipped byte not rejected as corrupt: %v", err)
+	}
+	c, fellBack, err := LoadCheckpointWithFallback(path, spec)
+	if err != nil {
+		t.Fatalf("fallback load failed: %v", err)
+	}
+	if !fellBack || c.StepsDone != 4 {
+		t.Fatalf("expected fallback to the step-4 checkpoint, got fellBack=%v steps=%d",
+			fellBack, c.StepsDone)
+	}
+	// And the fallback checkpoint resumes to the correct final state.
+	full := mustSeq(t, spec)
+	resumed, err := ResumeSequential(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.NearFieldEqual(resumed) {
+		t.Fatal("fallback checkpoint diverged on resume")
+	}
+
+	// Truncation (an interrupted write) is likewise rejected.
+	if err := SaveCheckpoint(path, ck9); err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Truncate(path, -37); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path, spec); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated checkpoint not rejected as corrupt: %v", err)
+	}
+}
+
+// TestCheckpointSpecFingerprint checks fail-fast on mismatched specs:
+// a checkpoint saved under one spec refuses to load under a physically
+// different one, with ErrSpecMismatch.
+func TestCheckpointSpecFingerprint(t *testing.T) {
+	spec := SpecSmall()
+	ck, err := RunSequentialUntil(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ck.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*Spec){
+		func(s *Spec) { s.Steps = 20 },
+		func(s *Spec) { s.DT = 0.4 },
+		func(s *Spec) { s.Source.Amplitude = 2 },
+		func(s *Spec) { s.Probe = [3]int{7, 5, 4} },
+		func(s *Spec) { s.Objects = s.Objects[:1] },
+		func(s *Spec) { s.FarField = nil },
+		func(s *Spec) { s.Boundary = BoundaryMur1 },
+	}
+	for i, mutate := range mutations {
+		other := SpecSmall()
+		if other.FarField != nil {
+			ffCopy := *other.FarField
+			other.FarField = &ffCopy
+		}
+		mutate(&other)
+		_, err := ReadCheckpoint(bytes.NewReader(buf.Bytes()), other)
+		if !errors.Is(err, ErrSpecMismatch) {
+			t.Fatalf("mutation %d: expected ErrSpecMismatch, got %v", i, err)
+		}
+	}
+	// The identical spec still loads.
+	if _, err := ReadCheckpoint(bytes.NewReader(buf.Bytes()), SpecSmall()); err != nil {
+		t.Fatalf("unmutated spec rejected: %v", err)
+	}
+}
+
+// TestSaveCheckpointAtomic checks the atomic-save contract: the
+// previous good file is retained, and no temp files are left behind.
+func TestSaveCheckpointAtomic(t *testing.T) {
+	spec := SpecSmallA()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckp")
+	ck4, _ := RunSequentialUntil(spec, 4)
+	ck9, _ := RunSequentialUntil(spec, 9)
+	if err := SaveCheckpoint(path, ck4); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCheckpoint(path, ck9); err != nil {
+		t.Fatal(err)
+	}
+	newest, err := LoadCheckpoint(path, spec)
+	if err != nil || newest.StepsDone != 9 {
+		t.Fatalf("newest checkpoint wrong: steps=%v err=%v", newest, err)
+	}
+	prev, err := LoadCheckpoint(CheckpointPrevPath(path), spec)
+	if err != nil || prev.StepsDone != 4 {
+		t.Fatalf("retained checkpoint wrong: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+	if len(entries) != 2 {
+		t.Fatalf("expected exactly run.ckp and run.ckp.prev, got %d entries", len(entries))
+	}
+}
+
+// TestCheckpointV1Compat checks that files in the legacy unversioned
+// format still load and resume correctly.
+func TestCheckpointV1Compat(t *testing.T) {
+	spec := SpecSmall()
+	ck, err := RunSequentialUntil(spec, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := writeCheckpointV1(&buf, ck); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCheckpoint(bytes.NewReader(buf.Bytes()), spec)
+	if err != nil {
+		t.Fatalf("v1 checkpoint rejected: %v", err)
+	}
+	if back.StepsDone != 9 || back.Work != ck.Work {
+		t.Fatalf("v1 header lost: %+v", back)
+	}
+	full := mustSeq(t, spec)
+	resumed, err := ResumeSequential(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.NearFieldEqual(resumed) || !full.FarFieldEqual(resumed) {
+		t.Fatal("v1 checkpoint diverged on resume")
+	}
+}
+
+// writeCheckpointV1 emits the legacy format exactly as the old Write
+// did: magic, int64 header, work, raw grids, raw vectors, no checksums.
+func writeCheckpointV1(w io.Writer, c *Checkpoint) error {
+	if _, err := io.WriteString(w, checkpointMagicV1); err != nil {
+		return err
+	}
+	head := []int64{
+		int64(c.StepsDone), int64(len(c.Probe)), int64(len(c.FarA)), int64(len(c.FarF)),
+	}
+	if err := binary.Write(w, binary.LittleEndian, head); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, c.Work); err != nil {
+		return err
+	}
+	for _, g := range []*grid.G3{c.Ex, c.Ey, c.Ez, c.Hx, c.Hy, c.Hz} {
+		if err := gridio.Write3(w, g); err != nil {
+			return err
+		}
+	}
+	for _, vec := range [][]float64{c.Probe, c.FarA, c.FarF} {
+		if err := binary.Write(w, binary.LittleEndian, vec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -24,7 +24,9 @@
 package fdtd
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
 )
 
@@ -217,6 +219,37 @@ func (s Spec) Coefficients(i, j, k int) (ca, cb, da, db float64) {
 
 // Cells returns the number of grid cells.
 func (s Spec) Cells() int { return s.NX * s.NY * s.NZ }
+
+// Fingerprint digests every run-defining field of the spec into 64
+// bits.  Checkpoints embed it so that resuming a run under a different
+// spec — which would silently produce garbage — fails fast instead.
+// Two specs that fingerprint equal describe the same computation.
+func (s Spec) Fingerprint() uint64 {
+	h := fnv.New64a()
+	w := func(vs ...any) {
+		for _, v := range vs {
+			binary.Write(h, binary.LittleEndian, v)
+		}
+	}
+	w(int64(s.NX), int64(s.NY), int64(s.NZ), int64(s.Steps), s.DT)
+	w(int64(s.Source.I), int64(s.Source.J), int64(s.Source.K),
+		s.Source.Amplitude, s.Source.Delay, s.Source.Width,
+		int64(s.Source.Shape), int64(s.Source.Kind))
+	w(int64(s.Probe[0]), int64(s.Probe[1]), int64(s.Probe[2]))
+	w(int64(len(s.Objects)))
+	for _, o := range s.Objects {
+		w(int64(o.I0), int64(o.I1), int64(o.J0), int64(o.J1), int64(o.K0), int64(o.K1),
+			o.EpsR, o.MuR, o.Sigma, o.SigmaM)
+	}
+	if ff := s.FarField; ff != nil {
+		w(int64(1), int64(ff.Offset),
+			ff.Dir[0], ff.Dir[1], ff.Dir[2], ff.Pol[0], ff.Pol[1], ff.Pol[2])
+	} else {
+		w(int64(0))
+	}
+	w(int64(s.Boundary))
+	return h.Sum64()
+}
 
 // --- Experiment presets -------------------------------------------------
 

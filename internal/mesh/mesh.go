@@ -29,7 +29,9 @@ package mesh
 
 import (
 	"fmt"
+	"time"
 
+	"repro/internal/channel"
 	"repro/internal/machine"
 	"repro/internal/sched"
 )
@@ -77,6 +79,15 @@ type Options struct {
 	// which preserves the actual wait-for structure instead of
 	// synchronising every phase globally.
 	Events *machine.EventLog
+	// StallTimeout arms the Par-mode stall watchdog (see
+	// sched.Options.StallTimeout).  Exact deadlocks are detected
+	// immediately regardless; this additionally bounds hangs the exact
+	// detector cannot see.  Zero disables the watchdog.
+	StallTimeout time.Duration
+	// WrapEndpoint, if non-nil, wraps every Par-mode channel endpoint —
+	// the fault-injection seam for message-delivery faults (see
+	// sched.Options.WrapEndpoint).
+	WrapEndpoint func(from, to int, e channel.Endpoint[Msg]) channel.Endpoint[Msg]
 }
 
 // DefaultOptions returns the archetype defaults: combined messages and
@@ -150,8 +161,15 @@ func (c *Comm) endPhase(label string) {
 // Run executes the SPMD function f on p processes under the given mode
 // and returns the per-process results.  Under Sim the execution is
 // sequential and deterministic; under Par it uses one goroutine per
-// process.  Run returns an error only for Sim-mode deadlocks, which a
-// correct archetype program never produces.
+// process.
+//
+// Both runtimes are supervised: a process panic is recovered and
+// returned as an error (wrapping the panic value when it is an error),
+// and a deadlocked network returns a diagnostic error naming the
+// blocked ranks and empty channels instead of hanging.  A correct
+// archetype program produces neither, so callers may treat any error as
+// a program or injected fault.  On error the results are partial and
+// must not be used.
 func Run[R any](p int, mode Mode, opt Options, f func(c *Comm) R) ([]R, error) {
 	if p <= 0 {
 		return nil, fmt.Errorf("mesh: process count must be positive, got %d", p)
@@ -162,7 +180,11 @@ func Run[R any](p int, mode Mode, opt Options, f func(c *Comm) R) ([]R, error) {
 			return f(&Comm{ctx: ctx, opt: opt})
 		}
 	}
-	schedOpt := sched.Options[Msg]{Tag: func(m Msg) string { return fmt.Sprintf("[%d]f64", len(m.Data)) }}
+	schedOpt := sched.Options[Msg]{
+		Tag:          func(m Msg) string { return fmt.Sprintf("[%d]f64", len(m.Data)) },
+		StallTimeout: opt.StallTimeout,
+		WrapEndpoint: opt.WrapEndpoint,
+	}
 	switch mode {
 	case Sim:
 		// Lowest-rank-first scheduling: each simulated process runs
@@ -170,7 +192,7 @@ func Run[R any](p int, mode Mode, opt Options, f func(c *Comm) R) ([]R, error) {
 		// parallel order of the paper's Figure 1.
 		return sched.RunControlled(procs, sched.Lowest{}, schedOpt)
 	case Par:
-		return sched.RunConcurrent(procs, schedOpt), nil
+		return sched.RunConcurrent(procs, schedOpt)
 	default:
 		return nil, fmt.Errorf("mesh: unknown mode %v", mode)
 	}

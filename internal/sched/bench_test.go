@@ -16,6 +16,8 @@ func BenchmarkControlledPingPong(b *testing.B) {
 // same workload.
 func BenchmarkConcurrentPingPong(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		RunConcurrent(pingPong(100), Options[int]{})
+		if _, err := RunConcurrent(pingPong(100), Options[int]{}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/channel"
 	"repro/internal/trace"
@@ -73,11 +75,77 @@ func (c *Ctx[T]) Recv(from int) T {
 // is an interleaving point; it has no semantic effect.
 func (c *Ctx[T]) Step(name string) { c.ops.step(c.id, name) }
 
-// ErrDeadlock is returned by RunControlled when no process can make
-// progress but not all have terminated — i.e. the interleaving is
-// maximal yet the network hangs.  Well-formed transformations of SSP
-// programs never deadlock (all sends precede the matching receives).
+// ErrDeadlock is returned by RunControlled and RunConcurrent when no
+// process can make progress but not all have terminated — i.e. the
+// interleaving is maximal yet the network hangs.  Well-formed
+// transformations of SSP programs never deadlock (all sends precede the
+// matching receives).
 var ErrDeadlock = errors.New("sched: deadlock: all unfinished processes are blocked on empty channels")
+
+// ErrStall is returned by RunConcurrent's watchdog when the network
+// performed no communication action for a full StallTimeout window even
+// though not every unfinished process was provably blocked — e.g. a
+// sender delayed indefinitely by fault injection.
+var ErrStall = errors.New("sched: stall: no communication progress within the watchdog window")
+
+// BlockedProc identifies one process blocked on an empty channel: Rank
+// is waiting to receive on the channel From -> Rank.
+type BlockedProc struct {
+	Rank, From int
+}
+
+// DeadlockError is the diagnostic error produced when the concurrent
+// supervisor aborts a hung run.  It names every blocked rank and the
+// empty channel it waits on, so the wait-for structure is visible.  It
+// unwraps to ErrDeadlock (or ErrStall when the stall watchdog, rather
+// than exact all-blocked detection, raised it).
+type DeadlockError struct {
+	// Blocked lists the processes waiting on empty channels, in rank
+	// order.
+	Blocked []BlockedProc
+	// Unfinished is the number of processes that had not terminated.
+	Unfinished int
+	// Pending is the total number of undelivered values in the network
+	// at detection time.
+	Pending int
+	// Stalled marks a watchdog timeout (some unfinished process was not
+	// observably blocked, but nothing moved for a full window).
+	Stalled bool
+}
+
+// Error implements error.
+func (e *DeadlockError) Error() string {
+	var waits []string
+	for _, b := range e.Blocked {
+		waits = append(waits, fmt.Sprintf("P%d waits on empty channel P%d->P%d", b.Rank, b.From, b.Rank))
+	}
+	kind := "deadlock"
+	if e.Stalled {
+		kind = "stall"
+	}
+	return fmt.Sprintf("sched: %s: %d unfinished processes, %d undelivered messages; %s",
+		kind, e.Unfinished, e.Pending, strings.Join(waits, ", "))
+}
+
+// Unwrap lets errors.Is(err, ErrDeadlock) / errors.Is(err, ErrStall)
+// classify supervisor aborts.
+func (e *DeadlockError) Unwrap() error {
+	if e.Stalled {
+		return ErrStall
+	}
+	return ErrDeadlock
+}
+
+// wrapPanic converts a recovered panic value into the supervisor's
+// process-failure error.  Error panic values are wrapped with %w so
+// injected faults (e.g. fault.Crash) stay visible to errors.As through
+// the runtime layers.
+func wrapPanic(id int, r any) error {
+	if err, ok := r.(error); ok {
+		return fmt.Errorf("sched: process %d panicked: %w", id, err)
+	}
+	return fmt.Errorf("sched: process %d panicked: %v", id, r)
+}
 
 // request kinds exchanged between process coroutines and the controller.
 type reqKind int
@@ -135,6 +203,21 @@ type Options[T any] struct {
 	// MaxActions aborts runs exceeding this many actions (0 = no limit);
 	// a backstop against non-terminating networks in tests.
 	MaxActions int
+	// StallTimeout, if positive, arms RunConcurrent's stall watchdog: if
+	// no communication action completes within a full window, the run is
+	// aborted with a diagnostic DeadlockError instead of hanging.  True
+	// deadlocks (every unfinished process blocked on an empty channel)
+	// are detected exactly and immediately regardless of this setting.
+	// The timeout must comfortably exceed both the longest local
+	// computation between communication actions and any injected message
+	// delay, or healthy runs will be reported as stalled.
+	StallTimeout time.Duration
+	// WrapEndpoint, if non-nil, wraps every channel of RunConcurrent's
+	// network — the fault-injection seam for message-delivery faults
+	// (e.g. seeded delays).  Wrappers must preserve per-channel FIFO
+	// order; the paper's model gives channels infinite slack, so pure
+	// delays keep the interleaving legal.
+	WrapEndpoint func(from, to int, e channel.Endpoint[T]) channel.Endpoint[T]
 }
 
 // RunControlled executes the processes under the given interleaving
@@ -169,7 +252,7 @@ func RunControlled[T, R any](procs []Proc[T, R], pol Policy, opt Options[T]) ([]
 			done := request[T]{kind: reqDone}
 			defer func() {
 				if r := recover(); r != nil {
-					done.err = fmt.Errorf("sched: process %d panicked: %v", i, r)
+					done.err = wrapPanic(i, r)
 				}
 				back.ps[i].req <- done
 			}()
@@ -285,37 +368,229 @@ func contains(s []int, v int) bool {
 	return false
 }
 
-// concurrent is the free-running goroutine backend.
+// abortPanic is the panic value used to unwind a process goroutine when
+// the supervisor aborts the run (deadlock or stall).  It is not a
+// process failure; the recovery wrapper swallows it.
+type abortPanic struct{}
+
+// concurrent is the free-running goroutine backend, supervised: it
+// tracks which processes are blocked on which empty channels, detects
+// the all-blocked deadlock condition exactly at the moment it arises,
+// and can abort the whole network so RunConcurrent returns a diagnostic
+// error instead of hanging.
 type concurrent[T any] struct {
 	net *channel.Net[T]
-	mu  sync.Mutex
-	tr  *trace.Recorder
-	tag func(T) string
+
+	// mu guards waitOn, done, failed, abort and the condition variable.
+	// Blocked receives park on cond; every send broadcasts.
+	mu   sync.Mutex
+	cond *sync.Cond
+	// waitOn[i] is the peer rank process i is blocked receiving from, or
+	// -1 when i is not blocked in a receive.
+	waitOn []int
+	done   []bool
+	nDone  int
+	// failed is the first process-panic error; abort is the reason the
+	// supervisor tore the run down (deadlock/stall diagnostic).
+	failed error
+	abort  error
+	// aborted is a lock-free mirror of abort != nil, checked on the hot
+	// paths (send/step) without taking mu.
+	aborted atomic.Bool
+	// progress counts completed communication actions, for the stall
+	// watchdog.
+	progress atomic.Uint64
+
+	trmu sync.Mutex
+	tr   *trace.Recorder
+	tag  func(T) string
+}
+
+func newConcurrent[T any](p int, opt Options[T]) *concurrent[T] {
+	net := channel.NewChanNet[T](p)
+	if opt.WrapEndpoint != nil {
+		net.WrapEndpoints(opt.WrapEndpoint)
+	}
+	b := &concurrent[T]{
+		net:    net,
+		waitOn: make([]int, p),
+		done:   make([]bool, p),
+		tr:     opt.Trace,
+		tag:    opt.Tag,
+	}
+	for i := range b.waitOn {
+		b.waitOn[i] = -1
+	}
+	b.cond = sync.NewCond(&b.mu)
+	return b
 }
 
 func (b *concurrent[T]) send(from, to int, v T) {
+	if b.aborted.Load() {
+		panic(abortPanic{})
+	}
+	// The send itself runs outside mu: injected delivery delays must
+	// slow only this channel, not the whole network.
 	b.net.Send(from, to, v)
+	b.progress.Add(1)
+	b.mu.Lock()
+	b.cond.Broadcast()
+	b.mu.Unlock()
 	if b.tr != nil {
-		b.mu.Lock()
+		b.trmu.Lock()
 		b.tr.Add(from, trace.Send, to, b.tag(v))
-		b.mu.Unlock()
+		b.trmu.Unlock()
 	}
 }
 
 func (b *concurrent[T]) recv(from, to int) T {
-	v := b.net.Recv(from, to)
-	if b.tr != nil {
-		b.mu.Lock()
-		b.tr.Add(to, trace.Recv, from, b.tag(v))
-		b.mu.Unlock()
+	ep := b.net.Chan(from, to)
+	b.mu.Lock()
+	for {
+		if b.abort != nil {
+			b.mu.Unlock()
+			panic(abortPanic{})
+		}
+		if v, ok := ep.TryRecv(); ok {
+			b.waitOn[to] = -1
+			b.mu.Unlock()
+			b.progress.Add(1)
+			if b.tr != nil {
+				b.trmu.Lock()
+				b.tr.Add(to, trace.Recv, from, b.tag(v))
+				b.trmu.Unlock()
+			}
+			return v
+		}
+		b.waitOn[to] = from
+		// This process just became blocked on an empty channel: if every
+		// other unfinished process already is, the network can never
+		// move again — report the deadlock now rather than hang.
+		if d := b.deadlockLocked(); d != nil {
+			b.abortLocked(d)
+			continue // next iteration unwinds via abortPanic
+		}
+		b.cond.Wait()
 	}
-	return v
 }
 
 func (b *concurrent[T]) step(id int, name string) {
+	if b.aborted.Load() {
+		panic(abortPanic{})
+	}
+	b.progress.Add(1)
 	if b.tr != nil {
-		b.mu.Lock()
+		b.trmu.Lock()
 		b.tr.Add(id, trace.Step, -1, name)
+		b.trmu.Unlock()
+	}
+}
+
+// markDone records a process's termination (normal or by panic) and
+// re-checks the deadlock condition: the remaining processes may now all
+// be blocked on channels nobody will ever fill.
+func (b *concurrent[T]) markDone(id int, err error) {
+	b.mu.Lock()
+	b.done[id] = true
+	b.nDone++
+	if err != nil && b.failed == nil {
+		b.failed = err
+	}
+	if d := b.deadlockLocked(); d != nil {
+		b.abortLocked(d)
+	}
+	b.mu.Unlock()
+	if b.tr != nil {
+		b.trmu.Lock()
+		b.tr.Add(id, trace.Done, -1, "")
+		b.trmu.Unlock()
+	}
+}
+
+// abortLocked tears the run down: blocked receivers wake and unwind,
+// and every later communication action panics out of the process.
+func (b *concurrent[T]) abortLocked(reason error) {
+	if b.abort != nil {
+		return
+	}
+	b.abort = reason
+	b.aborted.Store(true)
+	b.cond.Broadcast()
+}
+
+// deadlockLocked reports the network's exact deadlock condition: every
+// unfinished process is blocked receiving from an empty channel.  No
+// such process can ever be re-enabled (only unfinished processes could
+// send, and all of them are blocked), so this detection has no false
+// positives and no timing dependence.  Returns nil when some process is
+// running, some awaited channel has a value, or everything finished.
+func (b *concurrent[T]) deadlockLocked() *DeadlockError {
+	var blocked []BlockedProc
+	for i, from := range b.waitOn {
+		if b.done[i] {
+			continue
+		}
+		if from < 0 {
+			return nil // process i is running or mid-send
+		}
+		if b.net.Chan(from, i).Len() > 0 {
+			return nil // process i is about to wake
+		}
+		blocked = append(blocked, BlockedProc{Rank: i, From: from})
+	}
+	if len(blocked) == 0 {
+		return nil // all done
+	}
+	return &DeadlockError{
+		Blocked:    blocked,
+		Unfinished: len(blocked),
+		Pending:    b.net.Pending(),
+	}
+}
+
+// watchStalls samples the progress counter; if nothing moved for a full
+// window while unfinished processes remain, it aborts with a stall
+// diagnostic.  This is the heuristic complement to the exact deadlock
+// detector, for hangs it cannot see: a sender sleeping in an injected
+// delay, or a process that will never reach its next action.
+func (b *concurrent[T]) watchStalls(timeout time.Duration, stop <-chan struct{}) {
+	tick := time.NewTicker(timeout)
+	defer tick.Stop()
+	last := b.progress.Load()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		cur := b.progress.Load()
+		b.mu.Lock()
+		if b.abort != nil || b.nDone == len(b.done) {
+			b.mu.Unlock()
+			return
+		}
+		if cur == last {
+			var blocked []BlockedProc
+			unfinished := 0
+			for i, from := range b.waitOn {
+				if b.done[i] {
+					continue
+				}
+				unfinished++
+				if from >= 0 {
+					blocked = append(blocked, BlockedProc{Rank: i, From: from})
+				}
+			}
+			b.abortLocked(&DeadlockError{
+				Blocked:    blocked,
+				Unfinished: unfinished,
+				Pending:    b.net.Pending(),
+				Stalled:    true,
+			})
+			b.mu.Unlock()
+			return
+		}
+		last = cur
 		b.mu.Unlock()
 	}
 }
@@ -325,15 +600,26 @@ func (b *concurrent[T]) step(id int, name string) {
 // Go runtime chooses the interleaving; by Theorem 1 the results equal
 // those of any controlled run of the same (well-formed) network.  If
 // opt.Trace is non-nil it records one legal interleaving order.
-func RunConcurrent[T, R any](procs []Proc[T, R], opt Options[T]) []R {
+//
+// The execution is supervised: a panic in any process is recovered and
+// returned as an error (wrapping the panic value when it is an error)
+// instead of crashing the program, and a deadlocked network — every
+// unfinished process blocked on an empty channel — is torn down with a
+// diagnostic DeadlockError naming the blocked ranks and empty channels
+// instead of hanging.  On any error the returned results are partial
+// and should not be used.  One limitation: a process that loops forever
+// without performing any Send/Recv/Step action cannot be interrupted;
+// arm Options.StallTimeout to at least get the run diagnosed (the
+// return still waits for such a process).
+func RunConcurrent[T, R any](procs []Proc[T, R], opt Options[T]) ([]R, error) {
 	p := len(procs)
 	if p == 0 {
-		return nil
+		return nil, nil
 	}
 	if opt.Tag == nil {
 		opt.Tag = func(v T) string { return fmt.Sprint(v) }
 	}
-	back := &concurrent[T]{net: channel.NewChanNet[T](p), tr: opt.Trace, tag: opt.Tag}
+	back := newConcurrent[T](p, opt)
 	results := make([]R, p)
 	var wg sync.WaitGroup
 	wg.Add(p)
@@ -342,14 +628,35 @@ func RunConcurrent[T, R any](procs []Proc[T, R], opt Options[T]) []R {
 		ctx := &Ctx[T]{id: i, p: p, ops: back}
 		go func() {
 			defer wg.Done()
+			var failure error
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(abortPanic); !ok {
+						failure = wrapPanic(i, r)
+					}
+				}
+				back.markDone(i, failure)
+			}()
 			results[i] = procs[i](ctx)
-			if back.tr != nil {
-				back.mu.Lock()
-				back.tr.Add(i, trace.Done, -1, "")
-				back.mu.Unlock()
-			}
 		}()
 	}
+	if opt.StallTimeout > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go back.watchStalls(opt.StallTimeout, stop)
+	}
 	wg.Wait()
-	return results
+	// A panicked process explains a subsequent teardown better than the
+	// deadlock it caused, so it takes precedence — mirroring
+	// RunControlled's error priority.
+	back.mu.Lock()
+	failed, aborted := back.failed, back.abort
+	back.mu.Unlock()
+	if failed != nil {
+		return results, failed
+	}
+	if aborted != nil {
+		return results, aborted
+	}
+	return results, nil
 }

@@ -83,7 +83,10 @@ func TestConcurrentMatchesControlled(t *testing.T) {
 		t.Fatal(err)
 	}
 	for rep := 0; rep < 20; rep++ {
-		got := RunConcurrent(pingPong(10), Options[int]{})
+		got, err := RunConcurrent(pingPong(10), Options[int]{})
+		if err != nil {
+			t.Fatalf("concurrent run %d: %v", rep, err)
+		}
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("concurrent run %d diverged: %v vs %v", rep, got, want)
 		}
@@ -196,7 +199,10 @@ func TestFanInFanOut(t *testing.T) {
 			t.Fatalf("policy %s: gather = %v", pol.Name(), res[0])
 		}
 	}
-	got := RunConcurrent(procs, Options[int]{})
+	got, err := RunConcurrent(procs, Options[int]{})
+	if err != nil {
+		t.Fatalf("concurrent gather: %v", err)
+	}
 	if !reflect.DeepEqual(got[0], want) {
 		t.Fatalf("concurrent gather = %v", got[0])
 	}
@@ -240,14 +246,16 @@ func TestEmptyNetwork(t *testing.T) {
 	if err != nil || res != nil {
 		t.Fatalf("empty network: %v, %v", res, err)
 	}
-	if got := RunConcurrent[int, int](nil, Options[int]{}); got != nil {
-		t.Fatalf("empty concurrent network: %v", got)
+	if got, err := RunConcurrent[int, int](nil, Options[int]{}); got != nil || err != nil {
+		t.Fatalf("empty concurrent network: %v, %v", got, err)
 	}
 }
 
 func TestConcurrentTraceIsLegalInterleaving(t *testing.T) {
 	tr := trace.New()
-	RunConcurrent(pingPong(4), Options[int]{Trace: tr})
+	if _, err := RunConcurrent(pingPong(4), Options[int]{Trace: tr}); err != nil {
+		t.Fatal(err)
+	}
 	ctrl := trace.New()
 	if _, err := RunControlled(pingPong(4), Lowest{}, Options[int]{Trace: ctrl}); err != nil {
 		t.Fatal(err)
@@ -379,7 +387,9 @@ func TestSchedulerTracesAreCausallyConsistent(t *testing.T) {
 		}
 	}
 	tr := trace.New()
-	RunConcurrent(pingPong(6), Options[int]{Trace: tr})
+	if _, err := RunConcurrent(pingPong(6), Options[int]{Trace: tr}); err != nil {
+		t.Fatal(err)
+	}
 	if msg := tr.CheckCausality(2); msg != "" {
 		t.Fatalf("concurrent trace causally inconsistent: %s", msg)
 	}

@@ -1,0 +1,249 @@
+package sched
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/channel"
+)
+
+// runBounded fails the test if RunConcurrent does not return within the
+// deadline — the "bounded time" half of the deadlock acceptance
+// criterion.
+func runBounded(t *testing.T, d time.Duration, procs []Proc[int, int], opt Options[int]) ([]int, error) {
+	t.Helper()
+	type outcome struct {
+		res []int
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := RunConcurrent(procs, opt)
+		ch <- outcome{res, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-time.After(d):
+		t.Fatalf("RunConcurrent still hung after %v", d)
+		return nil, nil
+	}
+}
+
+// TestConcurrentDeadlockDiagnostic is the runtime acceptance test: a
+// deliberately deadlocked parallel program returns a diagnostic error
+// naming at least one blocked rank, within bounded time, instead of
+// hanging.
+func TestConcurrentDeadlockDiagnostic(t *testing.T) {
+	// Both processes receive first: no send can ever happen.
+	procs := []Proc[int, int]{
+		func(ctx *Ctx[int]) int { v := ctx.Recv(1); ctx.Send(1, v); return v },
+		func(ctx *Ctx[int]) int { v := ctx.Recv(0); ctx.Send(0, v); return v },
+	}
+	_, err := runBounded(t, 10*time.Second, procs, Options[int]{})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("error is not a *DeadlockError: %v", err)
+	}
+	if len(de.Blocked) != 2 || de.Unfinished != 2 {
+		t.Fatalf("diagnostic incomplete: %+v", de)
+	}
+	for i, b := range de.Blocked {
+		if b.Rank != i || b.From != 1-i {
+			t.Fatalf("wrong wait-for edge %d: %+v", i, b)
+		}
+	}
+	if msg := err.Error(); !strings.Contains(msg, "P0 waits on empty channel P1->P0") ||
+		!strings.Contains(msg, "P1 waits on empty channel P0->P1") {
+		t.Fatalf("diagnostic does not name the blocked ranks: %q", msg)
+	}
+}
+
+// TestConcurrentPartialDeadlock checks detection when only a subset
+// hangs: the network deadlocks only once the healthy processes have
+// terminated and can no longer send.
+func TestConcurrentPartialDeadlock(t *testing.T) {
+	procs := []Proc[int, int]{
+		func(ctx *Ctx[int]) int { ctx.Send(1, 7); return 0 }, // healthy
+		func(ctx *Ctx[int]) int { return ctx.Recv(0) + ctx.Recv(2) },
+		func(ctx *Ctx[int]) int { return ctx.Recv(1) }, // 1 and 2 wait on each other
+	}
+	_, err := runBounded(t, 10*time.Second, procs, Options[int]{})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("not a *DeadlockError: %v", err)
+	}
+	if de.Unfinished != 2 {
+		t.Fatalf("expected 2 unfinished processes, got %+v", de)
+	}
+}
+
+// TestConcurrentPanicRecovered: a panic in one process is returned as
+// an error naming the process; the run does not crash or hang even
+// though a peer is left waiting for the dead process's send.
+func TestConcurrentPanicRecovered(t *testing.T) {
+	procs := []Proc[int, int]{
+		func(ctx *Ctx[int]) int { panic("boom at rank 0") },
+		func(ctx *Ctx[int]) int { return ctx.Recv(0) },
+	}
+	_, err := runBounded(t, 10*time.Second, procs, Options[int]{})
+	if err == nil {
+		t.Fatal("panic not surfaced")
+	}
+	if !strings.Contains(err.Error(), "process 0 panicked") ||
+		!strings.Contains(err.Error(), "boom at rank 0") {
+		t.Fatalf("unhelpful panic error: %v", err)
+	}
+	// The panic explains the teardown: it takes precedence over the
+	// deadlock it caused.
+	if errors.Is(err, ErrDeadlock) {
+		t.Fatalf("panic misreported as deadlock: %v", err)
+	}
+}
+
+// TestConcurrentPanicErrorValueUnwraps: when the panic value is an
+// error, the supervisor wraps it so errors.Is sees through the layers —
+// the contract fault injection relies on.
+func TestConcurrentPanicErrorValueUnwraps(t *testing.T) {
+	sentinel := errors.New("injected failure")
+	procs := []Proc[int, int]{
+		func(ctx *Ctx[int]) int { panic(sentinel) },
+	}
+	_, err := RunConcurrent(procs, Options[int]{})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("panic error value not wrapped: %v", err)
+	}
+}
+
+// TestQueueRecvPanicSurfacesAsError: the sequential Queue's empty-recv
+// panic message (a programming-error diagnostic) travels through the
+// concurrent supervisor as an ordinary error.
+func TestQueueRecvPanicSurfacesAsError(t *testing.T) {
+	procs := []Proc[int, int]{
+		func(ctx *Ctx[int]) int {
+			q := channel.NewQueue[int]()
+			return q.Recv() // panics: empty queue
+		},
+	}
+	_, err := RunConcurrent(procs, Options[int]{})
+	if err == nil {
+		t.Fatal("Queue.Recv panic not surfaced")
+	}
+	if !strings.Contains(err.Error(), "receive from empty channel in sequential execution") {
+		t.Fatalf("Queue.Recv panic message lost: %v", err)
+	}
+}
+
+// TestConcurrentSurvivorsComplete: after one process panics, processes
+// that do not depend on it still finish and their results are recorded.
+func TestConcurrentSurvivorsComplete(t *testing.T) {
+	procs := []Proc[int, int]{
+		func(ctx *Ctx[int]) int { panic("dead") },
+		func(ctx *Ctx[int]) int { ctx.Send(2, 5); return 1 },
+		func(ctx *Ctx[int]) int { return ctx.Recv(1) },
+	}
+	res, err := runBounded(t, 10*time.Second, procs, Options[int]{})
+	if err == nil || !strings.Contains(err.Error(), "process 0 panicked") {
+		t.Fatalf("want rank-0 panic error, got %v", err)
+	}
+	// Results are documented as unusable on error, but the independent
+	// pair must at least have terminated for RunConcurrent to return.
+	if res == nil {
+		t.Fatal("no result slice returned")
+	}
+}
+
+// TestStallWatchdog: a hang the exact detector cannot see — a sender
+// parked outside any communication action — is diagnosed by the
+// watchdog as ErrStall with the receivers it left blocked.
+func TestStallWatchdog(t *testing.T) {
+	release := make(chan struct{})
+	procs := []Proc[int, int]{
+		func(ctx *Ctx[int]) int {
+			<-release // invisible to the runtime: not a channel action
+			ctx.Send(1, 1)
+			return 0
+		},
+		func(ctx *Ctx[int]) int { return ctx.Recv(0) },
+	}
+	done := make(chan struct{})
+	go func() {
+		// Free the sleeper once the watchdog has had ample time to fire,
+		// so the run can terminate.
+		time.Sleep(400 * time.Millisecond)
+		close(release)
+		close(done)
+	}()
+	_, err := runBounded(t, 10*time.Second, procs, Options[int]{StallTimeout: 50 * time.Millisecond})
+	<-done
+	if !errors.Is(err, ErrStall) {
+		t.Fatalf("want ErrStall, got %v", err)
+	}
+	var de *DeadlockError
+	if !errors.As(err, &de) || !de.Stalled {
+		t.Fatalf("stall not diagnosed: %v", err)
+	}
+	if len(de.Blocked) != 1 || de.Blocked[0].Rank != 1 || de.Blocked[0].From != 0 {
+		t.Fatalf("stall diagnostic missing the blocked receiver: %+v", de)
+	}
+}
+
+// TestStallWatchdogQuietOnHealthyRuns: the watchdog must not fire while
+// the network keeps communicating.
+func TestStallWatchdogQuietOnHealthyRuns(t *testing.T) {
+	res, err := RunConcurrent(pingPong(200), Options[int]{StallTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatalf("healthy run aborted: %v", err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("bad results: %v", res)
+	}
+}
+
+// TestWrapEndpointSeam: Options.WrapEndpoint observes every delivery on
+// the concurrent network without changing the results — the seam the
+// fault package injects through.
+func TestWrapEndpointSeam(t *testing.T) {
+	want, err := RunConcurrent(pingPong(25), Options[int]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(chan int, 64)
+	got, err := RunConcurrent(pingPong(25), Options[int]{
+		WrapEndpoint: func(from, to int, e channel.Endpoint[int]) channel.Endpoint[int] {
+			return countingEndpoint{Endpoint: e, counts: counts}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("wrapped run diverged: %v vs %v", got, want)
+	}
+	close(counts)
+	n := 0
+	for range counts {
+		n++
+	}
+	if n == 0 {
+		t.Fatal("wrapper never observed a send")
+	}
+}
+
+type countingEndpoint struct {
+	channel.Endpoint[int]
+	counts chan int
+}
+
+func (c countingEndpoint) Send(v int) {
+	c.counts <- v
+	c.Endpoint.Send(v)
+}

@@ -168,7 +168,10 @@ func TestTheorem1Transformation(t *testing.T) {
 				t.Fatalf("combine=%v policy=%s: parallel result differs from SSP", combine, pol.Name())
 			}
 		}
-		got := sched.RunConcurrent(procs, sched.Options[Message]{})
+		got, err := sched.RunConcurrent(procs, sched.Options[Message]{})
+		if err != nil {
+			t.Fatalf("combine=%v: concurrent: %v", combine, err)
+		}
 		if !SpacesEqual(got, seq) {
 			t.Fatalf("combine=%v: concurrent result differs from SSP", combine)
 		}

@@ -118,7 +118,10 @@ func TestAutoSSPTheorem1(t *testing.T) {
 			t.Fatalf("policy %s: parallel auto-SSP diverged", pol.Name())
 		}
 	}
-	spaces := sched.RunConcurrent(prog.Procs(init, LowerOptions{}), sched.Options[Message]{})
+	spaces, err := sched.RunConcurrent(prog.Procs(init, LowerOptions{}), sched.Options[Message]{})
+	if err != nil {
+		t.Fatalf("concurrent auto-SSP: %v", err)
+	}
 	if !reflect.DeepEqual(st.Flatten(spaces), want) {
 		t.Fatal("concurrent auto-SSP diverged")
 	}
