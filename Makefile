@@ -1,11 +1,11 @@
 GO ?= go
 
 # Packages whose concurrency the race detector must vet.
-RACE_PKGS = ./internal/channel ./internal/sched ./internal/mesh
+RACE_PKGS = ./internal/channel ./internal/sched ./internal/mesh ./internal/trace ./internal/obs
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench bench-smoke
 
-check: vet build test race
+check: vet build test race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -19,5 +19,16 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
+# bench runs the runtime benchmarks with allocation reporting, then a
+# P=4 parallel FDTD run (with a measured P=1 baseline) whose headline
+# observability metrics land in BENCH_obs.json and fdtd_report.json.
 bench:
-	$(GO) test -bench=. -benchtime=1x ./...
+	$(GO) test -bench=. -benchtime=1x -benchmem ./internal/sched ./internal/mesh ./internal/fdtd
+	$(GO) run ./cmd/fdtd -build par -p 4 -nx 24 -ny 16 -nz 16 -steps 64 -baseline -quiet \
+		-report fdtd_report.json -bench-out BENCH_obs.json
+	@echo "wrote fdtd_report.json and BENCH_obs.json"
+
+# bench-smoke compiles and runs every benchmark once (no timing) so
+# check catches benchmark rot without paying full benchmark time.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' $(RACE_PKGS) ./internal/fdtd > /dev/null

@@ -1,6 +1,7 @@
 package archetype
 
 import (
+	"repro/internal/channel"
 	"repro/internal/core"
 	"repro/internal/farm"
 	"repro/internal/fdtd"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/machine"
 	"repro/internal/mesh"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/ssp"
 	"repro/internal/wave2d"
@@ -222,6 +224,38 @@ type EventLog = machine.EventLog
 // NewEventLog creates a per-process event recorder for the discrete-
 // event replay (MachineModel.DES).
 var NewEventLog = machine.NewEventLog
+
+// Runtime observability (attach via MeshOptions.Obs / MeshOptions.ChanStats).
+type (
+	// Collector accumulates a run's per-rank counters (sends, receives,
+	// steps, blocks, bytes) and wall-clock phase timers.
+	Collector = obs.Collector
+	// RunReport quantifies one run: wall time, per-phase breakdown, load
+	// imbalance, comm-to-compute ratio, and (with a baseline) speedup.
+	RunReport = obs.RunReport
+	// ObsExporter serves Prometheus /metrics, expvar, and pprof for a
+	// collector.
+	ObsExporter = obs.Exporter
+	// NetStats counts per-channel messages and queue high-water marks
+	// (Par mode only).
+	NetStats = channel.NetStats
+)
+
+// Observability constructors and exporters re-exported from obs/channel.
+var (
+	// NewCollector creates a collector for a P-process run.
+	NewCollector = obs.New
+	// NewNetStats creates per-channel traffic counters for P processes.
+	NewNetStats = channel.NewNetStats
+	// BuildRunReport condenses a collector snapshot into a RunReport.
+	BuildRunReport = obs.BuildReport
+	// WriteChromeTraceFile writes the collector's timeline as Chrome
+	// trace_event JSON (one lane per rank).
+	WriteChromeTraceFile = obs.WriteChromeTraceFile
+	// ServeMetrics serves /metrics, /debug/obs, /debug/vars, and
+	// /debug/pprof/ on an address.
+	ServeMetrics = obs.Serve
+)
 
 // Experiments.
 var (

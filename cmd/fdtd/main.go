@@ -18,6 +18,19 @@
 //
 //	fdtd -build par -p 4 -checkpoint-every 50 -checkpoint run.ckp \
 //	     -inject-crash 1@120
+//
+// Observability (ssp/par builds): -report writes a structured run
+// report (wall time, per-phase breakdown, load imbalance,
+// comm-to-compute ratio) and prints its table; -baseline additionally
+// runs the same workload on P=1 to compute measured speedup and
+// efficiency; -trace-out writes a Chrome trace (open in
+// chrome://tracing or https://ui.perfetto.dev) with one lane per rank;
+// -bench-out writes the headline numbers as a BENCH_*.json artifact;
+// -metrics-addr serves live Prometheus /metrics plus expvar and pprof
+// while the run executes; -quiet suppresses the human-readable output:
+//
+//	fdtd -build par -p 4 -report report.json -trace-out trace.json \
+//	     -baseline -metrics-addr :9090
 package main
 
 import (
@@ -27,11 +40,13 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/channel"
 	"repro/internal/fault"
 	"repro/internal/fdtd"
 	"repro/internal/gridio"
 	"repro/internal/machine"
 	"repro/internal/mesh"
+	"repro/internal/obs"
 )
 
 // parseCrash parses "rank@step" for -inject-crash.
@@ -44,6 +59,13 @@ func parseCrash(s string) (*fault.Injector, error) {
 		return nil, fmt.Errorf("rank and step must be non-negative in %q", s)
 	}
 	return fault.NewCrash(rank, step), nil
+}
+
+// usageErr reports a flag-validation failure and exits with status 2
+// (matching flag package convention for usage errors).
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fdtd: "+format+"\n", args...)
+	os.Exit(2)
 }
 
 func main() {
@@ -62,7 +84,41 @@ func main() {
 	ckPath := flag.String("checkpoint", "fdtd.ckp", "checkpoint file path (with -checkpoint-every or -resume)")
 	resume := flag.Bool("resume", false, "par build: resume from the checkpoint file (implies recovery)")
 	injectCrash := flag.String("inject-crash", "", "par build: crash rank@step once, to be absorbed by recovery")
+	report := flag.String("report", "", "ssp/par builds: write the structured run report (JSON) to this file")
+	traceOut := flag.String("trace-out", "", "ssp/par builds: write a Chrome trace_event timeline (JSON) to this file")
+	benchOut := flag.String("bench-out", "", "ssp/par builds: write headline metrics as a BENCH json artifact to this file")
+	metricsAddr := flag.String("metrics-addr", "", "ssp/par builds: serve Prometheus /metrics (+expvar, pprof) on this address during the run")
+	baseline := flag.Bool("baseline", false, "ssp/par builds: also run the workload on P=1 to measure speedup and efficiency")
+	quiet := flag.Bool("quiet", false, "suppress the human-readable run summary (artifacts are still written)")
 	flag.Parse()
+
+	// Reject conflicting flag combinations up front, before any work.
+	obsWanted := *report != "" || *traceOut != "" || *benchOut != "" || *metricsAddr != ""
+	if flag.NArg() > 0 {
+		usageErr("unexpected arguments: %v", flag.Args())
+	}
+	if *build != "ssp" && *build != "par" && *build != "seq" {
+		usageErr("unknown build %q (want seq, ssp, or par)", *build)
+	}
+	if *build == "seq" && (obsWanted || *baseline) {
+		usageErr("-report/-trace-out/-bench-out/-metrics-addr/-baseline instrument the archetype runtime; they require -build ssp or par")
+	}
+	if *injectCrash != "" && *build != "par" {
+		usageErr("-inject-crash requires -build par (crash recovery runs on the parallel build)")
+	}
+	if (*resume || *ckEvery > 0) && *build != "par" {
+		usageErr("-resume and -checkpoint-every require -build par")
+	}
+	if *resume {
+		if *ckPath == "" {
+			usageErr("-resume requires a checkpoint file path (-checkpoint)")
+		}
+		_, errA := os.Stat(*ckPath)
+		_, errB := os.Stat(fdtd.CheckpointPrevPath(*ckPath))
+		if errA != nil && errB != nil {
+			usageErr("-resume: no checkpoint at %s (or retained %s)", *ckPath, fdtd.CheckpointPrevPath(*ckPath))
+		}
+	}
 
 	spec := fdtd.SpecTable1()
 	spec.NX, spec.NY, spec.NZ, spec.Steps = *nx, *ny, *nz, *steps
@@ -77,12 +133,10 @@ func main() {
 	case "mur1":
 		spec.Boundary = fdtd.BoundaryMur1
 	default:
-		fmt.Fprintf(os.Stderr, "fdtd: unknown boundary %q\n", *boundary)
-		os.Exit(2)
+		usageErr("unknown boundary %q", *boundary)
 	}
 	if err := spec.Validate(); err != nil {
-		fmt.Fprintf(os.Stderr, "fdtd: %v\n", err)
-		os.Exit(2)
+		usageErr("%v", err)
 	}
 
 	opt := fdtd.DefaultOptions()
@@ -90,13 +144,34 @@ func main() {
 	if *injectCrash != "" {
 		inj, err := parseCrash(*injectCrash)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "fdtd: -inject-crash: %v\n", err)
-			os.Exit(2)
+			usageErr("-inject-crash: %v", err)
 		}
 		opt.Inject = inj
 	}
 	recovery := *ckEvery > 0 || *resume
+	ranks := *p * *py
 	var tally *machine.Tally
+	var col *obs.Collector
+	var stats *channel.NetStats
+	if obsWanted {
+		col = obs.New(ranks)
+		opt.Mesh.Obs = col
+		if *build == "par" {
+			stats = channel.NewNetStats(ranks)
+			opt.Mesh.ChanStats = stats
+		}
+	}
+	if *metricsAddr != "" {
+		srv, addr, err := obs.Serve(*metricsAddr, obs.Exporter{Collector: col, Net: stats})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fdtd: -metrics-addr: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		if !*quiet {
+			fmt.Printf("serving metrics at http://%s/metrics (expvar at /debug/vars, pprof at /debug/pprof/)\n", addr)
+		}
+	}
 
 	start := time.Now()
 	var res *fdtd.Result
@@ -106,8 +181,7 @@ func main() {
 		res, err = fdtd.RunSequentialOpts(spec, *compensated)
 	case *build == "par" && recovery:
 		if *py > 1 {
-			fmt.Fprintln(os.Stderr, "fdtd: crash recovery supports the 1-D slab decomposition only (py=1)")
-			os.Exit(2)
+			usageErr("crash recovery supports the 1-D slab decomposition only (py=1)")
 		}
 		var rep *fdtd.RecoveryReport
 		rep, err = fdtd.RunWithRecovery(spec, fdtd.RecoveryOptions{
@@ -118,81 +192,144 @@ func main() {
 		})
 		if err == nil {
 			res = rep.Result
-			if rep.ResumedFrom > 0 {
-				fmt.Printf("resumed from step %d (%s)\n", rep.ResumedFrom, *ckPath)
+			if !*quiet {
+				if rep.ResumedFrom > 0 {
+					fmt.Printf("resumed from step %d (%s)\n", rep.ResumedFrom, *ckPath)
+				}
+				for _, c := range rep.Crashes {
+					fmt.Printf("absorbed injected crash: rank %d at step %d\n", c.Rank, c.Step)
+				}
+				if rep.FellBack {
+					fmt.Println("fell back to the retained previous checkpoint")
+				}
+				fmt.Printf("recovery: %d restarts, %d checkpoints saved\n",
+					rep.Restarts, rep.CheckpointsSaved)
 			}
-			for _, c := range rep.Crashes {
-				fmt.Printf("absorbed injected crash: rank %d at step %d\n", c.Rank, c.Step)
-			}
-			if rep.FellBack {
-				fmt.Println("fell back to the retained previous checkpoint")
-			}
-			fmt.Printf("recovery: %d restarts, %d checkpoints saved\n",
-				rep.Restarts, rep.CheckpointsSaved)
 		}
 	case *build == "ssp" || *build == "par":
 		mode := mesh.Sim
 		if *build == "par" {
 			mode = mesh.Par
 		}
-		tally = machine.NewTally(*p * *py)
+		tally = machine.NewTally(ranks)
 		opt.Mesh.Tally = tally
 		if *py > 1 {
 			res, err = fdtd.RunArchetype2D(spec, *p, *py, mode, opt)
 		} else {
 			res, err = fdtd.RunArchetype(spec, *p, mode, opt)
 		}
-	default:
-		fmt.Fprintf(os.Stderr, "fdtd: unknown build %q\n", *build)
-		os.Exit(2)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fdtd: %v\n", err)
 		os.Exit(1)
 	}
+	col.Finish()
 	wall := time.Since(start)
 
-	fmt.Printf("%s\nbuild=%s wall=%v\n", res, *build, wall)
-	lo, hi := math.Inf(1), math.Inf(-1)
-	for _, v := range res.Probe {
-		if v < lo {
-			lo = v
-		}
-		if v > hi {
-			hi = v
-		}
-	}
-	fmt.Printf("probe Ez range: [%.6g, %.6g] over %d steps\n", lo, hi, len(res.Probe))
-	if spec.IsVersionC() {
-		peakA, peakF := 0.0, 0.0
-		for _, v := range res.FarA {
-			if a := math.Abs(v); a > peakA {
-				peakA = a
+	if !*quiet {
+		fmt.Printf("%s\nbuild=%s wall=%v\n", res, *build, wall)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range res.Probe {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
 			}
 		}
-		for _, v := range res.FarF {
-			if a := math.Abs(v); a > peakF {
-				peakF = a
+		fmt.Printf("probe Ez range: [%.6g, %.6g] over %d steps\n", lo, hi, len(res.Probe))
+		if spec.IsVersionC() {
+			peakA, peakF := 0.0, 0.0
+			for _, v := range res.FarA {
+				if a := math.Abs(v); a > peakA {
+					peakA = a
+				}
 			}
+			for _, v := range res.FarF {
+				if a := math.Abs(v); a > peakF {
+					peakF = a
+				}
+			}
+			fmt.Printf("far-field potentials: |A|max=%.6g |F|max=%.6g (%d samples)\n",
+				peakA, peakF, len(res.FarA))
 		}
-		fmt.Printf("far-field potentials: |A|max=%.6g |F|max=%.6g (%d samples)\n",
-			peakA, peakF, len(res.FarA))
 	}
 	if *dump != "" {
 		if err := gridio.SaveFile3(*dump, res.Ez); err != nil {
 			fmt.Fprintf(os.Stderr, "fdtd: dump: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("final Ez written to %s\n", *dump)
+		if !*quiet {
+			fmt.Printf("final Ez written to %s\n", *dump)
+		}
 	}
-	if tally != nil {
+	if tally != nil && !*quiet {
 		fmt.Printf("profile: %d messages, %.2f MB, %d phases\n",
 			tally.TotalMessages(), float64(tally.TotalBytes())/1e6, tally.Phases())
 		for _, m := range []machine.Model{machine.SunEthernet(), machine.IBMSP()} {
 			simT := m.Time(tally)
 			seqT := m.SequentialTime(tally)
 			fmt.Printf("  %-40s simulated %8.3f s (speedup %.2f on %d procs)\n",
-				m.Name, simT, machine.Speedup(seqT, simT), *p**py)
+				m.Name, simT, machine.Speedup(seqT, simT), ranks)
+		}
+	}
+
+	if col == nil {
+		return
+	}
+
+	// Build the structured run report, with a measured P=1 baseline when
+	// requested — the paper's speedup experiment, quantified from this
+	// host's wall clocks.
+	title := fmt.Sprintf("fdtd version=%s build=%s P=%d grid=%dx%dx%d steps=%d",
+		*version, *build, ranks, *nx, *ny, *nz, *steps)
+	runRep := obs.BuildReport(title, col.Snapshot())
+	if *baseline && ranks > 1 {
+		mode := mesh.Sim
+		if *build == "par" {
+			mode = mesh.Par
+		}
+		baseCol := obs.New(1)
+		baseOpt := fdtd.DefaultOptions()
+		baseOpt.FarFieldCompensated = *compensated
+		baseOpt.Mesh.Obs = baseCol
+		if _, err := fdtd.RunArchetype(spec, 1, mode, baseOpt); err != nil {
+			fmt.Fprintf(os.Stderr, "fdtd: baseline run: %v\n", err)
+			os.Exit(1)
+		}
+		baseCol.Finish()
+		runRep.SetBaseline(obs.BuildReport(title+" baseline", baseCol.Snapshot()))
+	}
+
+	if !*quiet {
+		fmt.Print(runRep.Format())
+	}
+	if *report != "" {
+		if err := runRep.WriteJSONFile(*report); err != nil {
+			fmt.Fprintf(os.Stderr, "fdtd: %v\n", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Printf("run report written to %s\n", *report)
+		}
+	}
+	if *traceOut != "" {
+		if err := obs.WriteChromeTraceFile(*traceOut, col); err != nil {
+			fmt.Fprintf(os.Stderr, "fdtd: %v\n", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Printf("chrome trace written to %s\n", *traceOut)
+		}
+	}
+	if *benchOut != "" {
+		prefix := fmt.Sprintf("fdtd/%s/P=%d", *build, ranks)
+		if err := obs.WriteBenchFile(*benchOut, runRep.BenchEntries(prefix)); err != nil {
+			fmt.Fprintf(os.Stderr, "fdtd: %v\n", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Printf("bench metrics written to %s\n", *benchOut)
 		}
 	}
 }

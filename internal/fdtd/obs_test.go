@@ -1,0 +1,97 @@
+package fdtd
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/obs"
+)
+
+// TestArchetypeRunWithObs runs the full FDTD archetype program with the
+// collector attached and checks the end-to-end accounting: the result is
+// unchanged by instrumentation, every rank's phases tile its timeline,
+// and the exchange/collective/io phases all show up.
+func TestArchetypeRunWithObs(t *testing.T) {
+	spec := SpecSmall()
+	const p = 4
+
+	plain, err := RunArchetype(spec, p, mesh.Par, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	col := obs.New(p)
+	opt := DefaultOptions()
+	opt.Mesh.Obs = col
+	instrumented, err := RunArchetype(spec, p, mesh.Par, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col.Finish()
+
+	// Instrumentation must not perturb the computation (Theorem 1: the
+	// network is deterministic, and counters touch no program state).
+	if !plain.NearFieldEqual(instrumented) || !plain.FarFieldEqual(instrumented) {
+		t.Error("instrumented run diverged from plain run")
+	}
+
+	snap := col.Snapshot()
+	for r := 0; r < p; r++ {
+		rs := snap.Ranks[r]
+		if rs.Busy() != snap.Wall {
+			t.Errorf("rank %d busy %v != wall %v", r, rs.Busy(), snap.Wall)
+		}
+		// Every rank exchanges ghosts twice per step and joins the
+		// reductions/broadcast/gathers.
+		if rs.Phase[obs.PhaseExchange] <= 0 || rs.Phase[obs.PhaseCollective] <= 0 || rs.Phase[obs.PhaseIO] <= 0 {
+			t.Errorf("rank %d missing phase time: %+v", r, rs.Phase)
+		}
+	}
+
+	rep := obs.BuildReport("fdtd", snap)
+	var phaseSum float64
+	for _, s := range rep.PhaseSeconds {
+		phaseSum += s
+	}
+	if diff := phaseSum - rep.WallSeconds; diff > 0.05*rep.WallSeconds || diff < -0.05*rep.WallSeconds {
+		t.Errorf("phase seconds sum %v, wall %v (off by more than 5%%)", phaseSum, rep.WallSeconds)
+	}
+}
+
+// TestRecoveryMarksCheckpointPhase checks that the recovery driver
+// charges checkpoint save/load time to rank 0's checkpoint phase.
+func TestRecoveryMarksCheckpointPhase(t *testing.T) {
+	spec := SpecSmallA()
+	const p = 3
+	col := obs.New(p)
+	opt := DefaultOptions()
+	opt.Mesh.Obs = col
+	path := filepath.Join(t.TempDir(), "ck.gob")
+	rep, err := RunWithRecovery(spec, RecoveryOptions{
+		P: p, Opt: opt, CheckpointEvery: 4, Path: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CheckpointsSaved == 0 {
+		t.Fatal("no checkpoints saved")
+	}
+	col.Finish()
+	snap := col.Snapshot()
+	if snap.Ranks[0].Phase[obs.PhaseCheckpoint] <= 0 {
+		t.Error("rank 0 recorded no checkpoint time")
+	}
+	ckSpans := 0
+	for _, s := range col.Spans() {
+		if s.Phase == obs.PhaseCheckpoint {
+			if s.Rank != 0 {
+				t.Errorf("checkpoint span on rank %d, want 0", s.Rank)
+			}
+			ckSpans++
+		}
+	}
+	if ckSpans < rep.CheckpointsSaved {
+		t.Errorf("%d checkpoint spans for %d saves", ckSpans, rep.CheckpointsSaved)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/grid"
 	"repro/internal/mesh"
+	"repro/internal/obs"
 )
 
 // RecoveryOptions configures RunWithRecovery.
@@ -97,10 +98,16 @@ func RunWithRecovery(spec Spec, ro RecoveryOptions) (*RecoveryReport, error) {
 	}
 	slabs := grid.SlabDecompose3(spec.NX, spec.NY, spec.NZ, p, grid.AxisX)
 
+	// Checkpoint save/load runs host-side between segments; charge it to
+	// rank 0's lane so the run report shows what recovery costs.
+	col := ro.Opt.Mesh.Obs
+
 	rep := &RecoveryReport{}
 	var ckpt *Checkpoint
 	if ro.Resume && ro.Path != "" {
+		col.Begin(0, obs.PhaseCheckpoint, "checkpoint-load")
 		c, fellBack, err := LoadCheckpointWithFallback(ro.Path, spec)
+		col.End(0)
 		if err != nil {
 			return nil, err
 		}
@@ -135,7 +142,9 @@ func RunWithRecovery(spec Spec, ro RecoveryOptions) (*RecoveryReport, error) {
 			// the file (when there is one) exercises the same path a
 			// fresh process would take after a real crash.
 			if ro.Path != "" && rep.CheckpointsSaved > 0 {
+				col.Begin(0, obs.PhaseCheckpoint, "checkpoint-load")
 				c, fellBack, lerr := LoadCheckpointWithFallback(ro.Path, spec)
+				col.End(0)
 				if lerr != nil {
 					return rep, fmt.Errorf("fdtd: recovery reload failed: %w", lerr)
 				}
@@ -146,7 +155,10 @@ func RunWithRecovery(spec Spec, ro RecoveryOptions) (*RecoveryReport, error) {
 		}
 		mergeSegment(ckpt, seg)
 		if ro.Path != "" {
-			if err := SaveCheckpoint(ro.Path, ckpt); err != nil {
+			col.Begin(0, obs.PhaseCheckpoint, "checkpoint-save")
+			err := SaveCheckpoint(ro.Path, ckpt)
+			col.End(0)
+			if err != nil {
 				return rep, err
 			}
 			rep.CheckpointsSaved++

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/grid"
+	"repro/internal/obs"
 )
 
 // Axis-generic boundary exchange.  The mesh archetype distributes an
@@ -25,6 +26,7 @@ func (c *Comm) ExchangeGhostPlanes(g *grid.G3, axis grid.Axis) {
 	if 2*w > n {
 		panic(fmt.Sprintf("mesh: ghost width %d too large for %d local planes along %v", w, n, axis))
 	}
+	c.beginPhase(obs.PhaseExchange, "ghost-exchange")
 	if r > 0 {
 		c.sendPlanes(r-1, w, func(k int) []float64 { return g.PackPlane(axis, k, nil) })
 	}
@@ -85,6 +87,7 @@ func (c *Comm) SendDownTo(axis grid.Axis, sendTo, recvFrom int, gs ...*grid.G3) 
 }
 
 func (c *Comm) directional(axis grid.Axis, up bool, sendTo, recvFrom int, gs []*grid.G3) {
+	c.beginPhase(obs.PhaseExchange, "directional-exchange")
 	if len(gs) == 0 {
 		c.endPhase("directional-exchange")
 		return

@@ -1,6 +1,10 @@
 package mesh
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // ReduceOp is an associative (or associatively treated) binary
 // combining operation for reductions.  The paper notes that treating
@@ -63,6 +67,7 @@ func (a ReduceAlg) String() string {
 // P) rounds of neighbour signalling).
 func (c *Comm) Barrier() {
 	p, r := c.P(), c.Rank()
+	c.beginPhase(obs.PhaseCollective, "barrier")
 	for k := 1; k < p; k <<= 1 {
 		c.send((r+k)%p, nil)
 		c.recv((r - k + p) % p)
@@ -87,6 +92,7 @@ func (c *Comm) BroadcastVec(vals []float64, root int) []float64 {
 	if root < 0 || root >= p {
 		panic(fmt.Sprintf("mesh: broadcast root %d out of range [0,%d)", root, p))
 	}
+	c.beginPhase(obs.PhaseCollective, "broadcast")
 	vrank := (r - root + p) % p
 	// lsb: for the root, the next power of two >= p; otherwise the
 	// lowest set bit of vrank.  Children of vrank are vrank+m for each
@@ -134,6 +140,7 @@ func (c *Comm) AllReduceVec(vals []float64, op ReduceOp) []float64 {
 
 // AllReduceVecAlg is AllReduceVec with an explicit algorithm choice.
 func (c *Comm) AllReduceVecAlg(vals []float64, op ReduceOp, alg ReduceAlg) []float64 {
+	c.beginPhase(obs.PhaseCollective, "reduce")
 	acc := make([]float64, len(vals))
 	copy(acc, vals)
 	switch alg {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/grid"
+	"repro/internal/obs"
 )
 
 // The operations in this file assume a one-dimensional block ("slab")
@@ -29,6 +30,7 @@ func (c *Comm) ExchangeGhostRows(g *grid.G2) {
 	if 2*w > nx {
 		panic(fmt.Sprintf("mesh: ghost width %d too large for %d local rows", w, nx))
 	}
+	c.beginPhase(obs.PhaseExchange, "ghost-exchange")
 	row := func(i int) []float64 {
 		buf := make([]float64, g.NY())
 		copy(buf, g.Row(i))
@@ -120,6 +122,7 @@ func (c *Comm) GatherX(local *grid.G3, slabs []grid.Slab, root int) *grid.G3 {
 	if len(slabs) != p {
 		panic(fmt.Sprintf("mesh: %d slabs for %d processes", len(slabs), p))
 	}
+	c.beginPhase(obs.PhaseIO, "gather")
 	defer c.endPhase("gather")
 	if r != root {
 		c.sendPlanes(root, local.NX(), func(k int) []float64 { return local.PackPlaneX(k, nil) })
@@ -153,6 +156,7 @@ func (c *Comm) ScatterX(global *grid.G3, slabs []grid.Slab, root, ghost int) *gr
 	if len(slabs) != p {
 		panic(fmt.Sprintf("mesh: %d slabs for %d processes", len(slabs), p))
 	}
+	c.beginPhase(obs.PhaseIO, "scatter")
 	defer c.endPhase("scatter")
 	if r == root {
 		if global == nil {
@@ -190,6 +194,7 @@ func (c *Comm) GatherRows(local *grid.G2, ranges []grid.Range, globalNX int, roo
 	if len(ranges) != p {
 		panic(fmt.Sprintf("mesh: %d ranges for %d processes", len(ranges), p))
 	}
+	c.beginPhase(obs.PhaseIO, "gather")
 	defer c.endPhase("gather")
 	packRow := func(g *grid.G2, i int) []float64 {
 		buf := make([]float64, g.NY())
@@ -224,6 +229,7 @@ func (c *Comm) ScatterRows(global *grid.G2, ranges []grid.Range, ghost int, root
 	if len(ranges) != p {
 		panic(fmt.Sprintf("mesh: %d ranges for %d processes", len(ranges), p))
 	}
+	c.beginPhase(obs.PhaseIO, "scatter")
 	defer c.endPhase("scatter")
 	if r == root {
 		if global == nil {

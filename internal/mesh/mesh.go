@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/channel"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -88,6 +89,22 @@ type Options struct {
 	// the fault-injection seam for message-delivery faults (see
 	// sched.Options.WrapEndpoint).
 	WrapEndpoint func(from, to int, e channel.Endpoint[Msg]) channel.Endpoint[Msg]
+	// Obs, if non-nil, collects wall-clock observability: per-rank
+	// send/recv/step/block counters (with payload bytes at 8 bytes per
+	// float64) and phase timers.  Every archetype operation marks its
+	// phase — boundary exchanges as obs.PhaseExchange, collectives as
+	// obs.PhaseCollective, gather/scatter as obs.PhaseIO — and the time
+	// between operations is compute.  The collector's P must match the
+	// run's.  Works under both runtimes; under Sim the times measure the
+	// simulation, not parallel execution (use machine.Model for modelled
+	// parallel time).
+	Obs *obs.Collector
+	// ChanStats, if non-nil, counts per-channel traffic and queue
+	// high-water marks via counting endpoint decorators.  Par mode only
+	// (it rides the endpoint-wrapping seam); its P must match the run's.
+	// When combined with WrapEndpoint, fault wrappers sit inside the
+	// counters, so ChanStats sees what the program attempts to send.
+	ChanStats *channel.NetStats
 }
 
 // DefaultOptions returns the archetype defaults: combined messages and
@@ -148,6 +165,14 @@ func (c *Comm) recv(from int) []float64 {
 	return m.Data
 }
 
+// beginPhase opens an observability span for one archetype operation;
+// the operation's endPhase call closes it.  Every operation that calls
+// endPhase calls beginPhase first, so the wall-clock spans pair exactly
+// with the bulk-synchronous phase structure.
+func (c *Comm) beginPhase(ph obs.Phase, label string) {
+	c.opt.Obs.Begin(c.Rank(), ph, label)
+}
+
 // endPhase closes this process's current bulk-synchronous phase.
 // Every collective calls it exactly once, so all processes advance
 // through the same phase sequence.
@@ -155,6 +180,7 @@ func (c *Comm) endPhase(label string) {
 	if c.opt.Tally != nil && c.Rank() == 0 {
 		c.opt.Tally.Label(c.phase, label)
 	}
+	c.opt.Obs.End(c.Rank())
 	c.phase++
 }
 
@@ -174,16 +200,34 @@ func Run[R any](p int, mode Mode, opt Options, f func(c *Comm) R) ([]R, error) {
 	if p <= 0 {
 		return nil, fmt.Errorf("mesh: process count must be positive, got %d", p)
 	}
+	if opt.Obs != nil && opt.Obs.P() != p {
+		return nil, fmt.Errorf("mesh: obs collector sized for %d processes, run has %d", opt.Obs.P(), p)
+	}
+	if opt.ChanStats != nil && opt.ChanStats.P() != p {
+		return nil, fmt.Errorf("mesh: channel stats sized for %d processes, run has %d", opt.ChanStats.P(), p)
+	}
 	procs := make([]sched.Proc[Msg, R], p)
 	for i := 0; i < p; i++ {
 		procs[i] = func(ctx *sched.Ctx[Msg]) R {
 			return f(&Comm{ctx: ctx, opt: opt})
 		}
 	}
+	wrap := opt.WrapEndpoint
+	if stats := opt.ChanStats; stats != nil {
+		inner := wrap
+		wrap = func(from, to int, e channel.Endpoint[Msg]) channel.Endpoint[Msg] {
+			if inner != nil {
+				e = inner(from, to, e)
+			}
+			return channel.Counted(stats, from, to, e)
+		}
+	}
 	schedOpt := sched.Options[Msg]{
 		Tag:          func(m Msg) string { return fmt.Sprintf("[%d]f64", len(m.Data)) },
 		StallTimeout: opt.StallTimeout,
-		WrapEndpoint: opt.WrapEndpoint,
+		WrapEndpoint: wrap,
+		Collector:    opt.Obs,
+		MsgBytes:     func(m Msg) int { return 8 * len(m.Data) },
 	}
 	switch mode {
 	case Sim:

@@ -1,0 +1,139 @@
+package mesh
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/grid"
+	"repro/internal/machine"
+	"repro/internal/obs"
+)
+
+// obsWorkload exercises every phase kind: ghost exchange, collectives,
+// and scatter/gather I/O.
+func obsWorkload(nx, steps int) func(c *Comm) float64 {
+	return func(c *Comm) float64 {
+		p, r := c.P(), c.Rank()
+		ranges := grid.Decompose(nx, p)
+		var global *grid.G2
+		if r == 0 {
+			global = grid.New2(nx, 3, 0)
+			for i := 0; i < nx; i++ {
+				for j := 0; j < 3; j++ {
+					global.Set(i, j, float64(i*3+j))
+				}
+			}
+		}
+		local := c.ScatterRows(global, ranges, 1, 0)
+		acc := 0.0
+		for n := 0; n < steps; n++ {
+			c.ExchangeGhostRows(local)
+			c.Work(float64(local.NX() * local.NY()))
+			acc += c.AllReduce(float64(r+n), OpSum)
+		}
+		c.Barrier()
+		out := c.BroadcastVec([]float64{acc}, 0)
+		c.GatherRows(local, ranges, nx, 0)
+		return out[0]
+	}
+}
+
+// TestObsPhaseAccounting runs the workload under both runtimes and
+// checks the collector's core invariants: every phase kind is marked,
+// each rank's phase times sum exactly to the wall time, and the obs
+// counters agree with the machine tally's independent message count.
+func TestObsPhaseAccounting(t *testing.T) {
+	const p, nx, steps = 4, 12, 5
+	for _, mode := range []Mode{Sim, Par} {
+		t.Run(mode.String(), func(t *testing.T) {
+			col := obs.New(p)
+			tally := machine.NewTally(p)
+			opt := DefaultOptions()
+			opt.Obs = col
+			opt.Tally = tally
+			if _, err := Run(p, mode, opt, obsWorkload(nx, steps)); err != nil {
+				t.Fatal(err)
+			}
+			col.Finish()
+			snap := col.Snapshot()
+
+			var sends, bytes int64
+			for r := 0; r < p; r++ {
+				rs := snap.Ranks[r]
+				sends += rs.Sends
+				bytes += rs.BytesSent
+				if rs.Sends == 0 || rs.Recvs == 0 {
+					t.Errorf("rank %d recorded no traffic: %+v", r, rs)
+				}
+				if busy := rs.Busy(); busy != snap.Wall {
+					t.Errorf("rank %d phase times sum to %v, wall is %v", r, busy, snap.Wall)
+				}
+			}
+			if want := int64(tally.TotalMessages()); sends != want {
+				t.Errorf("obs counted %d sends, tally counted %d messages", sends, want)
+			}
+			if want := int64(tally.TotalBytes()); bytes != want {
+				t.Errorf("obs counted %d bytes, tally counted %d", bytes, want)
+			}
+
+			// Every phase kind must appear in the span log.
+			seen := map[obs.Phase]bool{}
+			for _, s := range col.Spans() {
+				seen[s.Phase] = true
+			}
+			for _, ph := range []obs.Phase{obs.PhaseExchange, obs.PhaseCollective, obs.PhaseIO} {
+				if !seen[ph] {
+					t.Errorf("no %v span recorded", ph)
+				}
+			}
+		})
+	}
+}
+
+// TestObsChannelStats attaches the per-channel counters in Par mode and
+// cross-checks them against the collector: every message the program
+// sent is visible on exactly one channel, and every channel drained.
+func TestObsChannelStats(t *testing.T) {
+	const p, nx, steps = 3, 9, 4
+	col := obs.New(p)
+	stats := channel.NewNetStats(p)
+	opt := DefaultOptions()
+	opt.Obs = col
+	opt.ChanStats = stats
+	if _, err := Run(p, Par, opt, obsWorkload(nx, steps)); err != nil {
+		t.Fatal(err)
+	}
+	col.Finish()
+	snap := col.Snapshot()
+	var sends int64
+	for _, rs := range snap.Ranks {
+		sends += rs.Sends
+	}
+	if got := stats.TotalMessages(); got != sends {
+		t.Errorf("channel stats counted %d messages, obs counted %d sends", got, sends)
+	}
+	for from := 0; from < p; from++ {
+		for to := 0; to < p; to++ {
+			if m, r := stats.Messages(from, to), stats.Received(from, to); m != r {
+				t.Errorf("channel %d->%d: %d sent but %d received", from, to, m, r)
+			}
+		}
+	}
+	if stats.MaxHighWater() < 1 {
+		t.Error("no channel ever held a message")
+	}
+}
+
+// TestObsSizeMismatchRejected checks the defensive P validation.
+func TestObsSizeMismatchRejected(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Obs = obs.New(2)
+	if _, err := Run(3, Sim, opt, func(c *Comm) int { return 0 }); err == nil {
+		t.Error("mismatched collector not rejected")
+	}
+	opt = DefaultOptions()
+	opt.ChanStats = channel.NewNetStats(2)
+	if _, err := Run(3, Par, opt, func(c *Comm) int { return 0 }); err == nil {
+		t.Error("mismatched channel stats not rejected")
+	}
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Chrome trace_event export: one complete ("ph":"X") event per phase
+// span, one timeline lane ("tid") per rank, loadable in
+// chrome://tracing and Perfetto.  Timestamps are microseconds from the
+// collector's epoch, per the trace_event format spec.
+
+// traceEvent is one entry of the trace_event JSON array.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the collector's recorded spans as a Chrome
+// trace_event JSON document.  Call Finish first so trailing spans are
+// closed.  Safe on a nil collector (writes an empty trace).
+func WriteChromeTrace(w io.Writer, c *Collector) error {
+	tf := traceFile{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
+	if c != nil {
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+			Args: map[string]any{"name": "archetype run"},
+		})
+		for r := 0; r < c.P(); r++ {
+			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+				Name: "thread_name", Ph: "M", Pid: 0, Tid: r,
+				Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
+			})
+		}
+		for _, s := range c.Spans() {
+			name := s.Label
+			if name == "" {
+				name = s.Phase.String()
+			}
+			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+				Name: name,
+				Cat:  s.Phase.String(),
+				Ph:   "X",
+				Ts:   float64(s.Start.Microseconds()),
+				Dur:  durationMicros(s),
+				Pid:  0,
+				Tid:  s.Rank,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tf)
+}
+
+// durationMicros reports a span's duration in microseconds, flooring at
+// a tenth of a microsecond so zero-duration events stay visible (and
+// valid) in the viewers.
+func durationMicros(s Span) float64 {
+	us := float64(s.Dur.Nanoseconds()) / 1e3
+	if us < 0.1 {
+		return 0.1
+	}
+	return us
+}
+
+// WriteChromeTraceFile writes the Chrome trace to path (0644,
+// truncating).
+func WriteChromeTraceFile(path string, c *Collector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: trace: %w", err)
+	}
+	if err := WriteChromeTrace(f, c); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: trace: %w", err)
+	}
+	return f.Close()
+}

@@ -1,6 +1,10 @@
 package sched
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
 
 // BenchmarkControlledPingPong measures the cooperative scheduler's
 // per-action overhead.
@@ -20,4 +24,30 @@ func BenchmarkConcurrentPingPong(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkObservedPingPong measures the same workloads with the obs
+// collector attached; the delta against the plain benchmarks is the
+// instrumentation overhead.
+func BenchmarkObservedPingPong(b *testing.B) {
+	opts := func() Options[int] {
+		return Options[int]{
+			Collector: obs.New(2),
+			MsgBytes:  func(int) int { return 8 },
+		}
+	}
+	b.Run("controlled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := RunControlled(pingPong(100), NewRoundRobin(), opts()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("concurrent", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := RunConcurrent(pingPong(100), opts()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

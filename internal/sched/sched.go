@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/channel"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -38,6 +39,11 @@ type Proc[T, R any] func(ctx *Ctx[T]) R
 type Ctx[T any] struct {
 	id, p int
 	ops   ops[T]
+	// col and bytes instrument the communication actions (Options.
+	// Collector / Options.MsgBytes).  col == nil is the disabled fast
+	// path: one predictable branch, no calls, no allocations.
+	col   *obs.Collector
+	bytes func(T) int
 }
 
 // ops abstracts the two execution backends.
@@ -60,6 +66,13 @@ func (c *Ctx[T]) Send(to int, v T) {
 		panic(fmt.Sprintf("sched: send to process %d out of range [0,%d)", to, c.p))
 	}
 	c.ops.send(c.id, to, v)
+	if c.col != nil {
+		n := 0
+		if c.bytes != nil {
+			n = c.bytes(v)
+		}
+		c.col.CountSend(c.id, to, n)
+	}
 }
 
 // Recv receives the next value on the channel from process `from` to
@@ -68,12 +81,25 @@ func (c *Ctx[T]) Recv(from int) T {
 	if from < 0 || from >= c.p {
 		panic(fmt.Sprintf("sched: recv from process %d out of range [0,%d)", from, c.p))
 	}
-	return c.ops.recv(from, c.id)
+	v := c.ops.recv(from, c.id)
+	if c.col != nil {
+		n := 0
+		if c.bytes != nil {
+			n = c.bytes(v)
+		}
+		c.col.CountRecv(c.id, from, n)
+	}
+	return v
 }
 
 // Step marks a named local-computation action.  In controlled runs it
 // is an interleaving point; it has no semantic effect.
-func (c *Ctx[T]) Step(name string) { c.ops.step(c.id, name) }
+func (c *Ctx[T]) Step(name string) {
+	c.ops.step(c.id, name)
+	if c.col != nil {
+		c.col.CountStep(c.id)
+	}
+}
 
 // ErrDeadlock is returned by RunControlled and RunConcurrent when no
 // process can make progress but not all have terminated — i.e. the
@@ -197,7 +223,17 @@ func (b *controlled[T]) step(id int, name string) {
 // Options configures a controlled run.
 type Options[T any] struct {
 	// Trace, if non-nil, records every action of the interleaving.
+	// RunConcurrent serialises concurrent Adds internally (trace.Safe),
+	// so a plain Recorder is accepted by both executors.
 	Trace *trace.Recorder
+	// Collector, if non-nil, receives per-rank counters for every
+	// communication action (sends, receives, steps, blocks, estimated
+	// bytes) — the observability seam.  A nil collector adds no
+	// overhead: the hot paths take one branch and allocate nothing.
+	Collector *obs.Collector
+	// MsgBytes estimates a message's payload size in bytes for the
+	// collector's byte counters; nil counts zero bytes per message.
+	MsgBytes func(T) int
 	// Tag renders a message for tracing; defaults to fmt.Sprint.
 	Tag func(T) string
 	// MaxActions aborts runs exceeding this many actions (0 = no limit);
@@ -246,7 +282,7 @@ func RunControlled[T, R any](procs []Proc[T, R], pol Policy, opt Options[T]) ([]
 	// crashing the whole scheduler.
 	for i := 0; i < p; i++ {
 		i := i
-		ctx := &Ctx[T]{id: i, p: p, ops: back}
+		ctx := &Ctx[T]{id: i, p: p, ops: back, col: opt.Collector, bytes: opt.MsgBytes}
 		go func() {
 			<-back.ps[i].resume
 			done := request[T]{kind: reqDone}
@@ -279,6 +315,7 @@ func RunControlled[T, R any](procs []Proc[T, R], pol Policy, opt Options[T]) ([]
 		back.ps[i].pending = &r
 		if r.kind == reqRecv && net.Chan(r.peer, i).Len() == 0 {
 			opt.Trace.Add(i, trace.Block, r.peer, "")
+			opt.Collector.CountBlock(i)
 		}
 	}
 
@@ -401,9 +438,12 @@ type concurrent[T any] struct {
 	// watchdog.
 	progress atomic.Uint64
 
-	trmu sync.Mutex
-	tr   *trace.Recorder
-	tag  func(T) string
+	// tr serialises trace recording across the process goroutines; nil
+	// when tracing is off (SafeRecorder methods are nil-safe).
+	tr  *trace.SafeRecorder
+	tag func(T) string
+	// col counts blocked receives (the other counters live in Ctx).
+	col *obs.Collector
 }
 
 func newConcurrent[T any](p int, opt Options[T]) *concurrent[T] {
@@ -415,8 +455,9 @@ func newConcurrent[T any](p int, opt Options[T]) *concurrent[T] {
 		net:    net,
 		waitOn: make([]int, p),
 		done:   make([]bool, p),
-		tr:     opt.Trace,
+		tr:     trace.Safe(opt.Trace),
 		tag:    opt.Tag,
+		col:    opt.Collector,
 	}
 	for i := range b.waitOn {
 		b.waitOn[i] = -1
@@ -437,9 +478,7 @@ func (b *concurrent[T]) send(from, to int, v T) {
 	b.cond.Broadcast()
 	b.mu.Unlock()
 	if b.tr != nil {
-		b.trmu.Lock()
 		b.tr.Add(from, trace.Send, to, b.tag(v))
-		b.trmu.Unlock()
 	}
 }
 
@@ -456,13 +495,16 @@ func (b *concurrent[T]) recv(from, to int) T {
 			b.mu.Unlock()
 			b.progress.Add(1)
 			if b.tr != nil {
-				b.trmu.Lock()
 				b.tr.Add(to, trace.Recv, from, b.tag(v))
-				b.trmu.Unlock()
 			}
 			return v
 		}
-		b.waitOn[to] = from
+		if b.waitOn[to] != from {
+			// First finding the channel empty (not a spurious wakeup):
+			// this is the one logical block of this receive.
+			b.waitOn[to] = from
+			b.col.CountBlock(to)
+		}
 		// This process just became blocked on an empty channel: if every
 		// other unfinished process already is, the network can never
 		// move again — report the deadlock now rather than hang.
@@ -480,9 +522,7 @@ func (b *concurrent[T]) step(id int, name string) {
 	}
 	b.progress.Add(1)
 	if b.tr != nil {
-		b.trmu.Lock()
 		b.tr.Add(id, trace.Step, -1, name)
-		b.trmu.Unlock()
 	}
 }
 
@@ -501,9 +541,7 @@ func (b *concurrent[T]) markDone(id int, err error) {
 	}
 	b.mu.Unlock()
 	if b.tr != nil {
-		b.trmu.Lock()
 		b.tr.Add(id, trace.Done, -1, "")
-		b.trmu.Unlock()
 	}
 }
 
@@ -625,7 +663,7 @@ func RunConcurrent[T, R any](procs []Proc[T, R], opt Options[T]) ([]R, error) {
 	wg.Add(p)
 	for i := 0; i < p; i++ {
 		i := i
-		ctx := &Ctx[T]{id: i, p: p, ops: back}
+		ctx := &Ctx[T]{id: i, p: p, ops: back, col: opt.Collector, bytes: opt.MsgBytes}
 		go func() {
 			defer wg.Done()
 			var failure error

@@ -1,0 +1,69 @@
+package trace
+
+import "sync"
+
+// SafeRecorder is a mutex-guarded view of a Recorder for concurrent
+// executions: many goroutines may Add through it while others read
+// Len.  The zero-cost disabled idiom carries over — Safe(nil) returns
+// a nil *SafeRecorder, and every method is a no-op on nil — so callers
+// can wrap unconditionally.
+//
+// The underlying Recorder must not be used directly while goroutines
+// still Add through the wrapper; unwrap it with Recorder() after the
+// run has completed.
+type SafeRecorder struct {
+	mu sync.Mutex
+	r  *Recorder
+}
+
+// Safe wraps r for concurrent use.  Safe(nil) returns nil, which is a
+// valid no-op recorder.
+func Safe(r *Recorder) *SafeRecorder {
+	if r == nil {
+		return nil
+	}
+	return &SafeRecorder{r: r}
+}
+
+// Add appends an event under the lock.  Safe on nil.
+func (s *SafeRecorder) Add(proc int, kind Kind, peer int, tag string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.r.Add(proc, kind, peer, tag)
+	s.mu.Unlock()
+}
+
+// Len returns the number of recorded events.  Safe on nil.
+func (s *SafeRecorder) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Len()
+}
+
+// Events returns a copy of the recorded events, safe to read while
+// other goroutines keep adding.  Safe on nil.
+func (s *SafeRecorder) Events() []Event {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.r.events))
+	copy(out, s.r.events)
+	return out
+}
+
+// Recorder unwraps the underlying single-writer Recorder for the
+// read-side API (projections, equivalence checks).  Only call it after
+// all concurrent writers have finished.  Safe on nil.
+func (s *SafeRecorder) Recorder() *Recorder {
+	if s == nil {
+		return nil
+	}
+	return s.r
+}

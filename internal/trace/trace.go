@@ -78,6 +78,12 @@ func (e Event) String() string {
 // Recorder accumulates events of one execution.  A nil *Recorder is a
 // valid no-op recorder, so tracing can be disabled without branching at
 // call sites.
+//
+// A Recorder is NOT safe for concurrent use: it is a single-writer
+// structure, matching the controlled scheduler where exactly one
+// process acts at a time.  Concurrent executors must serialise their
+// Add calls — wrap the recorder with Safe to get a mutex-guarded view
+// (sched.RunConcurrent does this internally for Options.Trace).
 type Recorder struct {
 	events []Event
 }
