@@ -3,7 +3,7 @@ GO ?= go
 # Packages whose concurrency the race detector must vet.
 RACE_PKGS = ./internal/channel ./internal/sched ./internal/mesh ./internal/trace ./internal/obs
 
-.PHONY: check build vet test race bench bench-smoke
+.PHONY: check build vet test race bench bench-smoke bench-compare
 
 check: vet build test race bench-smoke
 
@@ -18,6 +18,7 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+	$(GO) test -race -run 'TestTiledKernelDeterminism|TestFastPathIdentity1D' ./internal/fdtd
 
 # bench runs the runtime benchmarks with allocation reporting, then a
 # P=4 parallel FDTD run (with a measured P=1 baseline) whose headline
@@ -32,3 +33,12 @@ bench:
 # check catches benchmark rot without paying full benchmark time.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' $(RACE_PKGS) ./internal/fdtd > /dev/null
+
+# bench-compare reruns the BENCH workload into a fresh artifact and
+# fails if any metric regresses more than 10% against the committed
+# BENCH_obs.json baseline — the CI perf gate.
+bench-compare:
+	$(GO) run ./cmd/fdtd -build par -p 4 -nx 24 -ny 16 -nz 16 -steps 64 -baseline -quiet \
+		-bench-out BENCH_new.json
+	$(GO) run ./cmd/benchdiff -baseline BENCH_obs.json -new BENCH_new.json -threshold 0.10
+	@rm -f BENCH_new.json

@@ -1,0 +1,99 @@
+// Command benchdiff compares two BENCH_*.json artifacts (the bench/v1
+// shape written by the observability layer) and fails when the new run
+// regresses past a threshold.  It is the CI gate behind `make
+// bench-compare`: the committed baseline encodes the performance the
+// fast path is supposed to deliver, and any change that slows the wall
+// clock or inflates the allocation count by more than the threshold
+// exits non-zero.
+//
+// Direction is inferred from the unit: "x" (speedup) and entries named
+// ".../efficiency" are higher-is-better; everything else (seconds,
+// bytes, counts, ratios) is lower-is-better.  Entries present in only
+// one file are reported but never fail the gate, so the metric set can
+// grow without breaking CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func higherIsBetter(e obs.BenchEntry) bool {
+	return e.Unit == "x" || strings.HasSuffix(e.Name, "/efficiency")
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_obs.json", "baseline BENCH json artifact")
+	newFile := flag.String("new", "", "new BENCH json artifact to compare against the baseline")
+	threshold := flag.Float64("threshold", 0.10, "allowed fractional regression before failing (0.10 = 10%)")
+	flag.Parse()
+	if *newFile == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base, err := obs.ReadBenchFile(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	next, err := obs.ReadBenchFile(*newFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	baseByName := make(map[string]obs.BenchEntry, len(base))
+	for _, e := range base {
+		baseByName[e.Name] = e
+	}
+	seen := make(map[string]bool, len(next))
+
+	regressions := 0
+	for _, e := range next {
+		seen[e.Name] = true
+		b, ok := baseByName[e.Name]
+		if !ok {
+			fmt.Printf("  new   %-32s %12.6g %s (no baseline)\n", e.Name, e.Value, e.Unit)
+			continue
+		}
+		// Fractional change relative to the baseline, signed so that
+		// positive always means "worse".
+		var worse float64
+		switch {
+		case b.Value == 0:
+			worse = 0
+			if e.Value != 0 && !higherIsBetter(e) {
+				worse = 1 // any growth from a zero baseline (e.g. allocs 0 -> n) is a full regression
+			}
+		case higherIsBetter(e):
+			worse = (b.Value - e.Value) / b.Value
+		default:
+			worse = (e.Value - b.Value) / b.Value
+		}
+		status := "ok"
+		if worse > *threshold {
+			status = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("  %-5s %-32s %12.6g -> %-12.6g %s (%+.1f%%)\n",
+			status, e.Name, b.Value, e.Value, e.Unit, 100*worse)
+	}
+	for _, b := range base {
+		if !seen[b.Name] {
+			fmt.Printf("  gone  %-32s %12.6g %s (missing from new run)\n", b.Name, b.Value, b.Unit)
+		}
+	}
+
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed more than %.0f%% vs %s\n",
+			regressions, 100**threshold, *baseline)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: no regression beyond %.0f%% across %d metric(s)\n", 100**threshold, len(next))
+}

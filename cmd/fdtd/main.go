@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/channel"
@@ -173,6 +174,8 @@ func main() {
 		}
 	}
 
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
 	var res *fdtd.Result
 	var err error
@@ -225,6 +228,13 @@ func main() {
 	}
 	col.Finish()
 	wall := time.Since(start)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+	// Amortised heap objects per time step over the whole solve
+	// (including setup and gather, so steady-state steps are strictly
+	// cheaper).  Tracked in the bench trajectory to catch allocation
+	// regressions on the message path.
+	allocsPerStep := float64(msAfter.Mallocs-msBefore.Mallocs) / float64(*steps)
 
 	if !*quiet {
 		fmt.Printf("%s\nbuild=%s wall=%v\n", res, *build, wall)
@@ -324,7 +334,9 @@ func main() {
 	}
 	if *benchOut != "" {
 		prefix := fmt.Sprintf("fdtd/%s/P=%d", *build, ranks)
-		if err := obs.WriteBenchFile(*benchOut, runRep.BenchEntries(prefix)); err != nil {
+		entries := append(runRep.BenchEntries(prefix),
+			obs.BenchEntry{Name: prefix + "/allocs_per_step", Value: allocsPerStep, Unit: "count"})
+		if err := obs.WriteBenchFile(*benchOut, entries); err != nil {
 			fmt.Fprintf(os.Stderr, "fdtd: %v\n", err)
 			os.Exit(1)
 		}

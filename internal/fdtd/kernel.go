@@ -87,6 +87,20 @@ func addSource(ez *grid.G3, spec Spec, n int, xr, yr grid.Range) {
 	}
 }
 
+func imax(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func imin(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
 // updateE advances the electric field one step over the local section.
 // Loop bounds are derived from global indices, so boundary processes
 // automatically perform the PEC boundary handling ("calculations that
@@ -97,7 +111,23 @@ func addSource(ez *grid.G3, spec Spec, n int, xr, yr grid.Range) {
 // operation identical to RunSequential's, so the simulated-parallel
 // results are bitwise identical to the sequential ones.
 func updateE(f *Fields) int {
-	nxl, nyl := f.XR.Len(), f.YR.Len()
+	return updateERange(f, 0, f.XR.Len(), 0, f.YR.Len())
+}
+
+// updateERange is updateE restricted to local pencil columns
+// [li0, li1) x [lj0, lj1).  Each component's own loop bounds (the PEC
+// clamps derived from global indices) are intersected with the window,
+// so any disjoint cover of the full range performs exactly the cell
+// updates of one updateE call, each with the identical expression —
+// the property the tiled and overlapped drivers rely on for bitwise
+// reproducibility.  The window must not exceed [0, NX) x [0, NY);
+// empty windows are fine and update nothing.
+//
+// The E stencils read H one pencil below along x (li-1) and y (lj-1)
+// and never write H, so windows that partition the local section can
+// run concurrently: their writes are disjoint and their reads are of
+// fields no window writes.
+func updateERange(f *Fields, li0, li1, lj0, lj1 int) int {
 	nz := f.Ex.NZ()
 	count := 0
 	// Components skip the global index 0 along the axes their curl
@@ -111,8 +141,8 @@ func updateE(f *Fields) int {
 		ljStart = 1
 	}
 	// Ex: all i; global j >= 1; k >= 1.
-	for li := 0; li < nxl; li++ {
-		for lj := ljStart; lj < nyl; lj++ {
+	for li := li0; li < li1; li++ {
+		for lj := imax(lj0, ljStart); lj < lj1; lj++ {
 			exP := f.Ex.Pencil(li, lj)
 			caP := f.Ca.Pencil(li, lj)
 			cbP := f.Cb.Pencil(li, lj)
@@ -126,8 +156,8 @@ func updateE(f *Fields) int {
 		}
 	}
 	// Ey: global i >= 1; all j; k >= 1.
-	for li := liStart; li < nxl; li++ {
-		for lj := 0; lj < nyl; lj++ {
+	for li := imax(li0, liStart); li < li1; li++ {
+		for lj := lj0; lj < lj1; lj++ {
 			eyP := f.Ey.Pencil(li, lj)
 			caP := f.Ca.Pencil(li, lj)
 			cbP := f.Cb.Pencil(li, lj)
@@ -141,8 +171,8 @@ func updateE(f *Fields) int {
 		}
 	}
 	// Ez: global i >= 1; global j >= 1; all k.
-	for li := liStart; li < nxl; li++ {
-		for lj := ljStart; lj < nyl; lj++ {
+	for li := imax(li0, liStart); li < li1; li++ {
+		for lj := imax(lj0, ljStart); lj < lj1; lj++ {
 			ezP := f.Ez.Pencil(li, lj)
 			caP := f.Ca.Pencil(li, lj)
 			cbP := f.Cb.Pencil(li, lj)
@@ -162,6 +192,14 @@ func updateE(f *Fields) int {
 // updateH advances the magnetic field one step over the local section,
 // returning the number of component updates.
 func updateH(f *Fields) int {
+	return updateHRange(f, 0, f.XR.Len(), 0, f.YR.Len())
+}
+
+// updateHRange is updateH restricted to local pencil columns
+// [li0, li1) x [lj0, lj1), with the same windowing contract as
+// updateERange.  The H stencils read E one pencil above along x (li+1)
+// and y (lj+1) and never write E, so disjoint windows are race-free.
+func updateHRange(f *Fields, li0, li1, lj0, lj1 int) int {
 	nxl, nyl := f.XR.Len(), f.YR.Len()
 	nz := f.Hx.NZ()
 	count := 0
@@ -176,8 +214,8 @@ func updateH(f *Fields) int {
 		ljEnd = nyl - 1
 	}
 	// Hx: all i; global j < ny-1; k < nz-1.
-	for li := 0; li < nxl; li++ {
-		for lj := 0; lj < ljEnd; lj++ {
+	for li := li0; li < li1; li++ {
+		for lj := lj0; lj < imin(lj1, ljEnd); lj++ {
 			hxP := f.Hx.Pencil(li, lj)
 			daP := f.Da.Pencil(li, lj)
 			dbP := f.Db.Pencil(li, lj)
@@ -191,8 +229,8 @@ func updateH(f *Fields) int {
 		}
 	}
 	// Hy: global i < nx-1; all j; k < nz-1.
-	for li := 0; li < liEnd; li++ {
-		for lj := 0; lj < nyl; lj++ {
+	for li := li0; li < imin(li1, liEnd); li++ {
+		for lj := lj0; lj < lj1; lj++ {
 			hyP := f.Hy.Pencil(li, lj)
 			daP := f.Da.Pencil(li, lj)
 			dbP := f.Db.Pencil(li, lj)
@@ -206,8 +244,8 @@ func updateH(f *Fields) int {
 		}
 	}
 	// Hz: global i < nx-1; global j < ny-1; all k.
-	for li := 0; li < liEnd; li++ {
-		for lj := 0; lj < ljEnd; lj++ {
+	for li := li0; li < imin(li1, liEnd); li++ {
+		for lj := lj0; lj < imin(lj1, ljEnd); lj++ {
 			hzP := f.Hz.Pencil(li, lj)
 			daP := f.Da.Pencil(li, lj)
 			dbP := f.Db.Pencil(li, lj)

@@ -93,7 +93,6 @@ func ownerOf(slabs []grid.Slab, i int) int {
 func spmd(c *mesh.Comm, spec Spec, slabs []grid.Slab, opt Options) *Result {
 	rank := c.Rank()
 	sl := slabs[rank]
-	lo := sl.R.Lo
 	fullY := grid.Range{Lo: 0, Hi: spec.NY}
 	f := newFields(spec, sl.R, fullY)
 
@@ -136,42 +135,23 @@ func spmd(c *mesh.Comm, spec Spec, slabs []grid.Slab, opt Options) *Result {
 		mur = newMurState(spec, sl.R, fullY)
 	}
 	probeOwner := ownerOf(slabs, spec.Probe[0])
-	var probeLocal []float64
-	localWork := 0.0
+	// 1-D chain neighbours along x (-1 at the domain ends).
+	xUp, xDown := -1, -1
+	if rank < c.P()-1 {
+		xUp = rank + 1
+	}
+	if rank > 0 {
+		xDown = rank - 1
+	}
+	st := newStepper(c, spec, f, mur, ff, xUp, xDown, -1, -1, false, rank == probeOwner)
+	defer st.close()
 
 	for n := 0; n < spec.Steps; n++ {
 		opt.Inject.Check(rank, n)
-		// The E update reads Hy and Hz one plane below the local
-		// section: refresh the lower ghost planes.
-		c.SendUpX(f.Hy, f.Hz)
-		if mur != nil {
-			mur.snapshot(f.Ey, f.Ez, f.Ex)
-		}
-		w := updateE(f)
-		c.Work(float64(w))
-		localWork += float64(w)
-		addSource(f.Ez, spec, n, sl.R, fullY)
-		if mur != nil {
-			mw := mur.apply(f.Ey, f.Ez, f.Ex)
-			c.Work(float64(mw))
-			localWork += float64(mw)
-		}
-		// The H update reads Ey and Ez one plane above: refresh the
-		// upper ghost planes.
-		c.SendDownX(f.Ey, f.Ez)
-		w = updateH(f)
-		c.Work(float64(w))
-		localWork += float64(w)
-		if rank == probeOwner {
-			probeLocal = append(probeLocal,
-				f.Ez.At(spec.Probe[0]-lo, spec.Probe[1], spec.Probe[2]))
-		}
-		if ff != nil {
-			pts := ff.accumulate(n, f.Ex, f.Ey, f.Ez, f.Hx, f.Hy, f.Hz, sl.R, fullY)
-			c.Work(float64(pts))
-			localWork += float64(pts)
-		}
+		st.step(n)
 	}
+	probeLocal := st.probe
+	localWork := st.work
 
 	// Far field: combine the per-process local double sums — one
 	// reduction at the end of the computation, as in §4.3.

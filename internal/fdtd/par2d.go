@@ -98,44 +98,15 @@ func spmd2D(c *mesh.Comm, spec Spec, topo *mesh.Topo2D, opt Options) *Result {
 		mur = newMurState(spec, xr, yr)
 	}
 	probeOwner := topo.Owner(spec.Probe[0], spec.Probe[1])
-	var probeLocal []float64
-	localWork := 0.0
+	st := newStepper(c, spec, f, mur, ff, xUp, xDown, yUp, yDown, true, rank == probeOwner)
+	defer st.close()
 
 	for n := 0; n < spec.Steps; n++ {
 		opt.Inject.Check(rank, n)
-		// The E update reads Hy, Hz one plane below along x and Hx, Hz
-		// one plane below along y: refresh both lower ghost sets.
-		c.SendUpTo(grid.AxisX, xUp, xDown, f.Hy, f.Hz)
-		c.SendUpTo(grid.AxisY, yUp, yDown, f.Hx, f.Hz)
-		if mur != nil {
-			mur.snapshot(f.Ey, f.Ez, f.Ex)
-		}
-		w := updateE(f)
-		c.Work(float64(w))
-		localWork += float64(w)
-		addSource(f.Ez, spec, n, xr, yr)
-		if mur != nil {
-			mw := mur.apply(f.Ey, f.Ez, f.Ex)
-			c.Work(float64(mw))
-			localWork += float64(mw)
-		}
-		// The H update reads Ey, Ez one plane above along x and Ex, Ez
-		// one plane above along y.
-		c.SendDownTo(grid.AxisX, xDown, xUp, f.Ey, f.Ez)
-		c.SendDownTo(grid.AxisY, yDown, yUp, f.Ex, f.Ez)
-		w = updateH(f)
-		c.Work(float64(w))
-		localWork += float64(w)
-		if rank == probeOwner {
-			probeLocal = append(probeLocal,
-				f.Ez.At(spec.Probe[0]-xr.Lo, spec.Probe[1]-yr.Lo, spec.Probe[2]))
-		}
-		if ff != nil {
-			pts := ff.accumulate(n, f.Ex, f.Ey, f.Ez, f.Hx, f.Hy, f.Hz, xr, yr)
-			c.Work(float64(pts))
-			localWork += float64(pts)
-		}
+		st.step(n)
 	}
+	probeLocal := st.probe
+	localWork := st.work
 
 	var farA, farF []float64
 	if ff != nil {

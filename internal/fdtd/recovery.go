@@ -199,7 +199,6 @@ func runSegment(spec Spec, p int, slabs []grid.Slab, opt Options, start *Checkpo
 func spmdSegment(c *mesh.Comm, spec Spec, slabs []grid.Slab, opt Options, start *Checkpoint, until int) *Checkpoint {
 	rank := c.Rank()
 	sl := slabs[rank]
-	lo := sl.R.Lo
 	fullY := grid.Range{Lo: 0, Hi: spec.NY}
 	f := newFields(spec, sl.R, fullY)
 
@@ -265,38 +264,22 @@ func spmdSegment(c *mesh.Comm, spec Spec, slabs []grid.Slab, opt Options, start 
 		mur = newMurState(spec, sl.R, fullY)
 	}
 	probeOwner := ownerOf(slabs, spec.Probe[0])
-	var probeLocal []float64
-	localWork := 0.0
+	xUp, xDown := -1, -1
+	if rank < c.P()-1 {
+		xUp = rank + 1
+	}
+	if rank > 0 {
+		xDown = rank - 1
+	}
+	st := newStepper(c, spec, f, mur, ff, xUp, xDown, -1, -1, false, rank == probeOwner)
+	defer st.close()
 
 	for n := start.StepsDone; n < until; n++ {
 		opt.Inject.Check(rank, n)
-		c.SendUpX(f.Hy, f.Hz)
-		if mur != nil {
-			mur.snapshot(f.Ey, f.Ez, f.Ex)
-		}
-		w := updateE(f)
-		c.Work(float64(w))
-		localWork += float64(w)
-		addSource(f.Ez, spec, n, sl.R, fullY)
-		if mur != nil {
-			mw := mur.apply(f.Ey, f.Ez, f.Ex)
-			c.Work(float64(mw))
-			localWork += float64(mw)
-		}
-		c.SendDownX(f.Ey, f.Ez)
-		w = updateH(f)
-		c.Work(float64(w))
-		localWork += float64(w)
-		if rank == probeOwner {
-			probeLocal = append(probeLocal,
-				f.Ez.At(spec.Probe[0]-lo, spec.Probe[1], spec.Probe[2]))
-		}
-		if ff != nil {
-			pts := ff.accumulate(n, f.Ex, f.Ey, f.Ez, f.Hx, f.Hy, f.Hz, sl.R, fullY)
-			c.Work(float64(pts))
-			localWork += float64(pts)
-		}
+		st.step(n)
 	}
+	probeLocal := st.probe
+	localWork := st.work
 
 	var farA, farF []float64
 	if ff != nil {

@@ -1,0 +1,91 @@
+package fdtd
+
+import "sync"
+
+// tilePool fans cache-blocked kernel tiles across a fixed set of
+// per-rank worker goroutines.  Tiles are contiguous chunks of the
+// x-pencil range, partitioned by the same arithmetic every run
+// (lo + n*chunk/workers), and per-chunk results are combined in chunk
+// order — so the worker count changes wall time but never results:
+// every cell is updated exactly once with the identical expression,
+// and the update windows are race-free by the stencil argument on
+// updateERange/updateHRange (E windows write only E and read only H,
+// and vice versa).
+//
+// A nil *tilePool is the serial pool: run degenerates to one call on
+// the caller's goroutine.  newTilePool returns nil for workers <= 1,
+// so single-threaded builds carry zero overhead.
+type tilePool struct {
+	workers int
+	tasks   chan func()
+	counts  []int
+}
+
+// newTilePool starts workers-1 worker goroutines (the caller's
+// goroutine is the remaining worker).  Call close when done with the
+// pool or the goroutines leak.
+func newTilePool(workers int) *tilePool {
+	if workers <= 1 {
+		return nil
+	}
+	tp := &tilePool{
+		workers: workers,
+		tasks:   make(chan func(), workers),
+		counts:  make([]int, workers),
+	}
+	for i := 0; i < workers-1; i++ {
+		go func() {
+			for f := range tp.tasks {
+				f()
+			}
+		}()
+	}
+	return tp
+}
+
+// close stops the worker goroutines.  Safe on a nil pool.
+func (tp *tilePool) close() {
+	if tp != nil {
+		close(tp.tasks)
+	}
+}
+
+// run partitions [lo, hi) into up to tp.workers contiguous chunks,
+// evaluates fn on every chunk concurrently (the first chunk on the
+// calling goroutine), and returns the chunk results summed in chunk
+// order.  fn must be safe to call concurrently on disjoint ranges.
+func (tp *tilePool) run(lo, hi int, fn func(a, b int) int) int {
+	n := hi - lo
+	if n <= 0 {
+		return 0
+	}
+	if tp == nil {
+		return fn(lo, hi)
+	}
+	w := tp.workers
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		return fn(lo, hi)
+	}
+	counts := tp.counts[:w]
+	var wg sync.WaitGroup
+	for c := 1; c < w; c++ {
+		c := c
+		a := lo + n*c/w
+		b := lo + n*(c+1)/w
+		wg.Add(1)
+		tp.tasks <- func() {
+			counts[c] = fn(a, b)
+			wg.Done()
+		}
+	}
+	counts[0] = fn(lo, lo+n/w)
+	wg.Wait()
+	total := 0
+	for _, v := range counts {
+		total += v
+	}
+	return total
+}

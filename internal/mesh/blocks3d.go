@@ -4,22 +4,24 @@ import (
 	"fmt"
 
 	"repro/internal/grid"
+	"repro/internal/obs"
 )
 
 // Host/grid redistribution of 3-D grids distributed over a 2-D process
 // topology (x and y split, z whole): the file-I/O pattern for the
 // 2-D-decomposed builds of the FDTD application.
 
-// packLocal3 serialises a local section's interior, x-major then
-// y-major then z.
-func packLocal3(g *grid.G3) []float64 {
-	out := make([]float64, 0, g.NX()*g.NY()*g.NZ())
+// packLocal3Into serialises a local section's interior, x-major then
+// y-major then z, into dst (length NX*NY*NZ, typically pooled).
+func packLocal3Into(g *grid.G3, dst []float64) {
+	nz := g.NZ()
+	off := 0
 	for i := 0; i < g.NX(); i++ {
 		for j := 0; j < g.NY(); j++ {
-			out = append(out, g.Pencil(i, j)...)
+			copy(dst[off:off+nz], g.Pencil(i, j))
+			off += nz
 		}
 	}
-	return out
 }
 
 // unpackInto writes a packed local section into the global grid at the
@@ -35,6 +37,26 @@ func unpackInto(global *grid.G3, xr, yr grid.Range, data []float64) {
 	}
 }
 
+// copyBlockIn copies a local section's interior pencils directly into
+// the global grid (root's own block: no serialisation round trip).
+func copyBlockIn(global *grid.G3, xr, yr grid.Range, local *grid.G3) {
+	for i := 0; i < local.NX(); i++ {
+		for j := 0; j < local.NY(); j++ {
+			copy(global.Pencil(xr.Lo+i, yr.Lo+j), local.Pencil(i, j))
+		}
+	}
+}
+
+// copyBlockOut copies the (xr, yr) block of the global grid directly
+// into a local section's interior pencils.
+func copyBlockOut(local *grid.G3, global *grid.G3, xr, yr grid.Range) {
+	for i := 0; i < local.NX(); i++ {
+		for j := 0; j < local.NY(); j++ {
+			copy(local.Pencil(i, j), global.Pencil(xr.Lo+i, yr.Lo+j))
+		}
+	}
+}
+
 // Gather3DBlocks collects a 3-D grid distributed as (x, y) blocks onto
 // root, returning the assembled global grid there and nil elsewhere.
 // nz is the (undistributed) z extent.
@@ -42,21 +64,29 @@ func (c *Comm) Gather3DBlocks(local *grid.G3, t *Topo2D, nz, root int) *grid.G3 
 	if c.P() != t.P() {
 		panic(fmt.Sprintf("mesh: topology has %d processes, run has %d", t.P(), c.P()))
 	}
+	c.beginPhase(obs.PhaseIO, "gather-3d-blocks")
 	defer c.endPhase("gather-3d-blocks")
 	r := c.Rank()
 	if r != root {
-		c.send(root, packLocal3(local))
+		buf := getBuf(local.NX() * local.NY() * local.NZ())
+		packLocal3Into(local, buf)
+		c.sendOwned(root, buf)
 		return nil
 	}
+	// The preallocated global grid is the full receive area; the own
+	// block is copied pencil-by-pencil, received blocks are unpacked
+	// straight into place and their payloads returned to the arena.
 	global := grid.New3(t.NX, t.NY, nz, 0)
 	xr, yr := t.Block(r)
-	unpackInto(global, xr, yr, packLocal3(local))
+	copyBlockIn(global, xr, yr, local)
 	for src := 0; src < c.P(); src++ {
 		if src == root {
 			continue
 		}
 		sxr, syr := t.Block(src)
-		unpackInto(global, sxr, syr, c.recv(src))
+		buf := c.recv(src)
+		unpackInto(global, sxr, syr, buf)
+		putBuf(buf)
 	}
 	return global
 }
@@ -68,21 +98,12 @@ func (c *Comm) Scatter3DBlocks(global *grid.G3, t *Topo2D, nz, root, gx, gy int)
 	if c.P() != t.P() {
 		panic(fmt.Sprintf("mesh: topology has %d processes, run has %d", t.P(), c.P()))
 	}
+	c.beginPhase(obs.PhaseIO, "scatter-3d-blocks")
 	defer c.endPhase("scatter-3d-blocks")
 	r := c.Rank()
 	mkLocal := func(rank int) *grid.G3 {
 		xr, yr := t.Block(rank)
 		return grid.New3G(xr.Len(), yr.Len(), nz, gx, gy, 0)
-	}
-	pack := func(rank int) []float64 {
-		xr, yr := t.Block(rank)
-		out := make([]float64, 0, xr.Len()*yr.Len()*nz)
-		for i := xr.Lo; i < xr.Hi; i++ {
-			for j := yr.Lo; j < yr.Hi; j++ {
-				out = append(out, global.Pencil(i, j)...)
-			}
-		}
-		return out
 	}
 	fill := func(local *grid.G3, data []float64) {
 		off := 0
@@ -98,15 +119,28 @@ func (c *Comm) Scatter3DBlocks(global *grid.G3, t *Topo2D, nz, root, gx, gy int)
 			panic("mesh: Scatter3DBlocks requires the global grid on root")
 		}
 		for dst := 0; dst < c.P(); dst++ {
-			if dst != root {
-				c.send(dst, pack(dst))
+			if dst == root {
+				continue
 			}
+			xr, yr := t.Block(dst)
+			buf := getBuf(xr.Len() * yr.Len() * nz)
+			off := 0
+			for i := xr.Lo; i < xr.Hi; i++ {
+				for j := yr.Lo; j < yr.Hi; j++ {
+					copy(buf[off:off+nz], global.Pencil(i, j))
+					off += nz
+				}
+			}
+			c.sendOwned(dst, buf)
 		}
 		local := mkLocal(r)
-		fill(local, pack(r))
+		xr, yr := t.Block(r)
+		copyBlockOut(local, global, xr, yr)
 		return local
 	}
 	local := mkLocal(r)
-	fill(local, c.recv(root))
+	buf := c.recv(root)
+	fill(local, buf)
+	putBuf(buf)
 	return local
 }

@@ -1,0 +1,169 @@
+package mesh
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/machine"
+)
+
+// mkFields builds the six-grid field set of an FDTD-like application on
+// one rank's slab, each grid filled with a distinct pattern.
+func mkFields(sl grid.Slab, rank int) []*grid.G3 {
+	gs := make([]*grid.G3, 6)
+	for gi := range gs {
+		g := sl.NewLocal3(1)
+		gi := gi
+		g.FillFunc(func(i, j, k int) float64 {
+			return float64(10000*gi+100*sl.ToGlobal(i)+10*j) + float64(k)
+		})
+		gs[gi] = g
+	}
+	return gs
+}
+
+// TestMultiExchangeMatchesPerField: the coalesced multi-grid exchange
+// must leave every ghost plane bitwise identical to six separate
+// per-field exchanges, under both runtimes and with combining on or
+// off.
+func TestMultiExchangeMatchesPerField(t *testing.T) {
+	const nx, ny, nz, p = 12, 4, 3, 4
+	slabs := grid.SlabDecompose3(nx, ny, nz, p, grid.AxisX)
+	ghosts := func(exchange func(c *Comm, gs []*grid.G3), combine bool, mode Mode) [][]float64 {
+		opt := DefaultOptions()
+		opt.Combine = combine
+		res, err := Run(p, mode, opt, func(c *Comm) []float64 {
+			gs := mkFields(slabs[c.Rank()], c.Rank())
+			exchange(c, gs)
+			var out []float64
+			for _, g := range gs {
+				out = append(out, g.PackPlane(grid.AxisX, -1, nil)...)
+				out = append(out, g.PackPlane(grid.AxisX, g.NX(), nil)...)
+			}
+			return out
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	perField := func(c *Comm, gs []*grid.G3) {
+		for _, g := range gs {
+			c.ExchangeGhostPlanes(g, grid.AxisX)
+		}
+	}
+	multi := func(c *Comm, gs []*grid.G3) {
+		c.ExchangeGhostPlanesMulti(grid.AxisX, gs...)
+	}
+	for _, mode := range bothModes {
+		for _, combine := range []bool{true, false} {
+			want := ghosts(perField, combine, mode)
+			got := ghosts(multi, combine, mode)
+			for r := range want {
+				if len(want[r]) != len(got[r]) {
+					t.Fatalf("%v combine=%v rank %d: ghost lengths differ", mode, combine, r)
+				}
+				for i := range want[r] {
+					if want[r][i] != got[r][i] {
+						t.Fatalf("%v combine=%v rank %d: ghost %d differs: %v vs %v",
+							mode, combine, r, i, got[r][i], want[r][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMultiExchangeCoalescesMessages verifies the headline reduction:
+// refreshing six fields with one coalesced exchange sends one message
+// per neighbour per direction instead of six — a 6x (>= the required
+// 4x) cut in the per-step message count of a 3-D FDTD-style exchange.
+func TestMultiExchangeCoalescesMessages(t *testing.T) {
+	const nx, ny, nz, p = 12, 4, 3, 4
+	slabs := grid.SlabDecompose3(nx, ny, nz, p, grid.AxisX)
+	count := func(exchange func(c *Comm, gs []*grid.G3)) int {
+		ta := machine.NewTally(p)
+		opt := DefaultOptions()
+		opt.Tally = ta
+		_, err := Run(p, Sim, opt, func(c *Comm) int {
+			gs := mkFields(slabs[c.Rank()], c.Rank())
+			exchange(c, gs)
+			return 0
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ta.TotalMessages()
+	}
+	perField := count(func(c *Comm, gs []*grid.G3) {
+		for _, g := range gs {
+			c.ExchangeGhostPlanes(g, grid.AxisX)
+		}
+	})
+	multi := count(func(c *Comm, gs []*grid.G3) {
+		c.ExchangeGhostPlanesMulti(grid.AxisX, gs...)
+	})
+	if multi == 0 || perField != 6*multi {
+		t.Fatalf("six-field exchange should coalesce 6x: per-field=%d multi=%d", perField, multi)
+	}
+	if perField < 4*multi {
+		t.Fatalf("acceptance: need >= 4x message reduction, got %dx", perField/multi)
+	}
+}
+
+// TestSplitExchangeMatchesUnsplit: the overlap primitives (Start/Finish
+// halves with computation between) must produce exactly the ghosts of
+// the unsplit directional exchange, and the same message totals.
+func TestSplitExchangeMatchesUnsplit(t *testing.T) {
+	const nx, ny, nz, p = 9, 3, 3, 3
+	slabs := grid.SlabDecompose3(nx, ny, nz, p, grid.AxisX)
+	run := func(split bool, mode Mode) ([][2]float64, int) {
+		ta := machine.NewTally(p)
+		opt := DefaultOptions()
+		opt.Tally = ta
+		res, err := Run(p, mode, opt, func(c *Comm) [2]float64 {
+			r, pp := c.Rank(), c.P()
+			sl := slabs[r]
+			a := sl.NewLocal3(1)
+			b := sl.NewLocal3(1)
+			a.FillFunc(func(i, j, k int) float64 { return float64(sl.ToGlobal(i)) })
+			b.FillFunc(func(i, j, k int) float64 { return float64(100 + sl.ToGlobal(i)) })
+			xUp, xDown := -1, -1
+			if r < pp-1 {
+				xUp = r + 1
+			}
+			if r > 0 {
+				xDown = r - 1
+			}
+			if split {
+				c.StartSendUpTo(grid.AxisX, xUp, a, b)
+				// Interior work would happen here, messages in flight.
+				c.FinishSendUpTo(grid.AxisX, xDown, a, b)
+				c.StartSendDownTo(grid.AxisX, xDown, a, b)
+				c.FinishSendDownTo(grid.AxisX, xUp, a, b)
+			} else {
+				c.SendUpTo(grid.AxisX, xUp, xDown, a, b)
+				c.SendDownTo(grid.AxisX, xDown, xUp, a, b)
+			}
+			return [2]float64{a.At(-1, 0, 0), b.At(b.NX(), 0, 0)}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([][2]float64, len(res))
+		copy(out, res)
+		return out, ta.TotalMessages()
+	}
+	for _, mode := range bothModes {
+		wantGhosts, wantMsgs := run(false, mode)
+		gotGhosts, gotMsgs := run(true, mode)
+		for r := range wantGhosts {
+			if wantGhosts[r] != gotGhosts[r] {
+				t.Fatalf("%v rank %d: split ghosts %v, unsplit %v", mode, r, gotGhosts[r], wantGhosts[r])
+			}
+		}
+		if wantMsgs != gotMsgs {
+			t.Fatalf("%v: split sends %d messages, unsplit %d", mode, gotMsgs, wantMsgs)
+		}
+	}
+}

@@ -70,7 +70,7 @@ func (c *Comm) Barrier() {
 	c.beginPhase(obs.PhaseCollective, "barrier")
 	for k := 1; k < p; k <<= 1 {
 		c.send((r+k)%p, nil)
-		c.recv((r - k + p) % p)
+		putBuf(c.recv((r - k + p) % p))
 	}
 	c.endPhase("barrier")
 }
@@ -185,12 +185,15 @@ func (c *Comm) reduceRecursiveDoubling(acc []float64, op ReduceOp) {
 	// Fold: ranks pow2..p-1 send to r-pow2 and wait for the result.
 	if r >= pow2 {
 		c.send(r-pow2, acc)
-		copy(acc, c.recv(r-pow2))
+		res := c.recv(r - pow2)
+		copy(acc, res)
+		putBuf(res)
 		return
 	}
 	if r < rem {
 		upper := c.recv(r + pow2)
 		combineInto(acc, upper, op, true) // r < r+pow2
+		putBuf(upper)
 	}
 	// Butterfly among ranks [0, pow2).
 	for mask := 1; mask < pow2; mask <<= 1 {
@@ -198,6 +201,7 @@ func (c *Comm) reduceRecursiveDoubling(acc []float64, op ReduceOp) {
 		c.send(partner, acc)
 		other := c.recv(partner)
 		combineInto(acc, other, op, r < partner)
+		putBuf(other)
 	}
 	// Unfold.
 	if r < rem {
@@ -212,7 +216,9 @@ func (c *Comm) reduceAllToOne(acc []float64, op ReduceOp) {
 	p, r := c.P(), c.Rank()
 	if r == 0 {
 		for src := 1; src < p; src++ {
-			combineInto(acc, c.recv(src), op, true)
+			part := c.recv(src)
+			combineInto(acc, part, op, true)
+			putBuf(part)
 		}
 		for dst := 1; dst < p; dst++ {
 			c.send(dst, acc)
@@ -220,5 +226,7 @@ func (c *Comm) reduceAllToOne(acc []float64, op ReduceOp) {
 		return
 	}
 	c.send(0, acc)
-	copy(acc, c.recv(0))
+	res := c.recv(0)
+	copy(acc, res)
+	putBuf(res)
 }

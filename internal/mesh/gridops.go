@@ -31,17 +31,13 @@ func (c *Comm) ExchangeGhostRows(g *grid.G2) {
 		panic(fmt.Sprintf("mesh: ghost width %d too large for %d local rows", w, nx))
 	}
 	c.beginPhase(obs.PhaseExchange, "ghost-exchange")
-	row := func(i int) []float64 {
-		buf := make([]float64, g.NY())
-		copy(buf, g.Row(i))
-		return buf
-	}
+	ny := g.NY()
 	// Sends first.
 	if r > 0 { // to lower neighbour: my lowest w interior rows
-		c.sendPlanes(r-1, w, func(k int) []float64 { return row(k) })
+		c.sendPlanes(r-1, w, ny, func(k int, dst []float64) { copy(dst, g.Row(k)) })
 	}
 	if r < p-1 { // to upper neighbour: my highest w interior rows
-		c.sendPlanes(r+1, w, func(k int) []float64 { return row(nx - w + k) })
+		c.sendPlanes(r+1, w, ny, func(k int, dst []float64) { copy(dst, g.Row(nx-w+k)) })
 	}
 	// Then receives.
 	if r > 0 { // from lower neighbour into ghost rows -w..-1
@@ -61,9 +57,7 @@ func copyRow2(g *grid.G2, i int, data []float64) {
 	if len(data) != g.NY() {
 		panic(fmt.Sprintf("mesh: ghost row length %d, want %d", len(data), g.NY()))
 	}
-	for j, v := range data {
-		g.Set(i, j, v)
-	}
+	g.UnpackRow(i, 0, data)
 }
 
 // ExchangeGhostPlanesX refreshes the x-ghost planes of a 3-D local
@@ -74,28 +68,36 @@ func (c *Comm) ExchangeGhostPlanesX(g *grid.G3) {
 	c.ExchangeGhostPlanes(g, grid.AxisX)
 }
 
-// sendPlanes transmits w planes to a neighbour: as a single combined
-// message when Options.Combine is set, otherwise as w individual
-// messages (the message-combining ablation).
-func (c *Comm) sendPlanes(to, w int, plane func(k int) []float64) {
+// sendPlanes transmits w equal-sized planes to a neighbour: as a single
+// combined message when Options.Combine is set, otherwise as w
+// individual messages (the message-combining ablation).  Each plane is
+// packed by the callback directly into a pooled message buffer of
+// length size — no intermediate copy — and the buffer is handed to the
+// channel by ownership transfer (sendOwned).
+func (c *Comm) sendPlanes(to, w, size int, pack func(k int, dst []float64)) {
 	if c.opt.Combine {
-		var buf []float64
+		buf := getBuf(w * size)
 		for k := 0; k < w; k++ {
-			buf = append(buf, plane(k)...)
+			pack(k, buf[k*size:(k+1)*size])
 		}
-		c.send(to, buf)
+		c.sendOwned(to, buf)
 		return
 	}
 	for k := 0; k < w; k++ {
-		c.send(to, plane(k))
+		buf := getBuf(size)
+		pack(k, buf)
+		c.sendOwned(to, buf)
 	}
 }
 
-// recvPlanes receives w planes from a neighbour, mirroring sendPlanes.
+// recvPlanes receives w planes from a neighbour, mirroring sendPlanes,
+// and returns each consumed payload to the buffer arena.  The slices
+// passed to deliver are only valid for the duration of the call.
 func (c *Comm) recvPlanes(from, w int, deliver func(k int, data []float64)) {
 	if c.opt.Combine {
 		buf := c.recv(from)
 		if w == 0 {
+			putBuf(buf)
 			return
 		}
 		if len(buf)%w != 0 {
@@ -105,10 +107,13 @@ func (c *Comm) recvPlanes(from, w int, deliver func(k int, data []float64)) {
 		for k := 0; k < w; k++ {
 			deliver(k, buf[k*sz:(k+1)*sz])
 		}
+		putBuf(buf)
 		return
 	}
 	for k := 0; k < w; k++ {
-		deliver(k, c.recv(from))
+		buf := c.recv(from)
+		deliver(k, buf)
+		putBuf(buf)
 	}
 }
 
@@ -125,14 +130,15 @@ func (c *Comm) GatherX(local *grid.G3, slabs []grid.Slab, root int) *grid.G3 {
 	c.beginPhase(obs.PhaseIO, "gather")
 	defer c.endPhase("gather")
 	if r != root {
-		c.sendPlanes(root, local.NX(), func(k int) []float64 { return local.PackPlaneX(k, nil) })
+		c.sendPlanes(root, local.NX(), local.PlaneSize(grid.AxisX),
+			func(k int, dst []float64) { local.PackPlaneX(k, dst) })
 		return nil
 	}
 	s := slabs[r]
 	global := grid.New3(s.NX, s.NY, s.NZ, 0)
-	// Own slab directly.
+	// Own slab directly, no serialisation.
 	for k := 0; k < local.NX(); k++ {
-		global.UnpackPlaneX(s.ToGlobal(k), local.PackPlaneX(k, nil))
+		global.CopyPlaneX(s.ToGlobal(k), local, k)
 	}
 	// Remote slabs in rank order.
 	for src := 0; src < p; src++ {
@@ -162,19 +168,20 @@ func (c *Comm) ScatterX(global *grid.G3, slabs []grid.Slab, root, ghost int) *gr
 		if global == nil {
 			panic("mesh: ScatterX requires the global grid on root")
 		}
+		size := global.PlaneSize(grid.AxisX)
 		for dst := 0; dst < p; dst++ {
 			if dst == root {
 				continue
 			}
 			sl := slabs[dst]
-			c.sendPlanes(dst, sl.LocalNX(), func(k int) []float64 {
-				return global.PackPlaneX(sl.ToGlobal(k), nil)
+			c.sendPlanes(dst, sl.LocalNX(), size, func(k int, buf []float64) {
+				global.PackPlaneX(sl.ToGlobal(k), buf)
 			})
 		}
 		sl := slabs[r]
 		local := sl.NewLocal3(ghost)
 		for k := 0; k < sl.LocalNX(); k++ {
-			local.UnpackPlaneX(k, global.PackPlaneX(sl.ToGlobal(k), nil))
+			local.CopyPlaneX(k, global, sl.ToGlobal(k))
 		}
 		return local
 	}
@@ -196,18 +203,14 @@ func (c *Comm) GatherRows(local *grid.G2, ranges []grid.Range, globalNX int, roo
 	}
 	c.beginPhase(obs.PhaseIO, "gather")
 	defer c.endPhase("gather")
-	packRow := func(g *grid.G2, i int) []float64 {
-		buf := make([]float64, g.NY())
-		copy(buf, g.Row(i))
-		return buf
-	}
 	if r != root {
-		c.sendPlanes(root, local.NX(), func(k int) []float64 { return packRow(local, k) })
+		c.sendPlanes(root, local.NX(), local.NY(),
+			func(k int, dst []float64) { copy(dst, local.Row(k)) })
 		return nil
 	}
 	global := grid.New2(globalNX, local.NY(), 0)
 	for k := 0; k < local.NX(); k++ {
-		copyRow2(global, ranges[r].Lo+k, packRow(local, k))
+		global.UnpackRow(ranges[r].Lo+k, 0, local.Row(k))
 	}
 	for src := 0; src < p; src++ {
 		if src == root {
@@ -235,33 +238,29 @@ func (c *Comm) ScatterRows(global *grid.G2, ranges []grid.Range, ghost int, root
 		if global == nil {
 			panic("mesh: ScatterRows requires the global grid on root")
 		}
-		packRow := func(i int) []float64 {
-			buf := make([]float64, global.NY())
-			copy(buf, global.Row(i))
-			return buf
-		}
+		ny := global.NY()
 		for dst := 0; dst < p; dst++ {
 			if dst == root {
 				continue
 			}
 			rg := ranges[dst]
-			c.sendPlanes(dst, rg.Len(), func(k int) []float64 { return packRow(rg.Lo + k) })
+			c.sendPlanes(dst, rg.Len(), ny, func(k int, dst []float64) {
+				copy(dst, global.Row(rg.Lo+k))
+			})
 		}
 		rg := ranges[r]
-		local := grid.New2(rg.Len(), global.NY(), ghost)
+		local := grid.New2(rg.Len(), ny, ghost)
 		for k := 0; k < rg.Len(); k++ {
-			copyRow2(local, k, packRow(rg.Lo+k))
+			local.UnpackRow(k, 0, global.Row(rg.Lo+k))
 		}
 		return local
 	}
 	rg := ranges[r]
-	var ny int
 	// Non-root processes learn NY from the first received row.
 	local := (*grid.G2)(nil)
 	c.recvPlanes(root, rg.Len(), func(k int, data []float64) {
 		if local == nil {
-			ny = len(data)
-			local = grid.New2(rg.Len(), ny, ghost)
+			local = grid.New2(rg.Len(), len(data), ghost)
 		}
 		copyRow2(local, k, data)
 	})

@@ -105,12 +105,27 @@ type Options struct {
 	// When combined with WrapEndpoint, fault wrappers sit inside the
 	// counters, so ChanStats sees what the program attempts to send.
 	ChanStats *channel.NetStats
+	// Overlap lets applications split their boundary exchanges into a
+	// send half and a receive half (StartSendUpTo / FinishSendUpTo and
+	// the SendDown counterparts) so that interior cells are updated
+	// while ghost messages are in flight.  The library primitives exist
+	// regardless; this flag is the application-facing switch the fdtd
+	// builds consult.  Results are bitwise identical either way: the
+	// split only defers the receive past computations that do not read
+	// ghost cells.  On by default via DefaultOptions.
+	Overlap bool
+	// Workers is the per-rank worker count for tiled compute kernels
+	// (applications consult it via Comm.Workers).  0 means one worker
+	// per available CPU (GOMAXPROCS); 1 forces serial kernels.  Tiles
+	// are partitioned and combined in a fixed deterministic order, so
+	// the worker count never changes results.
+	Workers int
 }
 
-// DefaultOptions returns the archetype defaults: combined messages and
-// recursive-doubling reductions.
+// DefaultOptions returns the archetype defaults: combined messages,
+// recursive-doubling reductions, and overlapped boundary exchanges.
 func DefaultOptions() Options {
-	return Options{Combine: true, ReduceAlg: RecursiveDoubling}
+	return Options{Combine: true, ReduceAlg: RecursiveDoubling, Overlap: true}
 }
 
 // Comm is one process's handle to the archetype library.  It is valid
@@ -142,12 +157,23 @@ func (c *Comm) Work(units float64) {
 }
 
 // send transmits data to process `to`, recording it in the tally.  The
-// slice is copied: archetype messages never alias sender memory, just
-// as real message passing cannot.
+// slice is copied (into a pooled buffer): archetype messages never
+// alias sender memory, just as real message passing cannot.  Hot paths
+// that already pack into a getBuf buffer should call sendOwned instead
+// and skip this copy.
 func (c *Comm) send(to int, data []float64) {
-	buf := make([]float64, len(data))
+	buf := getBuf(len(data))
 	copy(buf, data)
-	c.ctx.Send(to, Msg{Data: buf})
+	c.sendOwned(to, buf)
+}
+
+// sendOwned transmits data to process `to`, transferring ownership of
+// the slice: the caller must not touch data afterwards.  The receiver
+// returns the buffer to the arena (putBuf) once consumed.  This is the
+// zero-copy half of the messaging fast path: pack with getBuf +
+// grid.Pack* directly into the message payload, then hand it off.
+func (c *Comm) sendOwned(to int, data []float64) {
+	c.ctx.Send(to, Msg{Data: data})
 	if c.opt.Tally != nil {
 		c.opt.Tally.Message(c.phase, c.Rank(), to, 8*len(data))
 	}

@@ -1,0 +1,94 @@
+package mesh
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Message-buffer arena.  Every archetype message payload is a flat
+// []float64; on the steady-state path of a grid application the same
+// few sizes recur every time step (one ghost plane, one combined
+// multi-grid message per neighbour).  Allocating each payload fresh
+// makes the messaging layer the dominant source of garbage, so pack
+// buffers are recycled through power-of-two size-classed sync.Pools:
+// a sender obtains a buffer with getBuf, packs into it, and transfers
+// ownership to the channel with Comm.sendOwned; the receiver, once it
+// has fully copied the payload into its grids, returns the buffer with
+// putBuf.  In steady state no heap object is allocated per message —
+// enforced by TestSteadyStateExchangeAllocs.
+//
+// Ownership discipline: a buffer handed to sendOwned must never be
+// touched by the sender again, and putBuf may only be called on a
+// received payload after the last read of its contents.  Payloads that
+// escape to the caller (BroadcastVec's returned slice, reduction
+// results) are simply never returned to the pool — correctness never
+// depends on a buffer being recycled.
+
+const (
+	// minClassBits is the smallest pooled size class (2^6 = 64 floats);
+	// tinier messages are cheap enough to allocate and barely recur.
+	minClassBits = 6
+	// maxClassBits caps pooling at 2^22 floats (32 MiB); one-off giant
+	// gather payloads should go back to the collector, not pin memory.
+	maxClassBits = 22
+)
+
+// pooledBuf is the boxed header stored in the class pools.  Pooling
+// *pooledBuf instead of []float64 avoids the slice-header allocation
+// that boxing a slice into an interface{} would cost on every Put; the
+// headers themselves recycle through headerPool, so the steady state
+// allocates neither buffers nor headers.
+type pooledBuf struct{ buf []float64 }
+
+var (
+	classPools [maxClassBits + 1]sync.Pool
+	headerPool = sync.Pool{New: func() any { return new(pooledBuf) }}
+)
+
+// sizeClass returns the pool index whose buffers have capacity 2^class
+// >= n, or -1 when n is outside the pooled range.
+func sizeClass(n int) int {
+	c := bits.Len(uint(n - 1)) // ceil(log2 n)
+	if c < minClassBits {
+		c = minClassBits
+	}
+	if c > maxClassBits {
+		return -1
+	}
+	return c
+}
+
+// getBuf returns a length-n buffer for packing a message, recycled from
+// the arena when possible.  The contents are unspecified; callers must
+// overwrite every element.  getBuf(0) returns nil.
+func getBuf(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	c := sizeClass(n)
+	if c < 0 {
+		return make([]float64, n)
+	}
+	if v := classPools[c].Get(); v != nil {
+		pb := v.(*pooledBuf)
+		buf := pb.buf
+		pb.buf = nil
+		headerPool.Put(pb)
+		return buf[:n]
+	}
+	return make([]float64, 1<<c)[:n]
+}
+
+// putBuf returns a message buffer to the arena.  It accepts any slice
+// and silently drops those the arena did not produce (nil, or capacity
+// not an in-range power of two), so receivers can release every
+// consumed payload without tracking provenance.
+func putBuf(b []float64) {
+	c := cap(b)
+	if c < 1<<minClassBits || c > 1<<maxClassBits || c&(c-1) != 0 {
+		return
+	}
+	pb := headerPool.Get().(*pooledBuf)
+	pb.buf = b[:0]
+	classPools[bits.Len(uint(c))-1].Put(pb)
+}

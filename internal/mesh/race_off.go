@@ -1,0 +1,9 @@
+//go:build !race
+
+package mesh
+
+// raceEnabled reports whether the race detector is compiled in.  The
+// allocation-count tests skip under -race: the detector's own
+// instrumentation heap-allocates and would fail AllocsPerRun assertions
+// that hold in normal builds.
+const raceEnabled = false

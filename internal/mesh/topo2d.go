@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/grid"
+	"repro/internal/obs"
 )
 
 // Topo2D arranges P = PX*PY processes in a logical 2-D grid and
@@ -84,6 +85,7 @@ func (c *Comm) ExchangeGhost2D(g *grid.G2, t *Topo2D, corners bool) {
 	if 2*w > nx || 2*w > ny {
 		panic(fmt.Sprintf("mesh: ghost width %d too large for %dx%d local block", w, nx, ny))
 	}
+	c.beginPhase(obs.PhaseExchange, "ghost-exchange-2d")
 	rx, ry := t.Coords(c.Rank())
 	up := t.Rank(rx-1, ry)
 	down := t.Rank(rx+1, ry)
@@ -94,31 +96,44 @@ func (c *Comm) ExchangeGhost2D(g *grid.G2, t *Topo2D, corners bool) {
 	dl := t.Rank(rx+1, ry-1)
 	dr := t.Rank(rx+1, ry+1)
 
+	// sendCorner packs a w-by-w corner block into a pooled buffer and
+	// hands it off to the channel.
+	sendCorner := func(to, i0, j0 int) {
+		buf := getBuf(w * w)
+		g.PackBlock(i0, j0, w, w, buf)
+		c.sendOwned(to, buf)
+	}
+	recvCorner := func(from, i0, j0 int) {
+		buf := c.recv(from)
+		g.UnpackBlock(i0, j0, w, w, buf)
+		putBuf(buf)
+	}
+
 	// Sends: edge strips, then corner blocks.
 	if up >= 0 {
-		c.sendPlanes(up, w, func(k int) []float64 { return g.PackRow(k, 0, ny, nil) })
+		c.sendPlanes(up, w, ny, func(k int, dst []float64) { g.PackRow(k, 0, ny, dst) })
 	}
 	if down >= 0 {
-		c.sendPlanes(down, w, func(k int) []float64 { return g.PackRow(nx-w+k, 0, ny, nil) })
+		c.sendPlanes(down, w, ny, func(k int, dst []float64) { g.PackRow(nx-w+k, 0, ny, dst) })
 	}
 	if left >= 0 {
-		c.sendPlanes(left, w, func(k int) []float64 { return g.PackCol(k, 0, nx, nil) })
+		c.sendPlanes(left, w, nx, func(k int, dst []float64) { g.PackCol(k, 0, nx, dst) })
 	}
 	if right >= 0 {
-		c.sendPlanes(right, w, func(k int) []float64 { return g.PackCol(ny-w+k, 0, nx, nil) })
+		c.sendPlanes(right, w, nx, func(k int, dst []float64) { g.PackCol(ny-w+k, 0, nx, dst) })
 	}
 	if corners {
 		if ul >= 0 {
-			c.send(ul, g.PackBlock(0, 0, w, w, nil))
+			sendCorner(ul, 0, 0)
 		}
 		if ur >= 0 {
-			c.send(ur, g.PackBlock(0, ny-w, w, w, nil))
+			sendCorner(ur, 0, ny-w)
 		}
 		if dl >= 0 {
-			c.send(dl, g.PackBlock(nx-w, 0, w, w, nil))
+			sendCorner(dl, nx-w, 0)
 		}
 		if dr >= 0 {
-			c.send(dr, g.PackBlock(nx-w, ny-w, w, w, nil))
+			sendCorner(dr, nx-w, ny-w)
 		}
 	}
 	// Receives, mirroring the neighbours' sends.
@@ -136,16 +151,16 @@ func (c *Comm) ExchangeGhost2D(g *grid.G2, t *Topo2D, corners bool) {
 	}
 	if corners {
 		if ul >= 0 {
-			g.UnpackBlock(-w, -w, w, w, c.recv(ul))
+			recvCorner(ul, -w, -w)
 		}
 		if ur >= 0 {
-			g.UnpackBlock(-w, ny, w, w, c.recv(ur))
+			recvCorner(ur, -w, ny)
 		}
 		if dl >= 0 {
-			g.UnpackBlock(nx, -w, w, w, c.recv(dl))
+			recvCorner(dl, nx, -w)
 		}
 		if dr >= 0 {
-			g.UnpackBlock(nx, ny, w, w, c.recv(dr))
+			recvCorner(dr, nx, ny)
 		}
 	}
 	c.endPhase("ghost-exchange-2d")
@@ -154,23 +169,30 @@ func (c *Comm) ExchangeGhost2D(g *grid.G2, t *Topo2D, corners bool) {
 // Gather2D collects a 2-D block-distributed grid onto root, returning
 // the assembled global grid there and nil elsewhere.
 func (c *Comm) Gather2D(local *grid.G2, t *Topo2D, root int) *grid.G2 {
+	c.beginPhase(obs.PhaseIO, "gather-2d")
 	defer c.endPhase("gather-2d")
 	r := c.Rank()
 	if r != root {
-		c.send(root, local.PackBlock(0, 0, local.NX(), local.NY(), nil))
+		buf := getBuf(local.NX() * local.NY())
+		local.PackBlock(0, 0, local.NX(), local.NY(), buf)
+		c.sendOwned(root, buf)
 		return nil
 	}
+	// The full receive area is the preallocated global grid itself;
+	// every block — own and received — is written straight into place.
 	global := grid.New2(t.NX, t.NY, 0)
-	place := func(rank int, data []float64) {
-		xr, yr := t.Block(rank)
-		global.UnpackBlock(xr.Lo, yr.Lo, xr.Len(), yr.Len(), data)
+	xr, yr := t.Block(root)
+	for i := 0; i < local.NX(); i++ {
+		global.UnpackRow(xr.Lo+i, yr.Lo, local.Row(i))
 	}
-	place(root, local.PackBlock(0, 0, local.NX(), local.NY(), nil))
 	for src := 0; src < c.P(); src++ {
 		if src == root {
 			continue
 		}
-		place(src, c.recv(src))
+		sxr, syr := t.Block(src)
+		buf := c.recv(src)
+		global.UnpackBlock(sxr.Lo, syr.Lo, sxr.Len(), syr.Len(), buf)
+		putBuf(buf)
 	}
 	return global
 }

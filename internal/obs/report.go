@@ -221,3 +221,20 @@ func WriteBenchFile(path string, entries []BenchEntry) error {
 	}
 	return f.Close()
 }
+
+// ReadBenchFile parses a BENCH_*.json artifact written by
+// WriteBenchFile, validating the schema tag.
+func ReadBenchFile(path string) ([]BenchEntry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: bench: %w", err)
+	}
+	var bf benchFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		return nil, fmt.Errorf("obs: bench: %s: %w", path, err)
+	}
+	if bf.Schema != "bench/v1" {
+		return nil, fmt.Errorf("obs: bench: %s: unsupported schema %q", path, bf.Schema)
+	}
+	return bf.Entries, nil
+}
