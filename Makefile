@@ -3,9 +3,9 @@ GO ?= go
 # Packages whose concurrency the race detector must vet.
 RACE_PKGS = ./internal/channel ./internal/sched ./internal/mesh ./internal/trace ./internal/obs
 
-.PHONY: check build vet test race bench bench-smoke bench-compare
+.PHONY: check build vet test race bench bench-smoke bench-compare net-smoke
 
-check: vet build test race bench-smoke
+check: vet build test race bench-smoke net-smoke
 
 build:
 	$(GO) build ./...
@@ -23,10 +23,19 @@ race:
 # bench runs the runtime benchmarks with allocation reporting, then a
 # P=4 parallel FDTD run (with a measured P=1 baseline) whose headline
 # observability metrics land in BENCH_obs.json and fdtd_report.json.
+# Three -bench-append runs then extend the artifact with the scale-out
+# numbers: loopback-socket wire counters, a multi-process wall clock,
+# and the P-scaling sweep with measured + modelled speedups.
 bench:
-	$(GO) test -bench=. -benchtime=1x -benchmem ./internal/sched ./internal/mesh ./internal/fdtd
+	$(GO) test -bench=. -benchtime=1x -benchmem ./internal/sched ./internal/mesh ./internal/fdtd ./internal/gridio
 	$(GO) run ./cmd/fdtd -build par -p 4 -nx 24 -ny 16 -nz 16 -steps 64 -baseline -quiet \
 		-report fdtd_report.json -bench-out BENCH_obs.json
+	$(GO) run ./cmd/fdtd -build par -p 4 -nx 24 -ny 16 -nz 16 -steps 64 -quiet \
+		-backend socket -net tcp -bench-out BENCH_obs.json -bench-append
+	$(GO) run ./cmd/fdtd -build par -procs 2 -nx 24 -ny 16 -nz 16 -steps 64 -quiet \
+		-net unix -bench-out BENCH_obs.json -bench-append
+	$(GO) run ./cmd/fdtd -build par -sweep 1,2,4 -nx 24 -ny 16 -nz 16 -steps 64 -quiet \
+		-bench-out BENCH_obs.json -bench-append
 	@echo "wrote fdtd_report.json and BENCH_obs.json"
 
 # bench-smoke compiles and runs every benchmark once (no timing) so
@@ -34,11 +43,23 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' $(RACE_PKGS) ./internal/fdtd > /dev/null
 
+# net-smoke is the end-to-end acceptance run of the scale-out
+# transport: sequential vs in-process vs loopback-socket vs
+# multi-process dumps must be byte-identical (TestNetSmoke).
+net-smoke:
+	$(GO) test -run 'TestNetSmoke' -count=1 ./cmd/fdtd
+
 # bench-compare reruns the BENCH workload into a fresh artifact and
-# fails if any metric regresses more than 10% against the committed
-# BENCH_obs.json baseline — the CI perf gate.
+# fails if any deterministic metric (counts, bytes, allocs) regresses
+# more than 10% against the committed BENCH_obs.json baseline; noisy
+# timing-derived metrics (walls, speedups, ratios) gate at 50%, wide
+# enough to absorb scheduler noise on a loaded single-CPU host while
+# still catching order-of-magnitude slowdowns.  Scale-out entries that
+# only the full `make bench` produces (net/*, sweep/*) are reported as
+# one-sided and never gate.
 bench-compare:
 	$(GO) run ./cmd/fdtd -build par -p 4 -nx 24 -ny 16 -nz 16 -steps 64 -baseline -quiet \
 		-bench-out BENCH_new.json
-	$(GO) run ./cmd/benchdiff -baseline BENCH_obs.json -new BENCH_new.json -threshold 0.10
+	$(GO) run ./cmd/benchdiff -baseline BENCH_obs.json -new BENCH_new.json \
+		-threshold 0.10 -timing-threshold 0.50
 	@rm -f BENCH_new.json

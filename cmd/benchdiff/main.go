@@ -9,8 +9,16 @@
 // Direction is inferred from the unit: "x" (speedup) and entries named
 // ".../efficiency" are higher-is-better; everything else (seconds,
 // bytes, counts, ratios) is lower-is-better.  Entries present in only
-// one file are reported but never fail the gate, so the metric set can
-// grow without breaking CI.
+// one file are reported as additions/removals and summarised as a
+// warning, but never fail the gate, so the metric set can grow (and
+// one-sided producers like -bench-append sweeps can contribute)
+// without breaking CI.
+//
+// Two thresholds apply: deterministic metrics (counts, bytes, allocs)
+// gate at -threshold, while timing-derived metrics — units "s", "x",
+// and "ratio", all downstream of a wall clock — gate at the looser
+// -timing-threshold, because a millisecond-scale wall on a loaded
+// shared host swings far more than any real regression needs to.
 package main
 
 import (
@@ -26,10 +34,105 @@ func higherIsBetter(e obs.BenchEntry) bool {
 	return e.Unit == "x" || strings.HasSuffix(e.Name, "/efficiency")
 }
 
+// timingDerived reports whether an entry's value is downstream of a
+// wall-clock measurement and therefore noisy: walls ("s"), speedups
+// ("x"), and the load/comm/efficiency ratios ("ratio").  Counts,
+// bytes, and allocation metrics are deterministic and gate strictly.
+func timingDerived(e obs.BenchEntry) bool {
+	switch e.Unit {
+	case "s", "x", "ratio":
+		return true
+	}
+	return false
+}
+
+// thresholds carries the two gate levels.
+type thresholds struct {
+	strict float64 // deterministic metrics
+	timing float64 // timing-derived metrics
+}
+
+func (t thresholds) for_(e obs.BenchEntry) float64 {
+	if timingDerived(e) {
+		return t.timing
+	}
+	return t.strict
+}
+
+// diffResult is the outcome of comparing two artifacts.
+type diffResult struct {
+	lines       []string // human-readable per-entry report
+	compared    int      // entries present in both files
+	additions   int      // entries only in the new file
+	removals    int      // entries only in the baseline
+	regressions int      // compared entries past the threshold
+}
+
+// compare diffs the two entry sets.  Only entries present in both
+// files can regress; one-sided entries are counted as additions or
+// removals for the warning summary.
+func compare(base, next []obs.BenchEntry, th thresholds) diffResult {
+	var d diffResult
+	baseByName := make(map[string]obs.BenchEntry, len(base))
+	for _, e := range base {
+		baseByName[e.Name] = e
+	}
+	seen := make(map[string]bool, len(next))
+	for _, e := range next {
+		seen[e.Name] = true
+		b, ok := baseByName[e.Name]
+		if !ok {
+			d.additions++
+			d.lines = append(d.lines, fmt.Sprintf("  new   %-40s %12.6g %s (no baseline)", e.Name, e.Value, e.Unit))
+			continue
+		}
+		d.compared++
+		// Fractional change relative to the baseline, signed so that
+		// positive always means "worse".
+		var worse float64
+		switch {
+		case b.Value == 0:
+			worse = 0
+			if e.Value != 0 && !higherIsBetter(e) {
+				worse = 1 // any growth from a zero baseline (e.g. allocs 0 -> n) is a full regression
+			}
+		case higherIsBetter(e):
+			worse = (b.Value - e.Value) / b.Value
+		default:
+			worse = (e.Value - b.Value) / b.Value
+		}
+		status := "ok"
+		if worse > th.for_(e) {
+			status = "REGRESSION"
+			d.regressions++
+		}
+		d.lines = append(d.lines, fmt.Sprintf("  %-5s %-40s %12.6g -> %-12.6g %s (%+.1f%%)",
+			status, e.Name, b.Value, e.Value, e.Unit, 100*worse))
+	}
+	for _, b := range base {
+		if !seen[b.Name] {
+			d.removals++
+			d.lines = append(d.lines, fmt.Sprintf("  gone  %-40s %12.6g %s (missing from new run)", b.Name, b.Value, b.Unit))
+		}
+	}
+	return d
+}
+
+// warning summarises the non-gating one-sided entries, or returns ""
+// when the two files cover the same metric set.
+func (d diffResult) warning() string {
+	if d.additions == 0 && d.removals == 0 {
+		return ""
+	}
+	return fmt.Sprintf("benchdiff: warning: %d added, %d removed metric(s) not gated (only metrics present in both files are compared)",
+		d.additions, d.removals)
+}
+
 func main() {
 	baseline := flag.String("baseline", "BENCH_obs.json", "baseline BENCH json artifact")
 	newFile := flag.String("new", "", "new BENCH json artifact to compare against the baseline")
-	threshold := flag.Float64("threshold", 0.10, "allowed fractional regression before failing (0.10 = 10%)")
+	threshold := flag.Float64("threshold", 0.10, "allowed fractional regression for deterministic metrics (0.10 = 10%)")
+	timingThreshold := flag.Float64("timing-threshold", 0.50, "allowed fractional regression for timing-derived metrics (units s, x, ratio)")
 	flag.Parse()
 	if *newFile == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
@@ -48,52 +151,18 @@ func main() {
 		os.Exit(2)
 	}
 
-	baseByName := make(map[string]obs.BenchEntry, len(base))
-	for _, e := range base {
-		baseByName[e.Name] = e
+	d := compare(base, next, thresholds{strict: *threshold, timing: *timingThreshold})
+	for _, line := range d.lines {
+		fmt.Println(line)
 	}
-	seen := make(map[string]bool, len(next))
-
-	regressions := 0
-	for _, e := range next {
-		seen[e.Name] = true
-		b, ok := baseByName[e.Name]
-		if !ok {
-			fmt.Printf("  new   %-32s %12.6g %s (no baseline)\n", e.Name, e.Value, e.Unit)
-			continue
-		}
-		// Fractional change relative to the baseline, signed so that
-		// positive always means "worse".
-		var worse float64
-		switch {
-		case b.Value == 0:
-			worse = 0
-			if e.Value != 0 && !higherIsBetter(e) {
-				worse = 1 // any growth from a zero baseline (e.g. allocs 0 -> n) is a full regression
-			}
-		case higherIsBetter(e):
-			worse = (b.Value - e.Value) / b.Value
-		default:
-			worse = (e.Value - b.Value) / b.Value
-		}
-		status := "ok"
-		if worse > *threshold {
-			status = "REGRESSION"
-			regressions++
-		}
-		fmt.Printf("  %-5s %-32s %12.6g -> %-12.6g %s (%+.1f%%)\n",
-			status, e.Name, b.Value, e.Value, e.Unit, 100*worse)
+	if w := d.warning(); w != "" {
+		fmt.Fprintln(os.Stderr, w)
 	}
-	for _, b := range base {
-		if !seen[b.Name] {
-			fmt.Printf("  gone  %-32s %12.6g %s (missing from new run)\n", b.Name, b.Value, b.Unit)
-		}
-	}
-
-	if regressions > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed more than %.0f%% vs %s\n",
-			regressions, 100**threshold, *baseline)
+	if d.regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed past the gate (%.0f%% deterministic, %.0f%% timing) vs %s\n",
+			d.regressions, 100**threshold, 100**timingThreshold, *baseline)
 		os.Exit(1)
 	}
-	fmt.Printf("benchdiff: no regression beyond %.0f%% across %d metric(s)\n", 100**threshold, len(next))
+	fmt.Printf("benchdiff: no regression beyond %.0f%% (deterministic) / %.0f%% (timing) across %d compared metric(s)\n",
+		100**threshold, 100**timingThreshold, d.compared)
 }

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func entry(name string, value float64, unit string) obs.BenchEntry {
+	return obs.BenchEntry{Name: name, Value: value, Unit: unit}
+}
+
+func TestCompareLowerIsBetter(t *testing.T) {
+	base := []obs.BenchEntry{entry("fdtd/par/P=4/wall", 1.0, "s")}
+
+	// 5% slower with a 10% threshold: ok.
+	d := compare(base, []obs.BenchEntry{entry("fdtd/par/P=4/wall", 1.05, "s")}, thresholds{strict: 0.10, timing: 0.10})
+	if d.regressions != 0 || d.compared != 1 {
+		t.Fatalf("5%% slower under 10%% threshold: regressions=%d compared=%d", d.regressions, d.compared)
+	}
+
+	// 20% slower: regression.
+	d = compare(base, []obs.BenchEntry{entry("fdtd/par/P=4/wall", 1.20, "s")}, thresholds{strict: 0.10, timing: 0.10})
+	if d.regressions != 1 {
+		t.Fatalf("20%% slower: want 1 regression, got %d", d.regressions)
+	}
+
+	// 20% faster: improvement, never a regression.
+	d = compare(base, []obs.BenchEntry{entry("fdtd/par/P=4/wall", 0.80, "s")}, thresholds{strict: 0.10, timing: 0.10})
+	if d.regressions != 0 {
+		t.Fatalf("20%% faster: want 0 regressions, got %d", d.regressions)
+	}
+}
+
+func TestCompareHigherIsBetter(t *testing.T) {
+	// Unit "x" flips the direction: a drop is the regression.
+	base := []obs.BenchEntry{entry("sweep/P=4/modelled_speedup_sun", 2.0, "x")}
+	d := compare(base, []obs.BenchEntry{entry("sweep/P=4/modelled_speedup_sun", 1.5, "x")}, thresholds{strict: 0.10, timing: 0.10})
+	if d.regressions != 1 {
+		t.Fatalf("speedup 2.0 -> 1.5: want 1 regression, got %d", d.regressions)
+	}
+	d = compare(base, []obs.BenchEntry{entry("sweep/P=4/modelled_speedup_sun", 2.5, "x")}, thresholds{strict: 0.10, timing: 0.10})
+	if d.regressions != 0 {
+		t.Fatalf("speedup 2.0 -> 2.5: want 0 regressions, got %d", d.regressions)
+	}
+
+	// The "/efficiency" suffix is the other higher-is-better marker.
+	base = []obs.BenchEntry{entry("fdtd/par/P=4/efficiency", 0.9, "")}
+	d = compare(base, []obs.BenchEntry{entry("fdtd/par/P=4/efficiency", 0.5, "")}, thresholds{strict: 0.10, timing: 0.10})
+	if d.regressions != 1 {
+		t.Fatalf("efficiency 0.9 -> 0.5: want 1 regression, got %d", d.regressions)
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	// allocs 0 -> anything is a full regression; 0 -> 0 is ok.
+	base := []obs.BenchEntry{entry("exchange/allocs", 0, "allocs")}
+	d := compare(base, []obs.BenchEntry{entry("exchange/allocs", 3, "allocs")}, thresholds{strict: 0.10, timing: 0.10})
+	if d.regressions != 1 {
+		t.Fatalf("allocs 0 -> 3: want 1 regression, got %d", d.regressions)
+	}
+	d = compare(base, []obs.BenchEntry{entry("exchange/allocs", 0, "allocs")}, thresholds{strict: 0.10, timing: 0.10})
+	if d.regressions != 0 {
+		t.Fatalf("allocs 0 -> 0: want 0 regressions, got %d", d.regressions)
+	}
+
+	// A zero-baseline higher-is-better metric cannot regress (no
+	// meaningful relative drop exists).
+	base = []obs.BenchEntry{entry("sweep/P=1/measured_speedup", 0, "x")}
+	d = compare(base, []obs.BenchEntry{entry("sweep/P=1/measured_speedup", 0.5, "x")}, thresholds{strict: 0.10, timing: 0.10})
+	if d.regressions != 0 {
+		t.Fatalf("zero-baseline speedup: want 0 regressions, got %d", d.regressions)
+	}
+}
+
+func TestCompareOneSidedEntries(t *testing.T) {
+	base := []obs.BenchEntry{
+		entry("fdtd/par/P=4/wall", 1.0, "s"),
+		entry("old/only", 2.0, "s"),
+	}
+	next := []obs.BenchEntry{
+		entry("fdtd/par/P=4/wall", 1.0, "s"),
+		entry("net/socket-tcp/P=4/wire_flushes", 24, "count"),
+		entry("net/socket-tcp/P=4/wire_bytes", 9000, "bytes"),
+	}
+	d := compare(base, next, thresholds{strict: 0.10, timing: 0.10})
+	if d.regressions != 0 {
+		t.Fatalf("one-sided entries must not gate: got %d regressions", d.regressions)
+	}
+	if d.additions != 2 || d.removals != 1 || d.compared != 1 {
+		t.Fatalf("want 2 additions, 1 removal, 1 compared; got %d/%d/%d",
+			d.additions, d.removals, d.compared)
+	}
+	w := d.warning()
+	if !strings.Contains(w, "2 added") || !strings.Contains(w, "1 removed") {
+		t.Fatalf("warning summary missing counts: %q", w)
+	}
+	joined := strings.Join(d.lines, "\n")
+	for _, want := range []string{"no baseline", "missing from new run"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("report lines missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+// TestCompareTwoTierThresholds: timing-derived metrics (s, x, ratio)
+// gate at the loose timing threshold while deterministic metrics
+// (counts, bytes, allocs) gate at the strict one.
+func TestCompareTwoTierThresholds(t *testing.T) {
+	th := thresholds{strict: 0.10, timing: 0.50}
+	base := []obs.BenchEntry{
+		entry("fdtd/par/P=4/wall", 1.0, "s"),
+		entry("fdtd/par/P=4/load_imbalance", 1.0, "ratio"),
+		entry("fdtd/par/P=4/messages", 100, "count"),
+	}
+	// 20% noise on timing metrics passes; the same 20% growth in a
+	// deterministic message count is a real regression.
+	next := []obs.BenchEntry{
+		entry("fdtd/par/P=4/wall", 1.20, "s"),
+		entry("fdtd/par/P=4/load_imbalance", 1.20, "ratio"),
+		entry("fdtd/par/P=4/messages", 120, "count"),
+	}
+	d := compare(base, next, th)
+	if d.regressions != 1 {
+		t.Fatalf("want only the count metric to regress, got %d regressions:\n%s",
+			d.regressions, strings.Join(d.lines, "\n"))
+	}
+	for _, line := range d.lines {
+		if strings.Contains(line, "REGRESSION") && !strings.Contains(line, "messages") {
+			t.Fatalf("wrong metric gated: %s", line)
+		}
+	}
+	// Past the timing threshold, walls still gate.
+	d = compare(base, []obs.BenchEntry{entry("fdtd/par/P=4/wall", 1.60, "s")}, th)
+	if d.regressions != 1 {
+		t.Fatalf("60%% slower wall past 50%% timing threshold: want 1 regression, got %d", d.regressions)
+	}
+}
+
+func TestCompareNoWarningWhenAligned(t *testing.T) {
+	base := []obs.BenchEntry{entry("a", 1, "s")}
+	d := compare(base, base, thresholds{strict: 0.10, timing: 0.10})
+	if w := d.warning(); w != "" {
+		t.Fatalf("aligned metric sets should produce no warning, got %q", w)
+	}
+}

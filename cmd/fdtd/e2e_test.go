@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// buildBinary compiles the fdtd command once per test binary.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	exe := filepath.Join(t.TempDir(), "fdtd")
+	cmd := exec.Command("go", "build", "-o", exe, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return exe
+}
+
+func runCmd(t *testing.T, exe string, args ...string) []byte {
+	t.Helper()
+	cmd := exec.Command(exe, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", exe, args, err, out)
+	}
+	return out
+}
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestNetSmoke is the end-to-end acceptance run of the scale-out
+// transport: the same small problem solved sequentially, over the
+// in-process parallel runtime, over a loopback socket mesh, and across
+// real OS processes (-procs) must produce byte-identical final fields.
+// `make net-smoke` runs exactly this test.
+func TestNetSmoke(t *testing.T) {
+	exe := buildBinary(t)
+	dir := t.TempDir()
+	grid := []string{"-nx", "20", "-ny", "10", "-nz", "10", "-steps", "12", "-quiet"}
+
+	seqDump := filepath.Join(dir, "seq.grid")
+	runCmd(t, exe, append([]string{"-build", "seq", "-dump", seqDump}, grid...)...)
+	want := mustRead(t, seqDump)
+
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"par-inproc", []string{"-build", "par", "-p", "4"}},
+		{"par-socket-tcp", []string{"-build", "par", "-p", "4", "-backend", "socket", "-net", "tcp"}},
+		{"par-socket-unix", []string{"-build", "par", "-p", "4", "-backend", "socket", "-net", "unix"}},
+		{"procs-2-unix", []string{"-build", "par", "-procs", "2", "-net", "unix"}},
+		{"procs-4-tcp", []string{"-build", "par", "-procs", "4", "-net", "tcp"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dump := filepath.Join(dir, tc.name+".grid")
+			runCmd(t, exe, append(append(tc.args, "-dump", dump), grid...)...)
+			if got := mustRead(t, dump); !bytes.Equal(got, want) {
+				t.Fatalf("%s: final Ez differs from the sequential field", tc.name)
+			}
+		})
+	}
+}
+
+// TestSweepSmoke runs a tiny scaling sweep end to end and checks the
+// bench artifact mechanics, including -bench-append merging.
+func TestSweepSmoke(t *testing.T) {
+	exe := buildBinary(t)
+	dir := t.TempDir()
+	bench := filepath.Join(dir, "BENCH.json")
+	out := runCmd(t, exe,
+		"-build", "par", "-sweep", "1,2", "-nx", "16", "-ny", "8", "-nz", "8", "-steps", "8",
+		"-bench-out", bench)
+	if !bytes.Contains(out, []byte("crossover")) {
+		t.Fatalf("sweep output missing crossover line:\n%s", out)
+	}
+	first := mustRead(t, bench)
+	if !bytes.Contains(first, []byte("sweep/P=2/modelled_speedup_sun")) {
+		t.Fatalf("bench file missing modelled speedup entry:\n%s", first)
+	}
+	// Appending a second artifact must keep the sweep entries.
+	runCmd(t, exe,
+		"-build", "par", "-p", "2", "-nx", "16", "-ny", "8", "-nz", "8", "-steps", "8",
+		"-backend", "socket", "-quiet", "-bench-out", bench, "-bench-append")
+	merged := mustRead(t, bench)
+	for _, want := range []string{"sweep/P=2/modelled_speedup_sun", "net/socket-tcp/P=2/wire_flushes"} {
+		if !bytes.Contains(merged, []byte(want)) {
+			t.Fatalf("merged bench file missing %q:\n%s", want, merged)
+		}
+	}
+}
+
+// TestFlagValidation: conflicting flag combinations must exit with
+// usage status 2 before doing any work.
+func TestFlagValidation(t *testing.T) {
+	exe := buildBinary(t)
+	bad := [][]string{
+		{"-build", "seq", "-backend", "socket"},
+		{"-build", "par", "-backend", "bogus"},
+		{"-build", "par", "-net", "udp"},
+		{"-build", "par", "-procs", "2", "-backend", "socket"},
+		{"-build", "par", "-procs", "2", "-sweep", "1,2"},
+		{"-build", "par", "-procs", "2", "-baseline"},
+		{"-build", "par", "-sweep", "1,2", "-dump", "x.grid"},
+		{"-build", "par", "-bench-append"},
+		{"-worker-rank", "0"},
+	}
+	for _, args := range bad {
+		cmd := exec.Command(exe, args...)
+		out, err := cmd.CombinedOutput()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 2 {
+			t.Fatalf("%v: want usage exit 2, got err=%v\n%s", args, err, out)
+		}
+	}
+}

@@ -31,6 +31,18 @@
 //
 //	fdtd -build par -p 4 -report report.json -trace-out trace.json \
 //	     -baseline -metrics-addr :9090
+//
+// Scale-out transport (par build): -backend socket carries the
+// channels over a real loopback socket mesh (-net tcp|unix) inside one
+// process; -procs N runs N separate OS processes connected by sockets
+// (one rank each, spawned and supervised by this launcher); -sweep
+// "1,2,4,8" measures P-scaling with measured and machine-model
+// speedups and prints the crossover table.  All of them produce
+// bitwise-identical physics (Theorem 1):
+//
+//	fdtd -build par -p 4 -backend socket -net unix
+//	fdtd -build par -procs 2 -dump ez.grid
+//	fdtd -build par -sweep "1,2,4,8" -bench-out BENCH_obs.json -bench-append
 package main
 
 import (
@@ -91,7 +103,24 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "ssp/par builds: serve Prometheus /metrics (+expvar, pprof) on this address during the run")
 	baseline := flag.Bool("baseline", false, "ssp/par builds: also run the workload on P=1 to measure speedup and efficiency")
 	quiet := flag.Bool("quiet", false, "suppress the human-readable run summary (artifacts are still written)")
+	backend := flag.String("backend", "inproc", "par build channel backend: inproc | socket (loopback socket mesh)")
+	netKind := flag.String("net", "tcp", "socket network for -backend socket and -procs: tcp | unix")
+	procsN := flag.Int("procs", 0, "par build: run across N OS processes connected by sockets")
+	sweepList := flag.String("sweep", "", "par build: comma-separated process counts to scale over (e.g. \"1,2,4,8\")")
+	benchAppend := flag.Bool("bench-append", false, "merge entries into the -bench-out file instead of overwriting it")
+	workerRank := flag.Int("worker-rank", -1, "internal: run as one rank worker of a -procs launch")
+	workerDir := flag.String("worker-dir", "", "internal: run directory of the -procs launch")
 	flag.Parse()
+
+	// Worker mode: this process is one rank of a -procs run.  Everything
+	// it needs arrives via the run directory, not the other flags.
+	if *workerRank >= 0 || *workerDir != "" {
+		if *workerRank < 0 || *workerDir == "" {
+			usageErr("-worker-rank and -worker-dir are internal flags of -procs and are set together")
+		}
+		runWorkerProcess(*workerRank, *workerDir)
+		return
+	}
 
 	// Reject conflicting flag combinations up front, before any work.
 	obsWanted := *report != "" || *traceOut != "" || *benchOut != "" || *metricsAddr != ""
@@ -109,6 +138,59 @@ func main() {
 	}
 	if (*resume || *ckEvery > 0) && *build != "par" {
 		usageErr("-resume and -checkpoint-every require -build par")
+	}
+	recovery := *ckEvery > 0 || *resume
+	if *netKind != "tcp" && *netKind != "unix" {
+		usageErr("unknown -net %q (want tcp or unix)", *netKind)
+	}
+	if *backend != "inproc" && *backend != "socket" {
+		usageErr("unknown -backend %q (want inproc or socket)", *backend)
+	}
+	if *backend == "socket" {
+		if *build != "par" {
+			usageErr("-backend socket requires -build par (the socket mesh carries real parallel channels)")
+		}
+		if *py > 1 {
+			usageErr("-backend socket supports the 1-D slab decomposition only (py=1)")
+		}
+		if recovery || *injectCrash != "" {
+			usageErr("-backend socket does not compose with crash recovery or -inject-crash")
+		}
+	}
+	if *procsN > 0 {
+		if *build != "par" {
+			usageErr("-procs requires -build par")
+		}
+		if *py > 1 {
+			usageErr("-procs supports the 1-D slab decomposition only (py=1)")
+		}
+		if *backend != "inproc" {
+			usageErr("-procs already runs over sockets; it does not combine with -backend")
+		}
+		if *sweepList != "" {
+			usageErr("-sweep and -procs are mutually exclusive")
+		}
+		if recovery || *injectCrash != "" {
+			usageErr("-procs does not compose with crash recovery or -inject-crash")
+		}
+		if *report != "" || *traceOut != "" || *metricsAddr != "" || *baseline {
+			usageErr("-report/-trace-out/-metrics-addr/-baseline require an in-process backend; -procs supports -dump and -bench-out")
+		}
+	}
+	if *sweepList != "" {
+		if *build != "par" {
+			usageErr("-sweep requires -build par")
+		}
+		if *py > 1 {
+			usageErr("-sweep scales the 1-D slab decomposition only (py=1)")
+		}
+		if recovery || *injectCrash != "" || *dump != "" ||
+			*report != "" || *traceOut != "" || *metricsAddr != "" || *baseline {
+			usageErr("-sweep runs its own measurement matrix; combine it only with -bench-out/-bench-append, -backend, and -net")
+		}
+	}
+	if *benchAppend && *benchOut == "" {
+		usageErr("-bench-append requires -bench-out")
 	}
 	if *resume {
 		if *ckPath == "" {
@@ -149,7 +231,46 @@ func main() {
 		}
 		opt.Inject = inj
 	}
-	recovery := *ckEvery > 0 || *resume
+	// Self-contained run modes: the scaling sweep and the multi-process
+	// launcher do their own measurement and reporting.
+	if *sweepList != "" {
+		entries, err := runSweep(spec, *sweepList, *backend, *netKind, *compensated, *quiet)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fdtd: %v\n", err)
+			os.Exit(1)
+		}
+		if *benchOut != "" {
+			writeBench(*benchOut, *benchAppend, entries, *quiet)
+		}
+		return
+	}
+	if *procsN > 0 {
+		res, wall, err := runProcs(spec, *procsN, *netKind, *compensated, *dump != "")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fdtd: %v\n", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Printf("%s\nbuild=par procs=%d wall=%v\n", res, *procsN, wall)
+		}
+		if *dump != "" {
+			if err := gridio.SaveFile3(*dump, res.Ez); err != nil {
+				fmt.Fprintf(os.Stderr, "fdtd: dump: %v\n", err)
+				os.Exit(1)
+			}
+			if !*quiet {
+				fmt.Printf("final Ez written to %s\n", *dump)
+			}
+		}
+		if *benchOut != "" {
+			prefix := fmt.Sprintf("net/procs-%s/P=%d", *netKind, *procsN)
+			writeBench(*benchOut, *benchAppend, []obs.BenchEntry{
+				{Name: prefix + "/wall", Value: wall.Seconds(), Unit: "s"},
+			}, *quiet)
+		}
+		return
+	}
+
 	ranks := *p * *py
 	var tally *machine.Tally
 	var col *obs.Collector
@@ -216,6 +337,15 @@ func main() {
 		}
 		tally = machine.NewTally(ranks)
 		opt.Mesh.Tally = tally
+		if *backend == "socket" {
+			tr, terr := channel.NewLoopbackMesh(ranks, *netKind, mesh.WireCodec(), channel.SocketOptions{Stats: stats})
+			if terr != nil {
+				fmt.Fprintf(os.Stderr, "fdtd: socket mesh: %v\n", terr)
+				os.Exit(1)
+			}
+			defer tr.Close()
+			opt.Mesh.Transport = tr
+		}
 		if *py > 1 {
 			res, err = fdtd.RunArchetype2D(spec, *p, *py, mode, opt)
 		} else {
@@ -333,15 +463,36 @@ func main() {
 		}
 	}
 	if *benchOut != "" {
+		// In-process runs keep the historical fdtd/<build> prefix; the
+		// socket backend publishes under net/* so the two backends'
+		// trajectories never collide in the bench gate.
 		prefix := fmt.Sprintf("fdtd/%s/P=%d", *build, ranks)
+		if *backend == "socket" {
+			prefix = fmt.Sprintf("net/socket-%s/P=%d", *netKind, ranks)
+		}
 		entries := append(runRep.BenchEntries(prefix),
 			obs.BenchEntry{Name: prefix + "/allocs_per_step", Value: allocsPerStep, Unit: "count"})
-		if err := obs.WriteBenchFile(*benchOut, entries); err != nil {
-			fmt.Fprintf(os.Stderr, "fdtd: %v\n", err)
-			os.Exit(1)
+		if *backend == "socket" && stats != nil {
+			entries = append(entries, obs.NetBenchEntries(prefix, stats)...)
 		}
-		if !*quiet {
-			fmt.Printf("bench metrics written to %s\n", *benchOut)
-		}
+		writeBench(*benchOut, *benchAppend, entries, *quiet)
+	}
+}
+
+// writeBench writes (or, with -bench-append, merges) bench entries to
+// path and exits on failure.
+func writeBench(path string, merge bool, entries []obs.BenchEntry, quiet bool) {
+	var err error
+	if merge {
+		err = obs.MergeBenchFile(path, entries)
+	} else {
+		err = obs.WriteBenchFile(path, entries)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fdtd: %v\n", err)
+		os.Exit(1)
+	}
+	if !quiet {
+		fmt.Printf("bench metrics written to %s\n", path)
 	}
 }

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+
+	"repro/internal/fdtd"
+	"repro/internal/gridio"
+	"repro/internal/procs"
+)
+
+// procsTimeout bounds a whole multi-process run: there is no global
+// deadlock detector across processes (no process sees every rank), so
+// a wedged group is killed rather than diagnosed.
+const procsTimeout = 10 * time.Minute
+
+// runProcs executes the application across n OS processes: it writes
+// the shared workerConfig, spawns one `fdtd -worker-rank R` per rank,
+// supervises the group fail-fast, and reassembles rank 0's report into
+// a Result (fields included when dump is wanted).  Returns the result
+// and the run's wall time.
+func runProcs(spec fdtd.Spec, n int, network string, compensated, wantDump bool) (*fdtd.Result, time.Duration, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, 0, fmt.Errorf("locating own binary: %w", err)
+	}
+	dir, err := os.MkdirTemp("", "fdtd-procs")
+	if err != nil {
+		return nil, 0, err
+	}
+	defer os.RemoveAll(dir)
+	addrs, err := procs.Addrs(network, n, dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	cfg := workerConfig{Spec: spec, Network: network, Addrs: addrs, Compensated: compensated, DumpEz: wantDump}
+	raw, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, workerConfigFile), raw, 0o644); err != nil {
+		return nil, 0, err
+	}
+	cmds := make([]*exec.Cmd, n)
+	for r := 0; r < n; r++ {
+		cmd := exec.Command(exe, "-worker-rank", fmt.Sprint(r), "-worker-dir", dir)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		cmds[r] = cmd
+	}
+	start := time.Now()
+	group, err := procs.Start(cmds)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := group.Wait(procsTimeout); err != nil {
+		return nil, 0, err
+	}
+	wall := time.Since(start)
+
+	raw, err = os.ReadFile(workerResultFile(dir, 0))
+	if err != nil {
+		return nil, 0, fmt.Errorf("reading rank 0 result: %w", err)
+	}
+	var wr workerResult
+	if err := json.Unmarshal(raw, &wr); err != nil {
+		return nil, 0, fmt.Errorf("rank 0 result: %w", err)
+	}
+	res := &fdtd.Result{Spec: spec, Probe: wr.Probe, FarA: wr.FarA, FarF: wr.FarF, Work: wr.Work}
+	if wantDump {
+		ez, err := gridio.LoadFile3(filepath.Join(dir, workerEzFile))
+		if err != nil {
+			return nil, 0, fmt.Errorf("reading rank 0 field dump: %w", err)
+		}
+		res.Ez = ez
+	}
+	return res, wall, nil
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/channel"
+	"repro/internal/fdtd"
+	"repro/internal/gridio"
+	"repro/internal/mesh"
+)
+
+// The -procs launcher and its rank workers share a run directory:
+//
+//	config.json       workerConfig, written by the launcher
+//	ez.grid           rank 0's final Ez field (gridio), when DumpEz
+//	result-<rank>.json  workerResult, one per rank
+//
+// The files, not the sockets, carry the launcher-facing data; the
+// sockets carry only the archetype's channel traffic.
+
+const (
+	workerConfigFile = "config.json"
+	workerEzFile     = "ez.grid"
+)
+
+// workerConfig is everything a rank worker needs to join the run.
+type workerConfig struct {
+	Spec        fdtd.Spec `json:"spec"`
+	Network     string    `json:"network"` // "tcp" or "unix"
+	Addrs       []string  `json:"addrs"`   // rendezvous address per rank
+	Compensated bool      `json:"compensated"`
+	DumpEz      bool      `json:"dump_ez"` // rank 0 writes ez.grid
+}
+
+// workerResult is one rank's report back to the launcher.  The global
+// fields travel via ez.grid (they are large); everything else is
+// small enough for JSON.
+type workerResult struct {
+	Rank  int       `json:"rank"`
+	Probe []float64 `json:"probe"`
+	FarA  []float64 `json:"far_a,omitempty"`
+	FarF  []float64 `json:"far_f,omitempty"`
+	Work  float64   `json:"work"`
+}
+
+func workerResultFile(dir string, rank int) string {
+	return filepath.Join(dir, fmt.Sprintf("result-%d.json", rank))
+}
+
+// runWorkerProcess is the main of a rank worker (fdtd -worker-rank R
+// -worker-dir D): read the shared config, join the socket mesh, run
+// this rank's slice of the application, report, exit.  Any failure is
+// fatal with a non-zero status — the launcher kills the rest of the
+// group and surfaces the message.
+func runWorkerProcess(rank int, dir string) {
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "fdtd worker %d: %v\n", rank, err)
+		os.Exit(1)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, workerConfigFile))
+	if err != nil {
+		fail(err)
+	}
+	var cfg workerConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		fail(fmt.Errorf("config: %w", err))
+	}
+	if rank >= len(cfg.Addrs) {
+		fail(fmt.Errorf("rank out of range: %d with %d addresses", rank, len(cfg.Addrs)))
+	}
+	tr, err := channel.DialMesh(cfg.Network, cfg.Addrs, rank, mesh.WireCodec(), channel.SocketOptions{})
+	if err != nil {
+		fail(err)
+	}
+	defer tr.Close()
+	opt := fdtd.DefaultOptions()
+	opt.FarFieldCompensated = cfg.Compensated
+	res, err := fdtd.RunArchetypeWorker(cfg.Spec, rank, tr, opt)
+	if err != nil {
+		fail(err)
+	}
+	if rank == 0 && cfg.DumpEz {
+		if err := gridio.SaveFile3(filepath.Join(dir, workerEzFile), res.Ez); err != nil {
+			fail(fmt.Errorf("dump: %w", err))
+		}
+	}
+	out, err := json.Marshal(workerResult{
+		Rank: rank, Probe: res.Probe, FarA: res.FarA, FarF: res.FarF, Work: res.Work,
+	})
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(workerResultFile(dir, rank), out, 0o644); err != nil {
+		fail(err)
+	}
+}

@@ -1,0 +1,809 @@
+// Socket transport: the paper's channel model carried over real framed
+// TCP or Unix-domain connections.
+//
+// # Wire format
+//
+// Each unordered pair of ranks {i, j} shares exactly one connection;
+// both directed channels i->j and j->i are multiplexed onto it (each
+// side writes its own direction, so there is a single writer and a
+// single reader per connection end).  Every message is one frame:
+//
+//	offset 0  uint32 LE  channel id = from*P + to
+//	offset 4  uint32 LE  payload length in bytes
+//	offset 8  payload    Codec-encoded value
+//
+// The channel id is redundant — a connection end carries exactly one
+// directed channel — which is precisely why it is sent: the reader
+// validates it against the expected id on every frame, so framing
+// corruption or desynchronisation is detected immediately instead of
+// silently mis-delivering data.  Multi-process meshes additionally
+// exchange a 20-byte hello (magic "ARCHMUX1", version, P, rank) when a
+// connection is established.
+//
+// # Coalescing and flushing
+//
+// Send never writes to the socket.  Frames are appended to a
+// per-destination chunk list (the write coalescer); Flush seals the
+// chunks and hands them to one vectored write (net.Buffers → writev),
+// so a single syscall carries every frame queued for a neighbour since
+// the previous flush.  TCP connections also set TCP_NODELAY: batching
+// is decided by the runtime's phase structure, not by Nagle's timer.
+// Liveness is the flush protocol's job — see Transport.Flush.
+package channel
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	frameHeaderLen = 8
+	// sockChunkSize is the target size of one coalescer chunk.  A chunk
+	// may exceed it when a single frame is larger; frames are never
+	// split across chunks.
+	sockChunkSize = 64 << 10
+	// iovMax mirrors the batch limit net.Buffers uses per writev.
+	iovMax = 1024
+
+	defaultMaxFrame    = 64 << 20
+	defaultDialTimeout = 10 * time.Second
+
+	muxVersion = 1
+)
+
+var muxMagic = [8]byte{'A', 'R', 'C', 'H', 'M', 'U', 'X', '1'}
+
+// TransportError is the panic value raised by a blocking Recv (and by
+// Send) on a failed socket transport.  The sched supervisor converts
+// panics to errors, so transport failures surface as ordinary run
+// errors; errors.As / errors.Is reach the underlying cause via Unwrap.
+type TransportError struct{ Err error }
+
+func (e *TransportError) Error() string { return "transport failure: " + e.Err.Error() }
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// SocketOptions configures a socket transport.
+type SocketOptions struct {
+	// Stats, when non-nil, receives per-link wire counters (frames,
+	// bytes, flushes, syscalls) in addition to whatever endpoint-level
+	// Counted decorators the runtime installs.
+	Stats *NetStats
+	// MaxFrame bounds the accepted payload size in bytes (default 64 MiB).
+	// An incoming frame past the bound fails the transport rather than
+	// attempting a huge allocation from a corrupt length field.
+	MaxFrame int
+	// DialTimeout bounds the multi-process rendezvous: how long DialMesh
+	// keeps retrying peers that have not started listening yet
+	// (default 10s).
+	DialTimeout time.Duration
+}
+
+func (o SocketOptions) maxFrame() int {
+	if o.MaxFrame > 0 {
+		return o.MaxFrame
+	}
+	return defaultMaxFrame
+}
+
+func (o SocketOptions) dialTimeout() time.Duration {
+	if o.DialTimeout > 0 {
+		return o.DialTimeout
+	}
+	return defaultDialTimeout
+}
+
+// SocketTransport carries the channel network over framed socket
+// connections.  Construct one with NewLoopbackMesh (full mesh inside
+// one process, for testing and the `-backend socket` mode) or DialMesh
+// (one transport per rank process, for `-procs`).
+type SocketTransport[T any] struct {
+	p     int
+	rank  int // -1 when the full mesh is local (loopback)
+	codec Codec[T]
+	opt   SocketOptions
+
+	eps   []Endpoint[T] // index from*p+to; nil where not local
+	links []*sockLink[T]
+	boxes []*inbox[T]
+	conns []net.Conn
+
+	inflight atomic.Int64
+	notify   atomic.Value // of func()
+	errv     atomic.Value // of error
+	failOnce sync.Once
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+	cleanup  func()
+}
+
+func newSocketTransport[T any](p, rank int, codec Codec[T], opt SocketOptions) *SocketTransport[T] {
+	if p <= 0 {
+		panic(fmt.Sprintf("channel: socket transport size must be positive, got %d", p))
+	}
+	if codec.Append == nil || codec.Decode == nil {
+		panic("channel: socket transport requires a complete Codec")
+	}
+	if opt.Stats != nil && opt.Stats.P() != p {
+		panic(fmt.Sprintf("channel: stats sized for %d processes, transport has %d", opt.Stats.P(), p))
+	}
+	return &SocketTransport[T]{
+		p:     p,
+		rank:  rank,
+		codec: codec,
+		opt:   opt,
+		eps:   make([]Endpoint[T], p*p),
+		links: make([]*sockLink[T], p*p),
+		boxes: make([]*inbox[T], p*p),
+	}
+}
+
+// P returns the number of processes in the network.
+func (t *SocketTransport[T]) P() int { return t.p }
+
+// Chan returns the endpoint for the channel from -> to.  It panics for
+// channels that do not touch this transport's local rank(s).
+func (t *SocketTransport[T]) Chan(from, to int) Endpoint[T] {
+	if from < 0 || from >= t.p || to < 0 || to >= t.p {
+		panic(fmt.Sprintf("channel: endpoint out of range: from=%d to=%d p=%d", from, to, t.p))
+	}
+	e := t.eps[from*t.p+to]
+	if e == nil {
+		panic(fmt.Sprintf("channel: channel %d->%d is not local to rank %d", from, to, t.rank))
+	}
+	return e
+}
+
+// Flush pushes every frame queued on rank from's outbound links to the
+// wire (one vectored write per neighbour with traffic).
+func (t *SocketTransport[T]) Flush(from int) {
+	if from < 0 || from >= t.p {
+		panic(fmt.Sprintf("channel: flush rank out of range: %d (p=%d)", from, t.p))
+	}
+	base := from * t.p
+	for to := 0; to < t.p; to++ {
+		if l := t.links[base+to]; l != nil {
+			l.flush()
+		}
+	}
+}
+
+// InFlight returns the number of messages written by a local sender but
+// not yet enqueued at their (local) destination inbox.  Meaningful only
+// for loopback meshes, where both ends are in this process; per-rank
+// transports always report zero.
+func (t *SocketTransport[T]) InFlight() int {
+	if t.rank >= 0 {
+		return 0
+	}
+	return int(t.inflight.Load())
+}
+
+// Err returns the first transport failure, or nil.
+func (t *SocketTransport[T]) Err() error {
+	if err, ok := t.errv.Load().(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Notify registers f to run after every local delivery or failure.
+func (t *SocketTransport[T]) Notify(f func()) { t.notify.Store(f) }
+
+func (t *SocketTransport[T]) notifyFn() {
+	if f, ok := t.notify.Load().(func()); ok && f != nil {
+		f()
+	}
+}
+
+// Pending returns the number of delivered-but-unreceived values across
+// local inboxes.
+func (t *SocketTransport[T]) Pending() int {
+	total := 0
+	for _, b := range t.boxes {
+		if b != nil {
+			total += b.Len()
+		}
+	}
+	return total
+}
+
+// WrapEndpoints replaces every local endpoint with wrap(from, to, e) —
+// the same fault-injection and metering seam Net offers.
+func (t *SocketTransport[T]) WrapEndpoints(wrap func(from, to int, e Endpoint[T]) Endpoint[T]) {
+	for from := 0; from < t.p; from++ {
+		for to := 0; to < t.p; to++ {
+			idx := from*t.p + to
+			if t.eps[idx] != nil {
+				t.eps[idx] = wrap(from, to, t.eps[idx])
+			}
+		}
+	}
+}
+
+// Close flushes the local links, closes every connection (unblocking
+// peer readers) and waits for reader goroutines to exit.
+func (t *SocketTransport[T]) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	for _, l := range t.links {
+		if l != nil {
+			l.flush()
+		}
+	}
+	for _, c := range t.conns {
+		c.Close()
+	}
+	t.wg.Wait()
+	if t.cleanup != nil {
+		t.cleanup()
+	}
+	return nil
+}
+
+// fail poisons the transport: Err becomes non-nil, every local inbox
+// wakes its blocked receiver with the error, and the notify hook fires
+// so a blocked runtime re-examines its state.
+func (t *SocketTransport[T]) fail(err error) {
+	t.failOnce.Do(func() {
+		t.errv.Store(err)
+		for _, b := range t.boxes {
+			if b != nil {
+				b.failWith(err)
+			}
+		}
+		t.notifyFn()
+	})
+}
+
+// sockLink is the send half of one directed channel: the per-destination
+// write coalescer feeding one connection end.
+type sockLink[T any] struct {
+	t      *SocketTransport[T]
+	conn   net.Conn
+	from   int
+	to     int
+	chanID uint32
+	cell   *statsCell
+
+	mu     sync.Mutex
+	cur    []byte      // active chunk being appended to
+	full   [][]byte    // sealed chunks awaiting flush
+	free   [][]byte    // recycled chunk storage
+	bufs   net.Buffers // scratch for the vectored write
+	frames int
+	werr   error // sticky write failure
+}
+
+func newSockLink[T any](t *SocketTransport[T], conn net.Conn, from, to int) *sockLink[T] {
+	l := &sockLink[T]{t: t, conn: conn, from: from, to: to, chanID: uint32(from*t.p + to)}
+	if t.opt.Stats != nil {
+		l.cell = t.opt.Stats.cell(from, to)
+	}
+	return l
+}
+
+func (l *sockLink[T]) grab() []byte {
+	if n := len(l.free); n > 0 {
+		c := l.free[n-1]
+		l.free = l.free[:n-1]
+		return c[:0]
+	}
+	return make([]byte, 0, sockChunkSize)
+}
+
+// send frames v into the coalescer.  It never touches the socket.
+func (l *sockLink[T]) send(v T) {
+	l.mu.Lock()
+	if l.werr != nil {
+		err := l.werr
+		l.mu.Unlock()
+		panic(&TransportError{Err: err})
+	}
+	if l.cur == nil {
+		l.cur = l.grab()
+	}
+	off := len(l.cur)
+	var hdr [frameHeaderLen]byte
+	l.cur = append(l.cur, hdr[:]...)
+	l.cur = l.t.codec.Append(l.cur, v)
+	payload := len(l.cur) - off - frameHeaderLen
+	if payload > l.t.opt.maxFrame() {
+		l.mu.Unlock()
+		panic(fmt.Sprintf("channel: frame payload %d bytes exceeds MaxFrame %d on %d->%d",
+			payload, l.t.opt.maxFrame(), l.from, l.to))
+	}
+	binary.LittleEndian.PutUint32(l.cur[off:], l.chanID)
+	binary.LittleEndian.PutUint32(l.cur[off+4:], uint32(payload))
+	l.frames++
+	if l.t.rank < 0 {
+		l.t.inflight.Add(1)
+	}
+	if l.cell != nil {
+		l.cell.wireFrames.Add(1)
+		l.cell.wireBytes.Add(int64(payload + frameHeaderLen))
+	}
+	if len(l.cur) >= sockChunkSize {
+		l.full = append(l.full, l.cur)
+		l.cur = nil
+	}
+	l.mu.Unlock()
+}
+
+// flush writes every buffered frame in one vectored write and recycles
+// the chunks.  Empty flushes are free and uncounted.
+func (l *sockLink[T]) flush() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.full) == 0 && len(l.cur) == 0 {
+		return
+	}
+	bufs := l.bufs[:0]
+	bufs = append(bufs, l.full...)
+	if len(l.cur) > 0 {
+		bufs = append(bufs, l.cur)
+	}
+	nb := len(bufs)
+	l.bufs = bufs
+	if l.werr == nil {
+		if _, err := l.bufs.WriteTo(l.conn); err != nil {
+			l.werr = err
+			if !l.t.closed.Load() {
+				l.t.fail(fmt.Errorf("transport: write %d->%d: %w", l.from, l.to, err))
+			}
+		}
+	}
+	if l.cell != nil {
+		l.cell.flushes.Add(1)
+		l.cell.syscalls.Add(int64((nb + iovMax - 1) / iovMax))
+	}
+	for _, c := range l.full {
+		l.free = append(l.free, c[:0])
+	}
+	l.full = l.full[:0]
+	if l.cur != nil {
+		l.free = append(l.free, l.cur[:0])
+		l.cur = nil
+	}
+	l.frames = 0
+}
+
+// inbox is the receive half of one directed channel: an unbounded FIFO
+// fed by the connection's reader goroutine, with a poison state so a
+// transport failure wakes (rather than wedges) a blocked receiver.
+// Buffered values are always drained before the failure is reported.
+type inbox[T any] struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	buf  []T
+	head int
+	fail error
+}
+
+func newInbox[T any]() *inbox[T] {
+	b := &inbox[T]{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *inbox[T]) put(v T) {
+	b.mu.Lock()
+	b.buf = append(b.buf, v)
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+func (b *inbox[T]) failWith(err error) {
+	b.mu.Lock()
+	if b.fail == nil {
+		b.fail = err
+	}
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+func (b *inbox[T]) popLocked() T {
+	v := b.buf[b.head]
+	var zero T
+	b.buf[b.head] = zero
+	b.head++
+	if b.head == len(b.buf) {
+		b.buf = b.buf[:0]
+		b.head = 0
+	}
+	return v
+}
+
+func (b *inbox[T]) tryGet() (T, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var zero T
+	if b.head >= len(b.buf) {
+		return zero, false
+	}
+	return b.popLocked(), true
+}
+
+func (b *inbox[T]) get() (T, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if b.head < len(b.buf) {
+			return b.popLocked(), nil
+		}
+		if b.fail != nil {
+			var zero T
+			return zero, b.fail
+		}
+		b.cond.Wait()
+	}
+}
+
+func (b *inbox[T]) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.buf) - b.head
+}
+
+// sockEndpoint presents one directed channel as an Endpoint.  link is
+// nil on the receive-only (or self) side; in is nil on the send-only
+// side of a per-rank transport.
+type sockEndpoint[T any] struct {
+	t    *SocketTransport[T]
+	link *sockLink[T]
+	in   *inbox[T]
+	self bool
+	to   int
+}
+
+func (e *sockEndpoint[T]) Send(v T) {
+	if e.link != nil {
+		e.link.send(v)
+		return
+	}
+	if e.self {
+		e.in.put(v)
+		e.t.notifyFn()
+		return
+	}
+	panic("channel: send on a channel whose sender is not local to this transport")
+}
+
+func (e *sockEndpoint[T]) Recv() T {
+	if e.in == nil {
+		panic("channel: receive on a channel whose receiver is not local to this transport")
+	}
+	if v, ok := e.in.tryGet(); ok {
+		return v
+	}
+	// About to block: our own coalesced frames may be exactly what the
+	// peer needs before it can send to us.
+	e.t.Flush(e.to)
+	v, err := e.in.get()
+	if err != nil {
+		panic(&TransportError{Err: err})
+	}
+	return v
+}
+
+func (e *sockEndpoint[T]) TryRecv() (T, bool) {
+	if e.in == nil {
+		panic("channel: receive on a channel whose receiver is not local to this transport")
+	}
+	return e.in.tryGet()
+}
+
+func (e *sockEndpoint[T]) Len() int {
+	if e.in == nil {
+		return 0
+	}
+	return e.in.Len()
+}
+
+// readLoop drains one connection end: the directed channel from -> to,
+// where `to` is local.  Every frame is validated (channel id, length)
+// and decoded into the inbox.
+func (t *SocketTransport[T]) readLoop(conn net.Conn, from, to int, in *inbox[T]) {
+	defer t.wg.Done()
+	br := bufio.NewReaderSize(conn, sockChunkSize)
+	var hdr [frameHeaderLen]byte
+	var payload []byte
+	want := uint32(from*t.p + to)
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if t.closed.Load() {
+				return
+			}
+			if err == io.EOF {
+				// Clean shutdown at a frame boundary: the peer finished
+				// and closed.  Only a receiver still waiting on this
+				// channel is affected.
+				in.failWith(fmt.Errorf("transport: channel %d->%d: peer closed", from, to))
+				t.notifyFn()
+				return
+			}
+			t.fail(fmt.Errorf("transport: read %d->%d: %w", from, to, err))
+			return
+		}
+		id := binary.LittleEndian.Uint32(hdr[0:4])
+		n := int(binary.LittleEndian.Uint32(hdr[4:8]))
+		if id != want {
+			t.fail(fmt.Errorf("transport: corrupt frame on %d->%d: channel id %d, want %d", from, to, id, want))
+			return
+		}
+		if n > t.opt.maxFrame() {
+			t.fail(fmt.Errorf("transport: corrupt frame on %d->%d: payload %d bytes exceeds MaxFrame %d",
+				from, to, n, t.opt.maxFrame()))
+			return
+		}
+		if cap(payload) < n {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if t.closed.Load() {
+				return
+			}
+			t.fail(fmt.Errorf("transport: truncated frame on %d->%d (want %d payload bytes): %w", from, to, n, err))
+			return
+		}
+		v, err := t.codec.Decode(payload)
+		if err != nil {
+			t.fail(fmt.Errorf("transport: decode frame on %d->%d: %w", from, to, err))
+			return
+		}
+		in.put(v)
+		if t.rank < 0 {
+			t.inflight.Add(-1)
+		}
+		t.notifyFn()
+	}
+}
+
+func setNoDelay(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+}
+
+// wirePair connects the directed channels between ranks i and j over
+// one connection pair end: ci is rank i's end, cj is rank j's end.
+func (t *SocketTransport[T]) wirePair(i, j int, ci, cj net.Conn) {
+	setNoDelay(ci)
+	setNoDelay(cj)
+	t.conns = append(t.conns, ci, cj)
+	t.links[i*t.p+j] = newSockLink(t, ci, i, j)
+	t.links[j*t.p+i] = newSockLink(t, cj, j, i)
+	t.boxes[j*t.p+i] = newInbox[T]()
+	t.boxes[i*t.p+j] = newInbox[T]()
+	t.wg.Add(2)
+	go t.readLoop(ci, j, i, t.boxes[j*t.p+i]) // rank i's end receives j->i
+	go t.readLoop(cj, i, j, t.boxes[i*t.p+j])
+}
+
+func (t *SocketTransport[T]) buildEndpoints() {
+	for from := 0; from < t.p; from++ {
+		for to := 0; to < t.p; to++ {
+			idx := from*t.p + to
+			link := t.links[idx]
+			box := t.boxes[idx]
+			if link == nil && box == nil {
+				continue
+			}
+			t.eps[idx] = &sockEndpoint[T]{t: t, link: link, in: box, self: from == to, to: to}
+		}
+	}
+}
+
+// NewLoopbackMesh builds a full socket mesh for P ranks inside one
+// process: every pair of ranks is connected over a real loopback
+// connection ("tcp" on 127.0.0.1, or "unix" in a private temp
+// directory), so the whole framed wire path — coalescing, vectored
+// writes, reader goroutines, pooled decode — is exercised without
+// spawning processes.  The result plugs into sched/mesh exactly like
+// the in-process Net.
+func NewLoopbackMesh[T any](p int, network string, codec Codec[T], opt SocketOptions) (*SocketTransport[T], error) {
+	t := newSocketTransport(p, -1, codec, opt)
+	for r := 0; r < p; r++ {
+		t.boxes[r*p+r] = newInbox[T]()
+	}
+	if p > 1 {
+		var (
+			ln  net.Listener
+			err error
+		)
+		switch network {
+		case "tcp":
+			ln, err = net.Listen("tcp", "127.0.0.1:0")
+		case "unix":
+			dir, derr := os.MkdirTemp("", "archmux")
+			if derr != nil {
+				return nil, fmt.Errorf("transport: %w", derr)
+			}
+			t.cleanup = func() { os.RemoveAll(dir) }
+			ln, err = net.Listen("unix", filepath.Join(dir, "mesh.sock"))
+		default:
+			return nil, fmt.Errorf("transport: unsupported network %q (want tcp or unix)", network)
+		}
+		if err != nil {
+			if t.cleanup != nil {
+				t.cleanup()
+			}
+			return nil, fmt.Errorf("transport: listen: %w", err)
+		}
+		defer ln.Close()
+		for i := 0; i < p; i++ {
+			for j := i + 1; j < p; j++ {
+				// One pending connection at a time keeps dial/accept
+				// pairing trivially in order.
+				ci, err := net.Dial(ln.Addr().Network(), ln.Addr().String())
+				if err != nil {
+					t.Close()
+					return nil, fmt.Errorf("transport: dial pair %d-%d: %w", i, j, err)
+				}
+				cj, err := ln.Accept()
+				if err != nil {
+					ci.Close()
+					t.Close()
+					return nil, fmt.Errorf("transport: accept pair %d-%d: %w", i, j, err)
+				}
+				t.wirePair(i, j, ci, cj)
+			}
+		}
+	}
+	t.buildEndpoints()
+	return t, nil
+}
+
+func writeHello(conn net.Conn, p, rank int) error {
+	var b [20]byte
+	copy(b[:8], muxMagic[:])
+	binary.LittleEndian.PutUint32(b[8:], muxVersion)
+	binary.LittleEndian.PutUint32(b[12:], uint32(p))
+	binary.LittleEndian.PutUint32(b[16:], uint32(rank))
+	_, err := conn.Write(b[:])
+	return err
+}
+
+func readHello(conn net.Conn, wantP int) (rank int, err error) {
+	var b [20]byte
+	if _, err := io.ReadFull(conn, b[:]); err != nil {
+		return 0, fmt.Errorf("reading hello: %w", err)
+	}
+	if [8]byte(b[:8]) != muxMagic {
+		return 0, errors.New("bad magic (not an archetype mux peer)")
+	}
+	if v := binary.LittleEndian.Uint32(b[8:]); v != muxVersion {
+		return 0, fmt.Errorf("protocol version %d, want %d", v, muxVersion)
+	}
+	if p := int(binary.LittleEndian.Uint32(b[12:])); p != wantP {
+		return 0, fmt.Errorf("peer built for P=%d, want P=%d", p, wantP)
+	}
+	r := int(binary.LittleEndian.Uint32(b[16:]))
+	if r < 0 || r >= wantP {
+		return 0, fmt.Errorf("peer rank %d out of range (P=%d)", r, wantP)
+	}
+	return r, nil
+}
+
+func dialRetry(network, addr string, deadline time.Time) (net.Conn, error) {
+	for {
+		conn, err := net.DialTimeout(network, addr, time.Until(deadline))
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// DialMesh builds the per-rank transport of a multi-process mesh:
+// rank i listens at addrs[i], dials every lower rank (retrying until
+// the peer's listener appears, bounded by DialTimeout), and accepts
+// every higher rank, validating the hello handshake on each
+// connection.  Only the channels touching `rank` are materialised;
+// Chan panics for any other pair.  All ranks must be started with the
+// same addrs slice.
+func DialMesh[T any](network string, addrs []string, rank int, codec Codec[T], opt SocketOptions) (*SocketTransport[T], error) {
+	p := len(addrs)
+	if rank < 0 || rank >= p {
+		return nil, fmt.Errorf("transport: rank %d out of range (P=%d)", rank, p)
+	}
+	if network != "tcp" && network != "unix" {
+		return nil, fmt.Errorf("transport: unsupported network %q (want tcp or unix)", network)
+	}
+	t := newSocketTransport(p, rank, codec, opt)
+	t.boxes[rank*p+rank] = newInbox[T]()
+	if p > 1 {
+		deadline := time.Now().Add(opt.dialTimeout())
+		if network == "unix" {
+			os.Remove(addrs[rank])
+		}
+		ln, err := net.Listen(network, addrs[rank])
+		if err != nil {
+			return nil, fmt.Errorf("transport: rank %d listen %s: %w", rank, addrs[rank], err)
+		}
+		defer ln.Close()
+		peers := make([]net.Conn, p)
+		abort := func(err error) (*SocketTransport[T], error) {
+			for _, c := range peers {
+				if c != nil {
+					c.Close()
+				}
+			}
+			return nil, err
+		}
+		for j := 0; j < rank; j++ {
+			conn, err := dialRetry(network, addrs[j], deadline)
+			if err != nil {
+				return abort(fmt.Errorf("transport: rank %d dial rank %d (%s): %w", rank, j, addrs[j], err))
+			}
+			conn.SetDeadline(deadline)
+			if err := writeHello(conn, p, rank); err != nil {
+				conn.Close()
+				return abort(fmt.Errorf("transport: rank %d hello to rank %d: %w", rank, j, err))
+			}
+			got, err := readHello(conn, p)
+			if err == nil && got != j {
+				err = fmt.Errorf("answered as rank %d", got)
+			}
+			if err != nil {
+				conn.Close()
+				return abort(fmt.Errorf("transport: rank %d handshake with rank %d: %w", rank, j, err))
+			}
+			conn.SetDeadline(time.Time{})
+			peers[j] = conn
+		}
+		type deadliner interface{ SetDeadline(time.Time) error }
+		if d, ok := ln.(deadliner); ok {
+			d.SetDeadline(deadline)
+		}
+		for need := p - 1 - rank; need > 0; need-- {
+			conn, err := ln.Accept()
+			if err != nil {
+				return abort(fmt.Errorf("transport: rank %d accept: %w", rank, err))
+			}
+			conn.SetDeadline(deadline)
+			got, err := readHello(conn, p)
+			if err == nil && got <= rank {
+				err = fmt.Errorf("unexpected dial from rank %d", got)
+			}
+			if err == nil && peers[got] != nil {
+				err = fmt.Errorf("duplicate connection from rank %d", got)
+			}
+			if err == nil {
+				err = writeHello(conn, p, rank)
+			}
+			if err != nil {
+				conn.Close()
+				return abort(fmt.Errorf("transport: rank %d handshake: %w", rank, err))
+			}
+			conn.SetDeadline(time.Time{})
+			peers[got] = conn
+		}
+		for j, conn := range peers {
+			if conn == nil {
+				continue
+			}
+			setNoDelay(conn)
+			t.conns = append(t.conns, conn)
+			t.links[rank*p+j] = newSockLink(t, conn, rank, j)
+			t.boxes[j*p+rank] = newInbox[T]()
+			t.wg.Add(1)
+			go t.readLoop(conn, j, rank, t.boxes[j*p+rank])
+		}
+	}
+	t.buildEndpoints()
+	return t, nil
+}

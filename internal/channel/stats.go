@@ -22,6 +22,12 @@ type statsCell struct {
 	recvs atomic.Int64 // completed receives
 	depth atomic.Int64 // current queue depth
 	high  atomic.Int64 // high-water queue depth
+
+	// Wire-level counters, populated only by socket transports.
+	wireFrames atomic.Int64 // frames encoded onto the link
+	wireBytes  atomic.Int64 // bytes queued for the wire (headers + payloads)
+	flushes    atomic.Int64 // non-empty flushes (coalesced writes)
+	syscalls   atomic.Int64 // estimated write syscalls (writev batches)
 }
 
 // NewNetStats returns zeroed statistics for a P-process network.
@@ -52,6 +58,52 @@ func (s *NetStats) Received(from, to int) int64 { return s.cell(from, to).recvs.
 // HighWater returns the deepest queue depth the channel from -> to
 // reached.
 func (s *NetStats) HighWater(from, to int) int64 { return s.cell(from, to).high.Load() }
+
+// WireFrames returns the number of frames the socket transport encoded
+// on the link from -> to.  Zero for in-process transports.
+func (s *NetStats) WireFrames(from, to int) int64 { return s.cell(from, to).wireFrames.Load() }
+
+// WireBytes returns the number of bytes (headers + payloads) queued for
+// the wire on the link from -> to.
+func (s *NetStats) WireBytes(from, to int) int64 { return s.cell(from, to).wireBytes.Load() }
+
+// Flushes returns the number of non-empty flushes of the link
+// from -> to: each one is a coalesced vectored write carrying every
+// frame queued for that neighbour since the previous flush.
+func (s *NetStats) Flushes(from, to int) int64 { return s.cell(from, to).flushes.Load() }
+
+// Syscalls returns the estimated number of write syscalls issued on the
+// link from -> to (one writev batch covers up to 1024 buffers).
+func (s *NetStats) Syscalls(from, to int) int64 { return s.cell(from, to).syscalls.Load() }
+
+// TotalWireFrames, TotalWireBytes, TotalFlushes and TotalSyscalls sum
+// the wire-level counters across every link in the network.
+func (s *NetStats) TotalWireFrames() int64 {
+	return s.sum(func(c *statsCell) int64 { return c.wireFrames.Load() })
+}
+
+// TotalWireBytes returns the network-wide bytes queued for the wire.
+func (s *NetStats) TotalWireBytes() int64 {
+	return s.sum(func(c *statsCell) int64 { return c.wireBytes.Load() })
+}
+
+// TotalFlushes returns the network-wide count of coalesced writes.
+func (s *NetStats) TotalFlushes() int64 {
+	return s.sum(func(c *statsCell) int64 { return c.flushes.Load() })
+}
+
+// TotalSyscalls returns the network-wide estimated write syscall count.
+func (s *NetStats) TotalSyscalls() int64 {
+	return s.sum(func(c *statsCell) int64 { return c.syscalls.Load() })
+}
+
+func (s *NetStats) sum(f func(*statsCell) int64) int64 {
+	var total int64
+	for i := range s.cells {
+		total += f(&s.cells[i])
+	}
+	return total
+}
 
 // TotalMessages returns the number of messages sent across the whole
 // network.

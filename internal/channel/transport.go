@@ -1,0 +1,86 @@
+package channel
+
+// Transport abstracts the message substrate the parallel runtime runs
+// on: a complete point-to-point network of single-reader single-writer
+// channels with infinite slack, plus the delivery-control hooks a real
+// (buffered, asynchronous) wire needs.  The in-process Net implements
+// it trivially — delivery is immediate, so Flush is a no-op and
+// InFlight is always zero.  SocketTransport implements it over framed
+// TCP or Unix-domain connections.
+//
+// Theorem 1 of the paper (all maximal fair executions of an SSP program
+// reach the same final state) is what makes the backend swap exact: as
+// long as a Transport preserves each channel's FIFO order and delivers
+// every sent message eventually, the program's results are bitwise
+// identical across backends.
+type Transport[T any] interface {
+	// P returns the number of processes in the network.
+	P() int
+	// Chan returns the channel endpoint from process `from` to process
+	// `to`.  Per-rank transports (see DialMesh) only materialise the
+	// channels that touch the local rank and panic on others.
+	Chan(from, to int) Endpoint[T]
+	// Flush pushes any locally buffered outbound frames of rank `from`
+	// to the wire.  Backends must flush a rank's links before blocking
+	// on an empty receive and when the rank's process completes; mesh
+	// operations additionally flush at the end of their send sections
+	// so neighbours see one coalesced write per exchange phase.
+	Flush(from int)
+	// InFlight returns the number of messages sent but not yet
+	// enqueued at their destination endpoint.  The exact deadlock
+	// detector treats a non-zero value as progress pending.  Always
+	// zero for in-process transports.
+	InFlight() int
+	// Err returns the first transport failure (connection reset,
+	// corrupt frame, ...), or nil.  Once non-nil it never reverts.
+	Err() error
+	// Notify registers f to be called whenever a message is delivered
+	// to a local endpoint or the transport fails, so a blocked runtime
+	// can re-examine its queues.  Must be called before the transport
+	// carries traffic; only one callback is supported.
+	Notify(f func())
+	// Pending returns the total number of delivered-but-unreceived
+	// values across local endpoints (diagnostics).
+	Pending() int
+	// WrapEndpoints replaces every local endpoint with
+	// wrap(from, to, original) — the fault-injection and metering seam.
+	// Must be called before the network is in use.
+	WrapEndpoints(wrap func(from, to int, e Endpoint[T]) Endpoint[T])
+	// Close releases the transport's resources.  In-process transports
+	// have none; socket transports close their connections, which
+	// unblocks peer readers.
+	Close() error
+}
+
+// Statically assert that both implementations satisfy Transport.
+var (
+	_ Transport[int] = (*Net[int])(nil)
+	_ Transport[int] = (*SocketTransport[int])(nil)
+)
+
+// Flush is a no-op: in-process sends are delivered synchronously.
+func (n *Net[T]) Flush(from int) {}
+
+// InFlight is always zero: in-process sends are delivered synchronously.
+func (n *Net[T]) InFlight() int { return 0 }
+
+// Err always returns nil: the in-process network cannot fail.
+func (n *Net[T]) Err() error { return nil }
+
+// Notify is a no-op: in-process delivery happens inside Send, so the
+// runtime's own post-send broadcast already wakes blocked receivers.
+func (n *Net[T]) Notify(f func()) {}
+
+// Close is a no-op for the in-process network.
+func (n *Net[T]) Close() error { return nil }
+
+// Codec serialises values of T for the wire.  Append encodes v onto dst
+// (reusing dst's capacity, growing as needed) and returns the extended
+// slice; it owns v after the call, so implementations may recycle
+// buffers the value carries.  Decode parses one encoded value; the
+// input slice is only valid during the call, so implementations must
+// copy (ideally into a pooled buffer).
+type Codec[T any] struct {
+	Append func(dst []byte, v T) []byte
+	Decode func(src []byte) (T, error)
+}

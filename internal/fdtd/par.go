@@ -45,19 +45,9 @@ func DefaultOptions() Options {
 // sequential simulated-parallel version, mesh.Par for the real
 // parallel version) and returns the assembled result.
 func RunArchetype(spec Spec, p int, mode mesh.Mode, opt Options) (*Result, error) {
-	if err := spec.Validate(); err != nil {
+	slabs, err := decompose(spec, p)
+	if err != nil {
 		return nil, err
-	}
-	if p <= 0 || p > spec.NX {
-		return nil, fmt.Errorf("fdtd: cannot distribute %d x-planes over %d processes", spec.NX, p)
-	}
-	slabs := grid.SlabDecompose3(spec.NX, spec.NY, spec.NZ, p, grid.AxisX)
-	if spec.Boundary == BoundaryMur1 {
-		// The x-face Mur update reads the plane directly inside the
-		// boundary, so the first and last slab must own both.
-		if slabs[0].R.Len() < 2 || slabs[p-1].R.Len() < 2 {
-			return nil, fmt.Errorf("fdtd: Mur boundary requires the edge slabs to own >= 2 planes (nx=%d, p=%d)", spec.NX, p)
-		}
 	}
 	results, err := mesh.Run(p, mode, opt.Mesh, func(c *mesh.Comm) *Result {
 		return spmd(c, spec, slabs, opt)

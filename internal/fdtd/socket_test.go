@@ -1,0 +1,90 @@
+package fdtd
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/mesh"
+)
+
+// TestSocketBackendIdentity runs the full application over a real
+// loopback socket mesh and requires the near field and probe series to
+// stay bitwise identical to the sequential program — the acceptance
+// bar for the scale-out transport: changing the wire must not change a
+// single bit of the physics.
+func TestSocketBackendIdentity(t *testing.T) {
+	for _, spec := range []Spec{SpecSmallA(), SpecSmall()} {
+		seq := mustSeq(t, spec)
+		for _, p := range []int{1, 2, 4} {
+			tr, err := channel.NewLoopbackMesh(p, "tcp", mesh.WireCodec(), channel.SocketOptions{})
+			if err != nil {
+				t.Fatalf("p=%d loopback: %v", p, err)
+			}
+			opt := DefaultOptions()
+			opt.Mesh.Transport = tr
+			res := mustArch(t, spec, p, mesh.Par, opt)
+			tr.Close()
+			if !seq.NearFieldEqual(res) {
+				t.Fatalf("ffield=%v p=%d socket: near field differs from sequential", spec.IsVersionC(), p)
+			}
+			for i := range seq.Probe {
+				if seq.Probe[i] != res.Probe[i] {
+					t.Fatalf("ffield=%v p=%d socket: probe[%d] differs", spec.IsVersionC(), p, i)
+				}
+			}
+		}
+	}
+}
+
+// TestWorkerBackendIdentity drives RunArchetypeWorker — the body each
+// -procs worker process executes — with one DialMesh transport per
+// rank, and requires rank 0's assembled result to match the sequential
+// program bitwise.
+func TestWorkerBackendIdentity(t *testing.T) {
+	spec := SpecSmall()
+	seq := mustSeq(t, spec)
+	for _, p := range []int{1, 2, 4} {
+		dir := t.TempDir()
+		addrs := make([]string, p)
+		for i := range addrs {
+			addrs[i] = filepath.Join(dir, fmt.Sprintf("rank-%d.sock", i))
+		}
+		results := make([]*Result, p)
+		errs := make([]error, p)
+		var wg sync.WaitGroup
+		for r := 0; r < p; r++ {
+			r := r
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				tr, err := channel.DialMesh("unix", addrs, r, mesh.WireCodec(), channel.SocketOptions{})
+				if err != nil {
+					errs[r] = err
+					return
+				}
+				defer tr.Close()
+				results[r], errs[r] = RunArchetypeWorker(spec, r, tr, DefaultOptions())
+			}()
+		}
+		wg.Wait()
+		for r, err := range errs {
+			if err != nil {
+				t.Fatalf("p=%d rank %d: %v", p, r, err)
+			}
+		}
+		if !seq.NearFieldEqual(results[0]) {
+			t.Fatalf("p=%d worker: near field differs from sequential", p)
+		}
+		// Every rank's broadcast probe copy must agree (copy consistency).
+		for r := 0; r < p; r++ {
+			for i := range seq.Probe {
+				if seq.Probe[i] != results[r].Probe[i] {
+					t.Fatalf("p=%d rank %d: probe[%d] differs", p, r, i)
+				}
+			}
+		}
+	}
+}

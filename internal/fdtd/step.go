@@ -43,8 +43,8 @@ type stepper struct {
 	f    *Fields
 	tp   *tilePool
 
-	overlap   bool
-	exchangeY bool
+	overlap    bool
+	exchangeY  bool
 	xUp, xDown int
 	yUp, yDown int
 

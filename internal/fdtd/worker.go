@@ -1,0 +1,45 @@
+package fdtd
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/grid"
+	"repro/internal/mesh"
+)
+
+// decompose validates the spec/process-count pair and returns the slab
+// decomposition every build of the application shares.
+func decompose(spec Spec, p int) ([]grid.Slab, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if p <= 0 || p > spec.NX {
+		return nil, fmt.Errorf("fdtd: cannot distribute %d x-planes over %d processes", spec.NX, p)
+	}
+	slabs := grid.SlabDecompose3(spec.NX, spec.NY, spec.NZ, p, grid.AxisX)
+	if spec.Boundary == BoundaryMur1 {
+		// The x-face Mur update reads the plane directly inside the
+		// boundary, so the first and last slab must own both.
+		if slabs[0].R.Len() < 2 || slabs[p-1].R.Len() < 2 {
+			return nil, fmt.Errorf("fdtd: Mur boundary requires the edge slabs to own >= 2 planes (nx=%d, p=%d)", spec.NX, p)
+		}
+	}
+	return slabs, nil
+}
+
+// RunArchetypeWorker executes one rank of the archetype application in
+// this process, with the other ranks reached through tr (typically
+// channel.DialMesh in a -procs worker).  The returned Result carries
+// the assembled global fields only on rank 0; every rank gets the
+// probe series and reductions.  By Theorem 1 all of it is bitwise
+// identical to the same rank's slice of a RunArchetype run.
+func RunArchetypeWorker(spec Spec, rank int, tr channel.Transport[mesh.Msg], opt Options) (*Result, error) {
+	slabs, err := decompose(spec, tr.P())
+	if err != nil {
+		return nil, err
+	}
+	return mesh.RunWorker(rank, tr, opt.Mesh, func(c *mesh.Comm) *Result {
+		return spmd(c, spec, slabs, opt)
+	})
+}

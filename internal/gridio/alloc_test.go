@@ -1,0 +1,86 @@
+package gridio
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// TestWriteAllocsConstant: serialising a grid must allocate O(1) — the
+// per-call scratch buffer — not one buffer per pencil.  The bound is
+// checked at two grid sizes so a regression to per-pencil allocation
+// (which scales with nx*ny) cannot sneak under a fixed threshold.
+func TestWriteAllocsConstant(t *testing.T) {
+	for _, n := range []int{8, 32} {
+		g := grid.New3(n, n, n, 0)
+		g.FillFunc(func(i, j, k int) float64 { return float64(i + j + k) })
+		allocs := testing.AllocsPerRun(10, func() {
+			if err := Write3(io.Discard, g); err != nil {
+				t.Fatal(err)
+			}
+		})
+		// One scratch buffer; leave room for a couple of runtime
+		// incidentals, far below the n*n per-pencil regression.
+		if allocs > 4 {
+			t.Fatalf("Write3 of %d^3 grid: %.0f allocs per run, want O(1)", n, allocs)
+		}
+	}
+}
+
+// TestReadAllocsConstant: deserialising allocates the grid itself plus
+// O(1) scratch — again independent of the pencil count.
+func TestReadAllocsConstant(t *testing.T) {
+	var ref float64
+	for _, n := range []int{8, 32} {
+		g := grid.New3(n, n, n, 0)
+		g.FillFunc(func(i, j, k int) float64 { return float64(i*j + k) })
+		var buf bytes.Buffer
+		if err := Write3(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		raw := buf.Bytes()
+		allocs := testing.AllocsPerRun(10, func() {
+			got, err := Read3(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref += got.At(0, 0, 0)
+		})
+		// Grid storage + reader + scratch; must not scale with n*n.
+		if allocs > 10 {
+			t.Fatalf("Read3 of %d^3 grid: %.0f allocs per run, want O(1) beyond the grid itself", n, allocs)
+		}
+	}
+	_ = ref
+}
+
+func BenchmarkWrite3(b *testing.B) {
+	g := grid.New3(32, 32, 32, 0)
+	g.FillFunc(func(i, j, k int) float64 { return float64(i) * 1.5 })
+	b.SetBytes(int64(32 * 32 * 32 * 8))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Write3(io.Discard, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRead3(b *testing.B) {
+	g := grid.New3(32, 32, 32, 0)
+	g.FillFunc(func(i, j, k int) float64 { return float64(i) * 1.5 })
+	var buf bytes.Buffer
+	if err := Write3(&buf, g); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read3(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

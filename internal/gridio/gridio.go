@@ -27,31 +27,37 @@ import (
 
 var magic = [8]byte{'M', 'E', 'S', 'H', 'G', 'R', 'D', '1'}
 
-type header struct {
-	Magic      [8]byte
-	NX, NY, NZ int64
-}
+const headerLen = 32 // magic + 3 x int64 dims
 
 func writeHeader(w io.Writer, nx, ny, nz int) error {
-	return binary.Write(w, binary.LittleEndian, header{Magic: magic, NX: int64(nx), NY: int64(ny), NZ: int64(nz)})
+	var b [headerLen]byte
+	copy(b[:8], magic[:])
+	binary.LittleEndian.PutUint64(b[8:], uint64(nx))
+	binary.LittleEndian.PutUint64(b[16:], uint64(ny))
+	binary.LittleEndian.PutUint64(b[24:], uint64(nz))
+	_, err := w.Write(b[:])
+	return err
 }
 
 func readHeader(r io.Reader) (nx, ny, nz int, err error) {
-	var h header
-	if err := binary.Read(r, binary.LittleEndian, &h); err != nil {
+	var b [headerLen]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
 		return 0, 0, 0, fmt.Errorf("gridio: reading header: %w", err)
 	}
-	if h.Magic != magic {
-		return 0, 0, 0, fmt.Errorf("gridio: bad magic %q", h.Magic[:])
+	if [8]byte(b[:8]) != magic {
+		return 0, 0, 0, fmt.Errorf("gridio: bad magic %q", b[:8])
 	}
-	if h.NX <= 0 || h.NY < 0 || h.NZ < 0 {
-		return 0, 0, 0, fmt.Errorf("gridio: invalid dimensions %dx%dx%d", h.NX, h.NY, h.NZ)
+	hx := int64(binary.LittleEndian.Uint64(b[8:]))
+	hy := int64(binary.LittleEndian.Uint64(b[16:]))
+	hz := int64(binary.LittleEndian.Uint64(b[24:]))
+	if hx <= 0 || hy < 0 || hz < 0 {
+		return 0, 0, 0, fmt.Errorf("gridio: invalid dimensions %dx%dx%d", hx, hy, hz)
 	}
 	const max = 1 << 28 // refuse absurd allocations from corrupt files
-	if h.NX > max || h.NY > max || h.NZ > max || h.NX*maxi(h.NY, 1)*maxi(h.NZ, 1) > max {
-		return 0, 0, 0, fmt.Errorf("gridio: dimensions %dx%dx%d too large", h.NX, h.NY, h.NZ)
+	if hx > max || hy > max || hz > max || hx*maxi(hy, 1)*maxi(hz, 1) > max {
+		return 0, 0, 0, fmt.Errorf("gridio: dimensions %dx%dx%d too large", hx, hy, hz)
 	}
-	return int(h.NX), int(h.NY), int(h.NZ), nil
+	return int(hx), int(hy), int(hz), nil
 }
 
 func maxi(a, b int64) int64 {
@@ -61,8 +67,20 @@ func maxi(a, b int64) int64 {
 	return b
 }
 
-func writeValues(w io.Writer, vals []float64) error {
-	buf := make([]byte, 8*len(vals))
+// scratch is a reusable encode/decode buffer: each Write*/Read* call
+// allocates it once and every per-pencil value transfer reuses it, so
+// serialising a grid costs O(1) allocations instead of one per pencil.
+type scratch []byte
+
+func (s *scratch) grow(n int) []byte {
+	if cap(*s) < n {
+		*s = make([]byte, n)
+	}
+	return (*s)[:n]
+}
+
+func writeValues(w io.Writer, vals []float64, s *scratch) error {
+	buf := s.grow(8 * len(vals))
 	for i, v := range vals {
 		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
 	}
@@ -70,8 +88,8 @@ func writeValues(w io.Writer, vals []float64) error {
 	return err
 }
 
-func readValues(r io.Reader, vals []float64) error {
-	buf := make([]byte, 8*len(vals))
+func readValues(r io.Reader, vals []float64, s *scratch) error {
+	buf := s.grow(8 * len(vals))
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return fmt.Errorf("gridio: reading payload: %w", err)
 	}
@@ -86,11 +104,10 @@ func Write3(w io.Writer, g *grid.G3) error {
 	if err := writeHeader(w, g.NX(), g.NY(), g.NZ()); err != nil {
 		return err
 	}
-	buf := make([]float64, g.NZ())
+	var s scratch
 	for i := 0; i < g.NX(); i++ {
 		for j := 0; j < g.NY(); j++ {
-			copy(buf, g.Pencil(i, j))
-			if err := writeValues(w, buf); err != nil {
+			if err := writeValues(w, g.Pencil(i, j), &s); err != nil {
 				return err
 			}
 		}
@@ -108,13 +125,12 @@ func Read3(r io.Reader) (*grid.G3, error) {
 		return nil, fmt.Errorf("gridio: file holds a %d-D grid, want 3-D", dims(nx, ny, nz))
 	}
 	g := grid.New3(nx, ny, nz, 0)
-	buf := make([]float64, nz)
+	var s scratch
 	for i := 0; i < nx; i++ {
 		for j := 0; j < ny; j++ {
-			if err := readValues(r, buf); err != nil {
+			if err := readValues(r, g.Pencil(i, j), &s); err != nil {
 				return nil, err
 			}
-			copy(g.Pencil(i, j), buf)
 		}
 	}
 	return g, nil
@@ -125,8 +141,9 @@ func Write2(w io.Writer, g *grid.G2) error {
 	if err := writeHeader(w, g.NX(), g.NY(), 0); err != nil {
 		return err
 	}
+	var s scratch
 	for i := 0; i < g.NX(); i++ {
-		if err := writeValues(w, g.Row(i)); err != nil {
+		if err := writeValues(w, g.Row(i), &s); err != nil {
 			return err
 		}
 	}
@@ -143,8 +160,9 @@ func Read2(r io.Reader) (*grid.G2, error) {
 		return nil, fmt.Errorf("gridio: file holds a %d-D grid, want 2-D", dims(nx, ny, nz))
 	}
 	g := grid.New2(nx, ny, 0)
+	var s scratch
 	for i := 0; i < nx; i++ {
-		if err := readValues(r, g.Row(i)); err != nil {
+		if err := readValues(r, g.Row(i), &s); err != nil {
 			return nil, err
 		}
 	}
@@ -156,7 +174,8 @@ func Write1(w io.Writer, g *grid.G1) error {
 	if err := writeHeader(w, g.N(), 0, 0); err != nil {
 		return err
 	}
-	return writeValues(w, g.Interior())
+	var s scratch
+	return writeValues(w, g.Interior(), &s)
 }
 
 // Read1 deserialises a 1-D grid (ghost width 0) from r.
@@ -169,7 +188,8 @@ func Read1(r io.Reader) (*grid.G1, error) {
 		return nil, fmt.Errorf("gridio: file holds a %d-D grid, want 1-D", dims(nx, ny, nz))
 	}
 	g := grid.New1(nx, 0)
-	if err := readValues(r, g.Interior()); err != nil {
+	var s scratch
+	if err := readValues(r, g.Interior(), &s); err != nil {
 		return nil, err
 	}
 	return g, nil

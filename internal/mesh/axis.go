@@ -17,11 +17,11 @@ import (
 // per-step hot path and building them with concatenation would allocate
 // on every exchange.
 var (
-	ghostExchangeLabels    = [3]string{"ghost-exchange-x", "ghost-exchange-y", "ghost-exchange-z"}
-	multiExchangeLabels    = [3]string{"ghost-exchange-multi-x", "ghost-exchange-multi-y", "ghost-exchange-multi-z"}
-	directionalLabels      = [3]string{"directional-exchange-x", "directional-exchange-y", "directional-exchange-z"}
-	directionalSendLabels  = [3]string{"directional-send-x", "directional-send-y", "directional-send-z"}
-	directionalRecvLabels  = [3]string{"directional-recv-x", "directional-recv-y", "directional-recv-z"}
+	ghostExchangeLabels   = [3]string{"ghost-exchange-x", "ghost-exchange-y", "ghost-exchange-z"}
+	multiExchangeLabels   = [3]string{"ghost-exchange-multi-x", "ghost-exchange-multi-y", "ghost-exchange-multi-z"}
+	directionalLabels     = [3]string{"directional-exchange-x", "directional-exchange-y", "directional-exchange-z"}
+	directionalSendLabels = [3]string{"directional-send-x", "directional-send-y", "directional-send-z"}
+	directionalRecvLabels = [3]string{"directional-recv-x", "directional-recv-y", "directional-recv-z"}
 )
 
 func axisLabel(tab *[3]string, axis grid.Axis) string {
@@ -52,6 +52,7 @@ func (c *Comm) ExchangeGhostPlanes(g *grid.G3, axis grid.Axis) {
 	if r < p-1 {
 		c.sendPlanes(r+1, w, size, func(k int, dst []float64) { g.PackPlane(axis, n-w+k, dst) })
 	}
+	c.flush()
 	if r > 0 {
 		c.recvPlanes(r-1, w, func(k int, data []float64) { g.UnpackPlane(axis, -w+k, data) })
 	}
@@ -99,6 +100,7 @@ func (c *Comm) ExchangeGhostPlanesMulti(axis grid.Axis, gs ...*grid.G3) {
 			gs[k/w].PackPlane(axis, n-w+k%w, dst)
 		})
 	}
+	c.flush()
 	if r > 0 {
 		c.recvPlanes(r-1, planes, func(k int, data []float64) {
 			gs[k/w].UnpackPlane(axis, -w+k%w, data)
@@ -170,6 +172,9 @@ func (c *Comm) StartSendUpTo(axis grid.Axis, sendTo int, gs ...*grid.G3) {
 	if len(gs) > 0 {
 		directionalValidate(axis, gs)
 		c.directionalSend(axis, true, sendTo, gs)
+		// End of the send half: push the coalesced frames now so the
+		// message flight overlaps the interior computation.
+		c.flush()
 	}
 	c.endPhase(axisLabel(&directionalSendLabels, axis))
 }
@@ -190,6 +195,7 @@ func (c *Comm) StartSendDownTo(axis grid.Axis, sendTo int, gs ...*grid.G3) {
 	if len(gs) > 0 {
 		directionalValidate(axis, gs)
 		c.directionalSend(axis, false, sendTo, gs)
+		c.flush()
 	}
 	c.endPhase(axisLabel(&directionalSendLabels, axis))
 }
@@ -210,6 +216,7 @@ func (c *Comm) directional(axis grid.Axis, up bool, sendTo, recvFrom int, gs []*
 	if len(gs) > 0 {
 		directionalValidate(axis, gs)
 		c.directionalSend(axis, up, sendTo, gs)
+		c.flush()
 		c.directionalRecv(axis, up, recvFrom, gs)
 	}
 	c.endPhase(axisLabel(&directionalLabels, axis))

@@ -70,6 +70,7 @@ func (c *Comm) Barrier() {
 	c.beginPhase(obs.PhaseCollective, "barrier")
 	for k := 1; k < p; k <<= 1 {
 		c.send((r+k)%p, nil)
+		c.flush()
 		putBuf(c.recv((r - k + p) % p))
 	}
 	c.endPhase("barrier")
@@ -114,6 +115,7 @@ func (c *Comm) BroadcastVec(vals []float64, root int) []float64 {
 			c.send((child+root)%p, vals)
 		}
 	}
+	c.flush()
 	c.endPhase("broadcast")
 	return vals
 }
@@ -199,6 +201,10 @@ func (c *Comm) reduceRecursiveDoubling(acc []float64, op ReduceOp) {
 	for mask := 1; mask < pow2; mask <<= 1 {
 		partner := r ^ mask
 		c.send(partner, acc)
+		// The partner's message does not depend on ours, so our receive
+		// may complete without ever blocking (and thus without the
+		// automatic pre-block flush): push our half of the exchange now.
+		c.flush()
 		other := c.recv(partner)
 		combineInto(acc, other, op, r < partner)
 		putBuf(other)
@@ -206,6 +212,7 @@ func (c *Comm) reduceRecursiveDoubling(acc []float64, op ReduceOp) {
 	// Unfold.
 	if r < rem {
 		c.send(r+pow2, acc)
+		c.flush()
 	}
 }
 
@@ -223,6 +230,7 @@ func (c *Comm) reduceAllToOne(acc []float64, op ReduceOp) {
 		for dst := 1; dst < p; dst++ {
 			c.send(dst, acc)
 		}
+		c.flush()
 		return
 	}
 	c.send(0, acc)

@@ -39,6 +39,7 @@ func (c *Comm) ExchangeGhostRows(g *grid.G2) {
 	if r < p-1 { // to upper neighbour: my highest w interior rows
 		c.sendPlanes(r+1, w, ny, func(k int, dst []float64) { copy(dst, g.Row(nx-w+k)) })
 	}
+	c.flush()
 	// Then receives.
 	if r > 0 { // from lower neighbour into ghost rows -w..-1
 		c.recvPlanes(r-1, w, func(k int, data []float64) {
@@ -132,6 +133,7 @@ func (c *Comm) GatherX(local *grid.G3, slabs []grid.Slab, root int) *grid.G3 {
 	if r != root {
 		c.sendPlanes(root, local.NX(), local.PlaneSize(grid.AxisX),
 			func(k int, dst []float64) { local.PackPlaneX(k, dst) })
+		c.flush()
 		return nil
 	}
 	s := slabs[r]
@@ -178,6 +180,7 @@ func (c *Comm) ScatterX(global *grid.G3, slabs []grid.Slab, root, ghost int) *gr
 				global.PackPlaneX(sl.ToGlobal(k), buf)
 			})
 		}
+		c.flush()
 		sl := slabs[r]
 		local := sl.NewLocal3(ghost)
 		for k := 0; k < sl.LocalNX(); k++ {
@@ -206,6 +209,7 @@ func (c *Comm) GatherRows(local *grid.G2, ranges []grid.Range, globalNX int, roo
 	if r != root {
 		c.sendPlanes(root, local.NX(), local.NY(),
 			func(k int, dst []float64) { copy(dst, local.Row(k)) })
+		c.flush()
 		return nil
 	}
 	global := grid.New2(globalNX, local.NY(), 0)
@@ -248,6 +252,7 @@ func (c *Comm) ScatterRows(global *grid.G2, ranges []grid.Range, ghost int, root
 				copy(dst, global.Row(rg.Lo+k))
 			})
 		}
+		c.flush()
 		rg := ranges[r]
 		local := grid.New2(rg.Len(), ny, ghost)
 		for k := 0; k < rg.Len(); k++ {

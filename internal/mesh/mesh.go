@@ -114,6 +114,14 @@ type Options struct {
 	// split only defers the receive past computations that do not read
 	// ghost cells.  On by default via DefaultOptions.
 	Overlap bool
+	// Transport, if non-nil, carries Par-mode messages over an external
+	// substrate — e.g. a loopback socket mesh built with
+	// channel.NewLoopbackMesh(p, network, mesh.WireCodec(), ...) — in
+	// place of the default in-process channel network.  Its P must match
+	// the run's.  Sim mode rejects it: the simulated-parallel executor
+	// is by construction sequential and in-process.  The caller retains
+	// ownership and should Close the transport after the run.
+	Transport channel.Transport[Msg]
 	// Workers is the per-rank worker count for tiled compute kernels
 	// (applications consult it via Comm.Workers).  0 means one worker
 	// per available CPU (GOMAXPROCS); 1 forces serial kernels.  Tiles
@@ -191,6 +199,15 @@ func (c *Comm) recv(from int) []float64 {
 	return m.Data
 }
 
+// flush marks the end of an operation's send section: on a socket
+// transport it seals every frame queued since the last flush into one
+// vectored write per neighbour, so an exchange phase costs one syscall
+// per link.  On in-process transports it is a no-op.  The runtime also
+// flushes automatically before blocking in a receive and at process
+// termination, so this is a batching boundary, not a correctness
+// requirement.
+func (c *Comm) flush() { c.ctx.Flush() }
+
 // beginPhase opens an observability span for one archetype operation;
 // the operation's endPhase call closes it.  Every operation that calls
 // endPhase calls beginPhase first, so the wall-clock spans pair exactly
@@ -232,6 +249,14 @@ func Run[R any](p int, mode Mode, opt Options, f func(c *Comm) R) ([]R, error) {
 	if opt.ChanStats != nil && opt.ChanStats.P() != p {
 		return nil, fmt.Errorf("mesh: channel stats sized for %d processes, run has %d", opt.ChanStats.P(), p)
 	}
+	if opt.Transport != nil {
+		if mode != Par {
+			return nil, fmt.Errorf("mesh: external transports require Par mode, got %v", mode)
+		}
+		if opt.Transport.P() != p {
+			return nil, fmt.Errorf("mesh: transport built for %d processes, run has %d", opt.Transport.P(), p)
+		}
+	}
 	procs := make([]sched.Proc[Msg, R], p)
 	for i := 0; i < p; i++ {
 		procs[i] = func(ctx *sched.Ctx[Msg]) R {
@@ -254,6 +279,7 @@ func Run[R any](p int, mode Mode, opt Options, f func(c *Comm) R) ([]R, error) {
 		WrapEndpoint: wrap,
 		Collector:    opt.Obs,
 		MsgBytes:     func(m Msg) int { return 8 * len(m.Data) },
+		Transport:    opt.Transport,
 	}
 	switch mode {
 	case Sim:
@@ -266,6 +292,49 @@ func Run[R any](p int, mode Mode, opt Options, f func(c *Comm) R) ([]R, error) {
 	default:
 		return nil, fmt.Errorf("mesh: unknown mode %v", mode)
 	}
+}
+
+// RunWorker executes one rank of the SPMD function f over a per-rank
+// transport (channel.DialMesh) — the multi-process backend: each OS
+// process calls RunWorker with its own rank and its own transport, and
+// by Theorem 1 every rank's result is bitwise identical to the same
+// rank's result under Run.  opt.Transport is ignored (tr takes its
+// place); opt.StallTimeout is ignored (no per-process supervisor can
+// see the whole network — the launcher bounds hangs instead).
+func RunWorker[R any](rank int, tr channel.Transport[Msg], opt Options, f func(c *Comm) R) (R, error) {
+	var zero R
+	if tr == nil {
+		return zero, fmt.Errorf("mesh: worker rank %d has no transport", rank)
+	}
+	p := tr.P()
+	if rank < 0 || rank >= p {
+		return zero, fmt.Errorf("mesh: worker rank %d out of range (P=%d)", rank, p)
+	}
+	if opt.Obs != nil && opt.Obs.P() != p {
+		return zero, fmt.Errorf("mesh: obs collector sized for %d processes, run has %d", opt.Obs.P(), p)
+	}
+	if opt.ChanStats != nil && opt.ChanStats.P() != p {
+		return zero, fmt.Errorf("mesh: channel stats sized for %d processes, run has %d", opt.ChanStats.P(), p)
+	}
+	wrap := opt.WrapEndpoint
+	if stats := opt.ChanStats; stats != nil {
+		inner := wrap
+		wrap = func(from, to int, e channel.Endpoint[Msg]) channel.Endpoint[Msg] {
+			if inner != nil {
+				e = inner(from, to, e)
+			}
+			return channel.Counted(stats, from, to, e)
+		}
+	}
+	schedOpt := sched.Options[Msg]{
+		Tag:          func(m Msg) string { return fmt.Sprintf("[%d]f64", len(m.Data)) },
+		WrapEndpoint: wrap,
+		Collector:    opt.Obs,
+		MsgBytes:     func(m Msg) int { return 8 * len(m.Data) },
+	}
+	return sched.RunWorker(rank, tr, func(ctx *sched.Ctx[Msg]) R {
+		return f(&Comm{ctx: ctx, opt: opt})
+	}, schedOpt)
 }
 
 // RunControlledPolicy executes the SPMD function under an explicit

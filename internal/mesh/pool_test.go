@@ -25,9 +25,9 @@ func TestBufferArenaSizeClasses(t *testing.T) {
 	}
 	// Out-of-range and foreign slices are silently dropped.
 	putBuf(nil)
-	putBuf(make([]float64, 10))       // cap not a pooled power of two
-	putBuf(make([]float64, 1<<23))    // beyond maxClassBits
-	huge := getBuf(1<<22 + 1)         // beyond pooled range: plain allocation
+	putBuf(make([]float64, 10))    // cap not a pooled power of two
+	putBuf(make([]float64, 1<<23)) // beyond maxClassBits
+	huge := getBuf(1<<22 + 1)      // beyond pooled range: plain allocation
 	if len(huge) != 1<<22+1 {
 		t.Fatalf("oversized getBuf length %d", len(huge))
 	}
@@ -103,7 +103,7 @@ func TestPooledBufferPatternIntegrity(t *testing.T) {
 			for n := 0; n < rounds; n++ {
 				// Distinct per-rank, per-round, per-grid payloads.
 				fa := float64(1000*r + n)
-				fb := float64(1000*r + n) + 0.5
+				fb := float64(1000*r+n) + 0.5
 				a.Fill(fa)
 				b.Fill(fb)
 				c.SendUpX(a, b)

@@ -1,0 +1,207 @@
+package mesh
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/fault"
+	"repro/internal/grid"
+)
+
+// ghostSnapshot runs a multi-iteration ghost refresh and returns every
+// rank's boundary planes — the values that actually crossed channels.
+func ghostSnapshot(t *testing.T, p, iters int, mode Mode, opt Options) [][]float64 {
+	t.Helper()
+	const nx, ny, nz = 13, 5, 4
+	slabs := grid.SlabDecompose3(nx, ny, nz, p, grid.AxisX)
+	res, err := Run(p, mode, opt, func(c *Comm) []float64 {
+		g := slabs[c.Rank()].NewLocal3(1)
+		g.FillFunc(func(i, j, k int) float64 {
+			return float64(1000*slabs[c.Rank()].ToGlobal(i) + 10*j + k)
+		})
+		for it := 0; it < iters; it++ {
+			c.ExchangeGhostPlanes(g, grid.AxisX)
+		}
+		var out []float64
+		out = append(out, g.PackPlane(grid.AxisX, -1, nil)...)
+		out = append(out, g.PackPlane(grid.AxisX, g.NX(), nil)...)
+		return out
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func assertSameGhosts(t *testing.T, label string, want, got [][]float64) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: rank count %d vs %d", label, len(got), len(want))
+	}
+	for r := range want {
+		if len(want[r]) != len(got[r]) {
+			t.Fatalf("%s rank %d: ghost lengths differ", label, r)
+		}
+		for i := range want[r] {
+			if want[r][i] != got[r][i] {
+				t.Fatalf("%s rank %d: ghost %d differs: %v vs %v", label, r, i, got[r][i], want[r][i])
+			}
+		}
+	}
+}
+
+// TestSocketExchangeIdentity: the same ghost refresh must produce
+// bitwise-identical boundary planes under Sim, in-process Par, and Par
+// over a real loopback socket mesh (tcp and unix) — Theorem 1 carried
+// across the wire.
+func TestSocketExchangeIdentity(t *testing.T) {
+	for _, p := range []int{1, 2, 4} {
+		want := ghostSnapshot(t, p, 3, Sim, DefaultOptions())
+		inproc := ghostSnapshot(t, p, 3, Par, DefaultOptions())
+		assertSameGhosts(t, fmt.Sprintf("P=%d in-proc", p), want, inproc)
+		for _, network := range []string{"tcp", "unix"} {
+			tr, err := channel.NewLoopbackMesh(p, network, WireCodec(), channel.SocketOptions{})
+			if err != nil {
+				t.Fatalf("P=%d %s loopback: %v", p, network, err)
+			}
+			opt := DefaultOptions()
+			opt.Transport = tr
+			got := ghostSnapshot(t, p, 3, Par, opt)
+			tr.Close()
+			assertSameGhosts(t, fmt.Sprintf("P=%d socket/%s", p, network), want, got)
+		}
+	}
+}
+
+// TestSocketTransportSimRejected: external transports are a Par-mode
+// feature; Sim must refuse rather than silently ignore one.
+func TestSocketTransportSimRejected(t *testing.T) {
+	tr, err := channel.NewLoopbackMesh(2, "tcp", WireCodec(), channel.SocketOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	opt := DefaultOptions()
+	opt.Transport = tr
+	if _, err := Run(2, Sim, opt, func(c *Comm) int { return 0 }); err == nil {
+		t.Fatal("Sim accepted an external transport")
+	}
+}
+
+// TestSocketFlushCoalescing counter-asserts the batching contract: one
+// exchange phase queues all of a neighbour's frames and pushes them
+// with exactly one flush (and, under the iov limit, one syscall) — no
+// per-message writes.
+func TestSocketFlushCoalescing(t *testing.T) {
+	const (
+		p     = 2
+		iters = 6
+	)
+	stats := channel.NewNetStats(p)
+	tr, err := channel.NewLoopbackMesh(p, "tcp", WireCodec(), channel.SocketOptions{Stats: stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	opt := DefaultOptions()
+	opt.Transport = tr
+	ghostSnapshot(t, p, iters, Par, opt)
+	for _, link := range [][2]int{{0, 1}, {1, 0}} {
+		from, to := link[0], link[1]
+		flushes := stats.Flushes(from, to)
+		if flushes > iters {
+			t.Errorf("link %d->%d: %d flushes for %d exchange phases (want <= 1 per phase)",
+				from, to, flushes, iters)
+		}
+		if flushes == 0 {
+			t.Errorf("link %d->%d: no flushes recorded", from, to)
+		}
+		if sys := stats.Syscalls(from, to); sys != flushes {
+			t.Errorf("link %d->%d: %d syscalls for %d flushes (frames per phase fit one writev)",
+				from, to, sys, flushes)
+		}
+		if frames := stats.WireFrames(from, to); frames < int64(iters) {
+			t.Errorf("link %d->%d: only %d frames for %d exchanges", from, to, frames, iters)
+		}
+	}
+}
+
+// TestSocketDelayDeterminacy: seeded per-send delay and jitter on top
+// of the socket transport perturbs timing only — every schedule must
+// land on the same boundary values (determinacy under fault injection,
+// now across a real wire).
+func TestSocketDelayDeterminacy(t *testing.T) {
+	want := ghostSnapshot(t, 3, 2, Sim, DefaultOptions())
+	for _, seed := range []int64{1, 42, 99} {
+		tr, err := channel.NewLoopbackMesh(3, "tcp", WireCodec(), channel.SocketOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := DefaultOptions()
+		opt.Transport = tr
+		opt.WrapEndpoint = fault.DelaySends[Msg](seed, 2*time.Millisecond)
+		got := ghostSnapshot(t, 3, 2, Par, opt)
+		tr.Close()
+		assertSameGhosts(t, fmt.Sprintf("seed %d", seed), want, got)
+	}
+}
+
+// TestRunWorkerDialMesh drives the multi-process code path without
+// processes: P goroutines, each with its own per-rank DialMesh
+// transport and its own RunWorker call, must reproduce the Sim
+// boundary planes bitwise.
+func TestRunWorkerDialMesh(t *testing.T) {
+	const (
+		p          = 3
+		iters      = 2
+		nx, ny, nz = 13, 5, 4
+	)
+	want := ghostSnapshot(t, p, iters, Sim, DefaultOptions())
+
+	dir := t.TempDir()
+	addrs := make([]string, p)
+	for i := range addrs {
+		addrs[i] = filepath.Join(dir, fmt.Sprintf("rank-%d.sock", i))
+	}
+	slabs := grid.SlabDecompose3(nx, ny, nz, p, grid.AxisX)
+	got := make([][]float64, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr, err := channel.DialMesh("unix", addrs, r, WireCodec(), channel.SocketOptions{})
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			defer tr.Close()
+			got[r], errs[r] = RunWorker(r, tr, DefaultOptions(), func(c *Comm) []float64 {
+				g := slabs[c.Rank()].NewLocal3(1)
+				g.FillFunc(func(i, j, k int) float64 {
+					return float64(1000*slabs[c.Rank()].ToGlobal(i) + 10*j + k)
+				})
+				for it := 0; it < iters; it++ {
+					c.ExchangeGhostPlanes(g, grid.AxisX)
+				}
+				var out []float64
+				out = append(out, g.PackPlane(grid.AxisX, -1, nil)...)
+				out = append(out, g.PackPlane(grid.AxisX, g.NX(), nil)...)
+				return out
+			})
+		}()
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	assertSameGhosts(t, "worker mesh", want, got)
+}

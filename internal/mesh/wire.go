@@ -1,0 +1,43 @@
+package mesh
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/channel"
+)
+
+// WireCodec serialises archetype messages for socket transports: the
+// payload is the raw little-endian float64 bit pattern of Msg.Data, so
+// the decoded values are bit-for-bit the sent ones — NaN payloads,
+// signed zeros and all — which is what keeps Theorem 1's bitwise
+// determinacy intact across the wire.
+//
+// Both directions stay on the message arena: encoding consumes the
+// message's pooled buffer (ownership passed to the transport at Send,
+// exactly as the in-process receiver would consume it) and decoding
+// packs into a fresh getBuf buffer that the receiving operation recycles
+// after unpacking.  Steady-state exchange therefore allocates nothing on
+// either side of the socket.
+func WireCodec() channel.Codec[Msg] {
+	return channel.Codec[Msg]{
+		Append: func(dst []byte, m Msg) []byte {
+			for _, v := range m.Data {
+				dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+			}
+			putBuf(m.Data)
+			return dst
+		},
+		Decode: func(src []byte) (Msg, error) {
+			if len(src)%8 != 0 {
+				return Msg{}, fmt.Errorf("mesh: wire payload of %d bytes is not a float64 vector", len(src))
+			}
+			data := getBuf(len(src) / 8)
+			for i := range data {
+				data[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+			}
+			return Msg{Data: data}, nil
+		},
+	}
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"errors"
+	"io/fs"
+
+	"repro/internal/channel"
+)
+
+// NetBenchEntries flattens a socket transport's wire counters into
+// BENCH-file entries under the given prefix (e.g. "net/socket-tcp/P=4"):
+// total frames, wire bytes, coalesced flushes, estimated write
+// syscalls, and the headline batching ratio frames-per-flush.
+func NetBenchEntries(prefix string, s *channel.NetStats) []BenchEntry {
+	frames := s.TotalWireFrames()
+	flushes := s.TotalFlushes()
+	entries := []BenchEntry{
+		{Name: prefix + "/wire_frames", Value: float64(frames), Unit: "count"},
+		{Name: prefix + "/wire_bytes", Value: float64(s.TotalWireBytes()), Unit: "B"},
+		{Name: prefix + "/wire_flushes", Value: float64(flushes), Unit: "count"},
+		{Name: prefix + "/wire_syscalls", Value: float64(s.TotalSyscalls()), Unit: "count"},
+	}
+	if flushes > 0 {
+		entries = append(entries, BenchEntry{
+			Name: prefix + "/frames_per_flush", Value: float64(frames) / float64(flushes), Unit: "x",
+		})
+	}
+	return entries
+}
+
+// MergeBenchFile merges entries into the bench file at path: existing
+// entries with the same name are replaced, everything else is kept, new
+// names are appended in order.  A missing file is treated as empty, so
+// incremental producers (-bench-append) can build one artifact across
+// several runs.
+func MergeBenchFile(path string, entries []BenchEntry) error {
+	existing, err := ReadBenchFile(path)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
+	merged := mergeBenchEntries(existing, entries)
+	return WriteBenchFile(path, merged)
+}
+
+// mergeBenchEntries implements MergeBenchFile's replacement rule on
+// in-memory slices (split out for tests).
+func mergeBenchEntries(existing, updates []BenchEntry) []BenchEntry {
+	index := make(map[string]int, len(existing))
+	merged := make([]BenchEntry, len(existing))
+	copy(merged, existing)
+	for i, e := range merged {
+		index[e.Name] = i
+	}
+	for _, e := range updates {
+		if i, ok := index[e.Name]; ok {
+			merged[i] = e
+			continue
+		}
+		index[e.Name] = len(merged)
+		merged = append(merged, e)
+	}
+	return merged
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/channel"
+)
+
+func TestMergeBenchEntries(t *testing.T) {
+	existing := []BenchEntry{
+		{Name: "a", Value: 1, Unit: "s"},
+		{Name: "b", Value: 2, Unit: "s"},
+	}
+	updates := []BenchEntry{
+		{Name: "b", Value: 20, Unit: "s"}, // replaces
+		{Name: "c", Value: 3, Unit: "x"},  // appends
+	}
+	got := mergeBenchEntries(existing, updates)
+	want := []BenchEntry{{"a", 1, "s"}, {"b", 20, "s"}, {"c", 3, "x"}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMergeBenchFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	// First merge creates the file.
+	if err := MergeBenchFile(path, []BenchEntry{{Name: "x/wall", Value: 1.5, Unit: "s"}}); err != nil {
+		t.Fatal(err)
+	}
+	// Second merge replaces and appends.
+	if err := MergeBenchFile(path, []BenchEntry{
+		{Name: "x/wall", Value: 1.0, Unit: "s"},
+		{Name: "y/wall", Value: 9.0, Unit: "s"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Value != 1.0 || got[1].Name != "y/wall" {
+		t.Fatalf("unexpected merge result: %+v", got)
+	}
+}
+
+func TestNetBenchEntries(t *testing.T) {
+	stats := channel.NewNetStats(2)
+	tr, err := channel.NewLoopbackMesh(2, "tcp", intPairCodec(), channel.SocketOptions{Stats: stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	for k := 0; k < 10; k++ {
+		tr.Chan(0, 1).Send(int64(k))
+	}
+	tr.Flush(0)
+	entries := NetBenchEntries("net/test/P=2", stats)
+	byName := map[string]float64{}
+	for _, e := range entries {
+		byName[e.Name] = e.Value
+	}
+	if byName["net/test/P=2/wire_frames"] != 10 {
+		t.Fatalf("wire_frames = %v, want 10", byName["net/test/P=2/wire_frames"])
+	}
+	if byName["net/test/P=2/wire_flushes"] != 1 {
+		t.Fatalf("wire_flushes = %v, want 1", byName["net/test/P=2/wire_flushes"])
+	}
+	if byName["net/test/P=2/frames_per_flush"] != 10 {
+		t.Fatalf("frames_per_flush = %v, want 10", byName["net/test/P=2/frames_per_flush"])
+	}
+}
+
+// TestPrometheusWireCounters: the exporter must surface the wire-level
+// counters for populated links and stay silent for idle networks.
+func TestPrometheusWireCounters(t *testing.T) {
+	stats := channel.NewNetStats(2)
+	var empty strings.Builder
+	if err := (Exporter{Net: stats}).WriteText(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(empty.String(), "archetype_wire_frames_total") {
+		t.Fatal("idle network emitted wire counters")
+	}
+	tr, err := channel.NewLoopbackMesh(2, "tcp", intPairCodec(), channel.SocketOptions{Stats: stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	tr.Chan(1, 0).Send(7)
+	tr.Flush(1)
+	var b strings.Builder
+	if err := (Exporter{Net: stats}).WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`archetype_wire_frames_total{from="1",to="0"} 1`,
+		`archetype_wire_flushes_total{from="1",to="0"} 1`,
+		`archetype_wire_syscalls_total{from="1",to="0"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func intPairCodec() channel.Codec[int64] {
+	return channel.Codec[int64]{
+		Append: func(dst []byte, v int64) []byte {
+			for i := 0; i < 8; i++ {
+				dst = append(dst, byte(v>>(8*i)))
+			}
+			return dst
+		},
+		Decode: func(src []byte) (int64, error) {
+			var v int64
+			for i := 0; i < 8; i++ {
+				v |= int64(src[i]) << (8 * i)
+			}
+			return v, nil
+		},
+	}
+}

@@ -74,9 +74,32 @@ func (e Exporter) WriteText(w io.Writer) error {
 				}
 			}
 		}
+		// Wire-level counters are populated only when a socket transport
+		// carries the channels; an all-zero network emits nothing.
+		writeLinkCounter(&b, "archetype_wire_frames_total", "Frames encoded onto each socket link.", s, s.WireFrames)
+		writeLinkCounter(&b, "archetype_wire_bytes_total", "Bytes (headers + payloads) queued for each socket link.", s, s.WireBytes)
+		writeLinkCounter(&b, "archetype_wire_flushes_total", "Coalesced vectored writes per socket link.", s, s.Flushes)
+		writeLinkCounter(&b, "archetype_wire_syscalls_total", "Estimated write syscalls per socket link.", s, s.Syscalls)
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+func writeLinkCounter(b *strings.Builder, name, help string, s *channel.NetStats, get func(from, to int) int64) {
+	wrote := false
+	for from := 0; from < s.P(); from++ {
+		for to := 0; to < s.P(); to++ {
+			v := get(from, to)
+			if v == 0 {
+				continue
+			}
+			if !wrote {
+				fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+				wrote = true
+			}
+			fmt.Fprintf(b, "%s{from=\"%d\",to=\"%d\"} %d\n", name, from, to, v)
+		}
+	}
 }
 
 func writeRankCounter(b *strings.Builder, name, help string, snap Snapshot, get func(RankSnapshot) int64) {

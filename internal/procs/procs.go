@@ -1,0 +1,115 @@
+// Package procs launches and supervises the worker processes of a
+// multi-process (-procs) run: one OS process per rank, a shared
+// rendezvous address list for channel.DialMesh, and fail-fast
+// supervision — the first worker failure (or a timeout) kills the
+// whole group, so a wedged rank cannot hang the launcher forever.
+package procs
+
+import (
+	"fmt"
+	"net"
+	"os/exec"
+	"path/filepath"
+	"time"
+)
+
+// Addrs returns the per-rank rendezvous addresses of a P-process mesh.
+// For "unix" the sockets live under dir (which must exist and outlive
+// the run); for "tcp" each rank gets a distinct loopback port,
+// reserved by binding and immediately releasing it, so a small race
+// with other port consumers exists — prefer "unix" on one host.
+func Addrs(network string, p int, dir string) ([]string, error) {
+	addrs := make([]string, p)
+	switch network {
+	case "unix":
+		for i := range addrs {
+			addrs[i] = filepath.Join(dir, fmt.Sprintf("rank-%d.sock", i))
+		}
+	case "tcp":
+		for i := range addrs {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return nil, fmt.Errorf("procs: reserve port for rank %d: %w", i, err)
+			}
+			addrs[i] = ln.Addr().String()
+			ln.Close()
+		}
+	default:
+		return nil, fmt.Errorf("procs: unsupported network %q (want tcp or unix)", network)
+	}
+	return addrs, nil
+}
+
+// exit is one worker's termination report.
+type exit struct {
+	id  int
+	err error
+}
+
+// Group supervises a set of started worker processes.
+type Group struct {
+	cmds  []*exec.Cmd
+	exits chan exit
+}
+
+// Start launches every command and returns the supervising group.  If
+// any command fails to start, the already-started ones are killed and
+// reaped.
+func Start(cmds []*exec.Cmd) (*Group, error) {
+	g := &Group{cmds: cmds, exits: make(chan exit, len(cmds))}
+	for i, cmd := range cmds {
+		if err := cmd.Start(); err != nil {
+			g.Kill()
+			for j := 0; j < i; j++ {
+				<-g.exits
+			}
+			return nil, fmt.Errorf("procs: start worker %d: %w", i, err)
+		}
+		go func(id int, cmd *exec.Cmd) { g.exits <- exit{id, cmd.Wait()} }(i, cmd)
+	}
+	return g, nil
+}
+
+// Kill forcibly terminates every still-running worker.
+func (g *Group) Kill() {
+	for _, cmd := range g.cmds {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+	}
+}
+
+// Wait blocks until every worker exits cleanly, a worker fails, or the
+// timeout elapses (timeout <= 0 waits forever).  On failure or timeout
+// the remaining workers are killed and reaped, and an error naming the
+// first cause is returned — the group's result is all-or-nothing,
+// matching the run's all-ranks-or-abort semantics.
+func (g *Group) Wait(timeout time.Duration) error {
+	var timer <-chan time.Time
+	if timeout > 0 {
+		tm := time.NewTimer(timeout)
+		defer tm.Stop()
+		timer = tm.C
+	}
+	reaped := 0
+	abort := func(cause error) error {
+		g.Kill()
+		for ; reaped < len(g.cmds); reaped++ {
+			<-g.exits
+		}
+		return cause
+	}
+	for ; reaped < len(g.cmds); reaped++ {
+		select {
+		case e := <-g.exits:
+			if e.err != nil {
+				reaped++
+				return abort(fmt.Errorf("procs: worker %d: %w", e.id, e.err))
+			}
+		case <-timer:
+			return abort(fmt.Errorf("procs: timed out after %v with %d of %d workers still running",
+				timeout, len(g.cmds)-reaped, len(g.cmds)))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package procs
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAddrsUnix(t *testing.T) {
+	addrs, err := Addrs("unix", 3, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 3 {
+		t.Fatalf("got %d addrs", len(addrs))
+	}
+	seen := map[string]bool{}
+	for _, a := range addrs {
+		if seen[a] {
+			t.Fatalf("duplicate address %s", a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestAddrsTCP(t *testing.T) {
+	addrs, err := Addrs("tcp", 4, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, a := range addrs {
+		if !strings.HasPrefix(a, "127.0.0.1:") {
+			t.Fatalf("address %s is not loopback", a)
+		}
+		if seen[a] {
+			t.Fatalf("duplicate address %s", a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestAddrsBadNetwork(t *testing.T) {
+	if _, err := Addrs("udp", 2, ""); err == nil {
+		t.Fatal("udp accepted")
+	}
+}
+
+func TestGroupAllSucceed(t *testing.T) {
+	g, err := Start([]*exec.Cmd{
+		exec.Command("sh", "-c", "exit 0"),
+		exec.Command("sh", "-c", "exit 0"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Wait(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupFailFast(t *testing.T) {
+	// One worker fails immediately; the sleeper must be killed rather
+	// than waited out.
+	start := time.Now()
+	g, err := Start([]*exec.Cmd{
+		exec.Command("sh", "-c", "exit 3"),
+		exec.Command("sleep", "60"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = g.Wait(30 * time.Second)
+	if err == nil {
+		t.Fatal("group with a failing worker reported success")
+	}
+	if !strings.Contains(err.Error(), "worker 0") {
+		t.Fatalf("error %q does not name the failing worker", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("fail-fast took %v (sleeper not killed?)", elapsed)
+	}
+}
+
+func TestGroupTimeout(t *testing.T) {
+	g, err := Start([]*exec.Cmd{exec.Command("sleep", "60")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = g.Wait(100 * time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("want timeout error, got %v", err)
+	}
+}

@@ -14,6 +14,7 @@ type nopOps[T any] struct{ zero T }
 func (n *nopOps[T]) send(from, to int, v T)   {}
 func (n *nopOps[T]) recv(from, to int) T      { return n.zero }
 func (n *nopOps[T]) step(id int, name string) {}
+func (n *nopOps[T]) flush(id int)             {}
 
 // TestInstrumentationAllocs is the zero-overhead guarantee: the
 // collector hook must add no allocations to Send/Recv/Step — neither

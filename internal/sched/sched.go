@@ -46,11 +46,14 @@ type Ctx[T any] struct {
 	bytes func(T) int
 }
 
-// ops abstracts the two execution backends.
+// ops abstracts the execution backends.
 type ops[T any] interface {
 	send(from, to int, v T)
 	recv(from, to int) T
 	step(id int, name string)
+	// flush pushes any transport-buffered outbound messages of rank id
+	// to the wire; a no-op on backends with synchronous delivery.
+	flush(id int)
 }
 
 // ID returns the process's rank, in [0, P).
@@ -100,6 +103,16 @@ func (c *Ctx[T]) Step(name string) {
 		c.col.CountStep(c.id)
 	}
 }
+
+// Flush pushes any transport-buffered outbound messages of this process
+// to the wire.  On in-process backends delivery is synchronous and this
+// is free; on socket transports it seals the coalesced frames queued
+// for each neighbour into one vectored write.  The runtime flushes
+// automatically before a process blocks in Recv and when it terminates,
+// so Flush is never needed for correctness — mesh operations call it at
+// the end of their send sections so each exchange phase reaches the
+// wire as a single write per neighbour.
+func (c *Ctx[T]) Flush() { c.ops.flush(c.id) }
 
 // ErrDeadlock is returned by RunControlled and RunConcurrent when no
 // process can make progress but not all have terminated — i.e. the
@@ -228,6 +241,9 @@ func (b *controlled[T]) step(id int, name string) {
 	<-b.ps[id].resume
 }
 
+// flush is a no-op: the controlled backend delivers synchronously.
+func (b *controlled[T]) flush(id int) {}
+
 // Options configures a controlled run.
 type Options[T any] struct {
 	// Trace, if non-nil, records every action of the interleaving.
@@ -262,6 +278,13 @@ type Options[T any] struct {
 	// order; the paper's model gives channels infinite slack, so pure
 	// delays keep the interleaving legal.
 	WrapEndpoint func(from, to int, e channel.Endpoint[T]) channel.Endpoint[T]
+	// Transport, if non-nil, supplies the message substrate for
+	// RunConcurrent in place of the default in-process channel network —
+	// e.g. a loopback socket mesh (channel.NewLoopbackMesh).  Its P()
+	// must match the number of processes.  The caller retains ownership:
+	// RunConcurrent does not close it.  Ignored by RunControlled, which
+	// by construction simulates the network sequentially.
+	Transport channel.Transport[T]
 }
 
 // RunControlled executes the processes under the given interleaving
@@ -427,7 +450,13 @@ type abortPanic struct{}
 // and can abort the whole network so RunConcurrent returns a diagnostic
 // error instead of hanging.
 type concurrent[T any] struct {
-	net *channel.Net[T]
+	net channel.Transport[T]
+	// external marks a caller-supplied transport (Options.Transport):
+	// delivery may be asynchronous and buffered, so receives must flush
+	// before blocking and the deadlock detector must respect in-flight
+	// messages.  The default in-process network keeps external false and
+	// pays nothing.
+	external bool
 
 	// mu guards waitOn, done, failed, abort and the condition variable.
 	// Blocked receives park on cond; every send broadcasts.
@@ -458,22 +487,40 @@ type concurrent[T any] struct {
 }
 
 func newConcurrent[T any](p int, opt Options[T]) *concurrent[T] {
-	net := channel.NewChanNet[T](p)
+	var net channel.Transport[T]
+	if opt.Transport != nil {
+		if opt.Transport.P() != p {
+			panic(fmt.Sprintf("sched: transport built for %d processes, run has %d", opt.Transport.P(), p))
+		}
+		net = opt.Transport
+	} else {
+		net = channel.NewChanNet[T](p)
+	}
 	if opt.WrapEndpoint != nil {
 		net.WrapEndpoints(opt.WrapEndpoint)
 	}
 	b := &concurrent[T]{
-		net:    net,
-		waitOn: make([]int, p),
-		done:   make([]bool, p),
-		tr:     trace.Safe(opt.Trace),
-		tag:    opt.Tag,
-		col:    opt.Collector,
+		net:      net,
+		external: opt.Transport != nil,
+		waitOn:   make([]int, p),
+		done:     make([]bool, p),
+		tr:       trace.Safe(opt.Trace),
+		tag:      opt.Tag,
+		col:      opt.Collector,
 	}
 	for i := range b.waitOn {
 		b.waitOn[i] = -1
 	}
 	b.cond = sync.NewCond(&b.mu)
+	if b.external {
+		// Asynchronous deliveries land outside any send path, so the
+		// transport must wake blocked receivers itself.
+		net.Notify(func() {
+			b.mu.Lock()
+			b.cond.Broadcast()
+			b.mu.Unlock()
+		})
+	}
 	return b
 }
 
@@ -483,7 +530,7 @@ func (b *concurrent[T]) send(from, to int, v T) {
 	}
 	// The send itself runs outside mu: injected delivery delays must
 	// slow only this channel, not the whole network.
-	b.net.Send(from, to, v)
+	b.net.Chan(from, to).Send(v)
 	b.progress.Add(1)
 	b.mu.Lock()
 	b.cond.Broadcast()
@@ -495,6 +542,12 @@ func (b *concurrent[T]) send(from, to int, v T) {
 
 func (b *concurrent[T]) recv(from, to int) T {
 	ep := b.net.Chan(from, to)
+	if b.external {
+		// We may block here, and the frames coalesced on our own links
+		// may be exactly what our peers need first: push them out.  The
+		// flush runs outside mu (it performs socket writes).
+		b.net.Flush(to)
+	}
 	b.mu.Lock()
 	for {
 		if b.abort != nil {
@@ -515,6 +568,12 @@ func (b *concurrent[T]) recv(from, to int) T {
 			// this is the one logical block of this receive.
 			b.waitOn[to] = from
 			b.col.CountBlock(to)
+		}
+		if b.external {
+			if err := b.net.Err(); err != nil {
+				b.abortLocked(fmt.Errorf("sched: transport failed: %w", err))
+				continue
+			}
 		}
 		// This process just became blocked on an empty channel: if every
 		// other unfinished process already is, the network can never
@@ -537,10 +596,24 @@ func (b *concurrent[T]) step(id int, name string) {
 	}
 }
 
+// flush seals rank id's coalesced outbound frames into the wire.  On
+// the default in-process network Flush is a no-op method call.
+func (b *concurrent[T]) flush(id int) {
+	if b.external {
+		b.net.Flush(id)
+	}
+}
+
 // markDone records a process's termination (normal or by panic) and
 // re-checks the deadlock condition: the remaining processes may now all
 // be blocked on channels nobody will ever fill.
 func (b *concurrent[T]) markDone(id int, err error) {
+	if b.external {
+		// Termination flush: a finished process never blocks in Recv
+		// again, so this is the last chance for its buffered frames to
+		// reach peers still waiting on them.
+		b.net.Flush(id)
+	}
 	b.mu.Lock()
 	b.done[id] = true
 	b.nDone++
@@ -558,6 +631,7 @@ func (b *concurrent[T]) markDone(id int, err error) {
 
 // abortLocked tears the run down: blocked receivers wake and unwind,
 // and every later communication action panics out of the process.
+// Callers must not pass nil.
 func (b *concurrent[T]) abortLocked(reason error) {
 	if b.abort != nil {
 		return
@@ -578,6 +652,14 @@ func (b *concurrent[T]) deadlockLocked() *DeadlockError {
 	// receiver blocks, so the common "somebody is still running" answer
 	// must not heap-allocate (the steady-state message path is measured
 	// at zero allocations per step).
+	if b.external && b.net.InFlight() > 0 {
+		// A message has been sent but not yet delivered to its inbox:
+		// some receiver is about to be re-enabled.  (Senders flush
+		// before blocking and on termination, so at this point every
+		// undelivered message is visible either in an endpoint queue or
+		// in this in-flight count — the detection stays exact.)
+		return nil
+	}
 	unfinished := 0
 	for i, from := range b.waitOn {
 		if b.done[i] {

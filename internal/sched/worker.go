@@ -1,0 +1,92 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// worker is the process backend of a multi-process run: this OS process
+// executes exactly one rank, and every channel reaches the other ranks
+// through a per-rank Transport (channel.DialMesh).  There is no global
+// supervisor — deadlock detection needs a view of every rank, which no
+// single process has — so hangs are bounded by the launcher's timeout,
+// and per-process failures (panics, transport errors) are returned as
+// ordinary errors for the launcher to collect.
+type worker[T any] struct {
+	net channel.Transport[T]
+	tr  *trace.SafeRecorder
+	tag func(T) string
+	col *obs.Collector
+}
+
+func (w *worker[T]) send(from, to int, v T) {
+	w.net.Chan(from, to).Send(v)
+	if w.tr != nil {
+		w.tr.Add(from, trace.Send, to, w.tag(v))
+	}
+}
+
+func (w *worker[T]) recv(from, to int) T {
+	ep := w.net.Chan(from, to)
+	if v, ok := ep.TryRecv(); ok {
+		if w.tr != nil {
+			w.tr.Add(to, trace.Recv, from, w.tag(v))
+		}
+		return v
+	}
+	w.col.CountBlock(to)
+	// About to block: push our coalesced outbound frames to the wire
+	// first, or a peer could be left waiting on bytes that never leave
+	// this process (the mutual-flush rule that keeps the mesh live).
+	w.net.Flush(to)
+	v := ep.Recv()
+	if w.tr != nil {
+		w.tr.Add(to, trace.Recv, from, w.tag(v))
+	}
+	return v
+}
+
+func (w *worker[T]) step(id int, name string) {
+	if w.tr != nil {
+		w.tr.Add(id, trace.Step, -1, name)
+	}
+}
+
+func (w *worker[T]) flush(id int) { w.net.Flush(id) }
+
+// RunWorker executes rank `rank` of a P-process network whose channels
+// are carried by tr — one call per OS process, with tr typically built
+// by channel.DialMesh.  By Theorem 1 the rank's result is bitwise
+// identical to the same rank's result under RunControlled or
+// RunConcurrent.
+//
+// A panic in the process body (including a TransportError from a failed
+// wire) is recovered and returned as an error.  The rank's links are
+// flushed when the process body returns, so its final frames reach
+// peers that are still running.  The caller retains ownership of tr and
+// should Close it after the result is consumed.
+func RunWorker[T, R any](rank int, tr channel.Transport[T], proc Proc[T, R], opt Options[T]) (res R, err error) {
+	p := tr.P()
+	if rank < 0 || rank >= p {
+		return res, fmt.Errorf("sched: worker rank %d out of range (P=%d)", rank, p)
+	}
+	if opt.Tag == nil {
+		opt.Tag = func(v T) string { return fmt.Sprint(v) }
+	}
+	if opt.WrapEndpoint != nil {
+		tr.WrapEndpoints(opt.WrapEndpoint)
+	}
+	back := &worker[T]{net: tr, tr: trace.Safe(opt.Trace), tag: opt.Tag, col: opt.Collector}
+	ctx := &Ctx[T]{id: rank, p: p, ops: back, col: opt.Collector, bytes: opt.MsgBytes}
+	defer func() {
+		if r := recover(); r != nil {
+			err = wrapPanic(rank, r)
+		}
+		tr.Flush(rank)
+	}()
+	res = proc(ctx)
+	return res, err
+}
