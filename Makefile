@@ -1,11 +1,11 @@
 GO ?= go
 
 # Packages whose concurrency the race detector must vet.
-RACE_PKGS = ./internal/channel ./internal/sched ./internal/mesh ./internal/trace ./internal/obs
+RACE_PKGS = ./internal/channel ./internal/sched ./internal/mesh ./internal/trace ./internal/obs ./internal/serve
 
-.PHONY: check build vet test race bench bench-smoke bench-compare net-smoke
+.PHONY: check build vet test race bench bench-smoke bench-compare net-smoke serve-smoke fuzz-smoke
 
-check: vet build test race bench-smoke net-smoke
+check: vet build test race bench-smoke net-smoke serve-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,20 @@ bench-smoke:
 # multi-process dumps must be byte-identical (TestNetSmoke).
 net-smoke:
 	$(GO) test -run 'TestNetSmoke' -count=1 ./cmd/fdtd
+
+# serve-smoke boots the real archserve binary and drives the job API
+# end to end — compute, cache hit, typed errors, SIGTERM drain
+# (TestServeSmoke) — plus the in-package service acceptance test under
+# the race detector.
+serve-smoke:
+	$(GO) test -run 'TestServeSmoke' -count=1 ./cmd/archserve
+	$(GO) test -race -run 'TestServiceEndToEnd' -count=1 ./internal/serve
+
+# fuzz-smoke runs each wire-protocol fuzz target briefly: long enough
+# to replay the seed corpus and explore a little, short enough for CI.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzFrameDecode' -fuzztime 5s ./internal/channel
+	$(GO) test -run '^$$' -fuzz 'FuzzHello' -fuzztime 5s ./internal/channel
 
 # bench-compare reruns the BENCH workload into a fresh artifact and
 # fails if any deterministic metric (counts, bytes, allocs) regresses

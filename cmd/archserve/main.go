@@ -1,0 +1,91 @@
+// Command archserve exposes the archetype runtime as a long-running
+// HTTP job service: POST a simulation spec (or a named preset) to
+// /v1/jobs and get its result, computed on a pool of warm workers with
+// admission control and fingerprint-keyed result caching (sound by
+// Theorem 1: any execution of the same spec is bitwise identical).
+//
+//	archserve -addr :8080 -p 2 -workers 2 -queue 16
+//
+// Endpoints: POST /v1/jobs, GET /v1/stats, GET /healthz, GET /metrics
+// (Prometheus text).  SIGINT/SIGTERM triggers a graceful drain bounded
+// by -drain-timeout; a second signal aborts immediately.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		p            = flag.Int("p", 2, "ranks per job (warm mesh size)")
+		workers      = flag.Int("workers", 2, "concurrent warm executors")
+		queue        = flag.Int("queue", 16, "admission queue depth")
+		network      = flag.String("network", "unix", "warm mesh socket family (unix or tcp)")
+		timeout      = flag.Duration("job-timeout", 30*time.Second, "default per-job deadline")
+		cacheN       = flag.Int("cache", 256, "result cache entries (negative disables)")
+		batchMax     = flag.Int("batch-max", 4, "max small jobs coalesced into one dispatch")
+		batchCells   = flag.Int("batch-cells", 32768, "largest grid (cells) considered small enough to batch")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		P:              *p,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		Network:        *network,
+		DefaultTimeout: *timeout,
+		CacheEntries:   *cacheN,
+		BatchMax:       *batchMax,
+		BatchCells:     *batchCells,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("archserve: listen %s: %v", *addr, err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	cfg := srv.Config()
+	log.Printf("archserve: serving on http://%s (p=%d workers=%d queue=%d cache=%d)",
+		ln.Addr(), cfg.P, cfg.Workers, cfg.QueueDepth, cfg.CacheEntries)
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("archserve: serve: %v", err)
+	case s := <-sig:
+		log.Printf("archserve: %v: draining (up to %v; signal again to abort)", s, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	go func() {
+		<-sig
+		log.Printf("archserve: second signal: aborting drain")
+		cancel()
+	}()
+
+	httpSrv.Shutdown(ctx)
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("archserve: drain incomplete: %v", err)
+		fmt.Fprintln(os.Stderr, "archserve: exited with cancelled jobs")
+		os.Exit(1)
+	}
+	log.Printf("archserve: drained cleanly")
+}

@@ -1,0 +1,56 @@
+// Package examples holds runnable demo programs; this test is the
+// tier-1 smoke check that every one of them still builds and runs to
+// completion.  Examples are documentation that executes — letting one
+// rot is worse than having none.
+package examples
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestExamplesBuildAndRun(t *testing.T) {
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			if _, err := os.Stat(filepath.Join(e.Name(), "main.go")); err == nil {
+				dirs = append(dirs, e.Name())
+			}
+		}
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no example programs found")
+	}
+	bin := t.TempDir()
+	for _, dir := range dirs {
+		dir := dir
+		t.Run(dir, func(t *testing.T) {
+			exe := filepath.Join(bin, dir)
+			build := exec.Command("go", "build", "-o", exe, "./"+dir)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("go build ./%s: %v\n%s", dir, err, out)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			run := exec.CommandContext(ctx, exe)
+			out, err := run.CombinedOutput()
+			if ctx.Err() != nil {
+				t.Fatalf("example %s timed out\n%s", dir, out)
+			}
+			if err != nil {
+				t.Fatalf("example %s exited: %v\n%s", dir, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("example %s produced no output", dir)
+			}
+		})
+	}
+}

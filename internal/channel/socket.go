@@ -250,6 +250,20 @@ func (t *SocketTransport[T]) Close() error {
 	return nil
 }
 
+// Abort poisons the transport with err: Err becomes non-nil, every
+// local inbox wakes its blocked receiver (which panics with a
+// *TransportError the runtime supervisor converts to an ordinary run
+// error), and the notify hook fires.  This is the cooperative kill
+// switch for runs that must terminate even from inside a blocking
+// receive — e.g. the job service's per-job timeout.  An aborted
+// transport is permanently failed; build a fresh mesh for the next run.
+func (t *SocketTransport[T]) Abort(err error) {
+	if err == nil {
+		err = errors.New("transport aborted")
+	}
+	t.fail(fmt.Errorf("transport: aborted: %w", err))
+}
+
 // fail poisons the transport: Err becomes non-nil, every local inbox
 // wakes its blocked receiver with the error, and the notify hook fires
 // so a blocked runtime re-examines its state.
@@ -509,17 +523,52 @@ func (e *sockEndpoint[T]) Len() int {
 	return e.in.Len()
 }
 
+// readFrame reads and validates one frame — the header's channel id
+// must equal want and the payload length must not exceed maxFrame —
+// returning the payload (reusing buf's capacity when possible).  A
+// clean end-of-stream at a frame boundary returns exactly io.EOF; any
+// other failure returns an error naming the defect (corrupt channel
+// id, oversized length field, truncated payload, short header).  It is
+// a pure parser over an io.Reader, so the fuzz targets drive it with
+// arbitrary byte streams.
+func readFrame(r io.Reader, want uint32, maxFrame int, buf []byte) ([]byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return buf, io.EOF
+		}
+		return buf, fmt.Errorf("read frame header: %w", err)
+	}
+	id := binary.LittleEndian.Uint32(hdr[0:4])
+	n := int(binary.LittleEndian.Uint32(hdr[4:8]))
+	if id != want {
+		return buf, fmt.Errorf("corrupt frame: channel id %d, want %d", id, want)
+	}
+	if n > maxFrame {
+		return buf, fmt.Errorf("corrupt frame: payload %d bytes exceeds MaxFrame %d", n, maxFrame)
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return buf, fmt.Errorf("truncated frame (want %d payload bytes): %w", n, err)
+	}
+	return buf, nil
+}
+
 // readLoop drains one connection end: the directed channel from -> to,
 // where `to` is local.  Every frame is validated (channel id, length)
 // and decoded into the inbox.
 func (t *SocketTransport[T]) readLoop(conn net.Conn, from, to int, in *inbox[T]) {
 	defer t.wg.Done()
 	br := bufio.NewReaderSize(conn, sockChunkSize)
-	var hdr [frameHeaderLen]byte
 	var payload []byte
 	want := uint32(from*t.p + to)
 	for {
-		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		var err error
+		payload, err = readFrame(br, want, t.opt.maxFrame(), payload)
+		if err != nil {
 			if t.closed.Load() {
 				return
 			}
@@ -531,29 +580,7 @@ func (t *SocketTransport[T]) readLoop(conn net.Conn, from, to int, in *inbox[T])
 				t.notifyFn()
 				return
 			}
-			t.fail(fmt.Errorf("transport: read %d->%d: %w", from, to, err))
-			return
-		}
-		id := binary.LittleEndian.Uint32(hdr[0:4])
-		n := int(binary.LittleEndian.Uint32(hdr[4:8]))
-		if id != want {
-			t.fail(fmt.Errorf("transport: corrupt frame on %d->%d: channel id %d, want %d", from, to, id, want))
-			return
-		}
-		if n > t.opt.maxFrame() {
-			t.fail(fmt.Errorf("transport: corrupt frame on %d->%d: payload %d bytes exceeds MaxFrame %d",
-				from, to, n, t.opt.maxFrame()))
-			return
-		}
-		if cap(payload) < n {
-			payload = make([]byte, n)
-		}
-		payload = payload[:n]
-		if _, err := io.ReadFull(br, payload); err != nil {
-			if t.closed.Load() {
-				return
-			}
-			t.fail(fmt.Errorf("transport: truncated frame on %d->%d (want %d payload bytes): %w", from, to, n, err))
+			t.fail(fmt.Errorf("transport: %w on %d->%d", err, from, to))
 			return
 		}
 		v, err := t.codec.Decode(payload)
@@ -664,7 +691,7 @@ func NewLoopbackMesh[T any](p int, network string, codec Codec[T], opt SocketOpt
 	return t, nil
 }
 
-func writeHello(conn net.Conn, p, rank int) error {
+func writeHello(conn io.Writer, p, rank int) error {
 	var b [20]byte
 	copy(b[:8], muxMagic[:])
 	binary.LittleEndian.PutUint32(b[8:], muxVersion)
@@ -674,9 +701,13 @@ func writeHello(conn net.Conn, p, rank int) error {
 	return err
 }
 
-func readHello(conn net.Conn, wantP int) (rank int, err error) {
+// readHello parses the 20-byte multi-process handshake (magic,
+// version, P, rank) from r, validating every field against wantP.  A
+// pure parser — DialMesh calls it on fresh connections and the fuzz
+// targets on arbitrary byte streams.
+func readHello(r io.Reader, wantP int) (rank int, err error) {
 	var b [20]byte
-	if _, err := io.ReadFull(conn, b[:]); err != nil {
+	if _, err := io.ReadFull(r, b[:]); err != nil {
 		return 0, fmt.Errorf("reading hello: %w", err)
 	}
 	if [8]byte(b[:8]) != muxMagic {
@@ -688,11 +719,11 @@ func readHello(conn net.Conn, wantP int) (rank int, err error) {
 	if p := int(binary.LittleEndian.Uint32(b[12:])); p != wantP {
 		return 0, fmt.Errorf("peer built for P=%d, want P=%d", p, wantP)
 	}
-	r := int(binary.LittleEndian.Uint32(b[16:]))
-	if r < 0 || r >= wantP {
-		return 0, fmt.Errorf("peer rank %d out of range (P=%d)", r, wantP)
+	got := int(binary.LittleEndian.Uint32(b[16:]))
+	if got < 0 || got >= wantP {
+		return 0, fmt.Errorf("peer rank %d out of range (P=%d)", got, wantP)
 	}
-	return r, nil
+	return got, nil
 }
 
 func dialRetry(network, addr string, deadline time.Time) (net.Conn, error) {

@@ -86,6 +86,81 @@ func (in *Injector) Fired() bool {
 	return in.fired.Load()
 }
 
+// Cancelled is the panic value of a cooperative job cancellation: the
+// rank observed an armed Canceller at a step boundary and aborted.  It
+// is an error wrapping the cancellation reason, so errors.Is(err,
+// reason) sees through any number of runtime layers.
+type Cancelled struct {
+	Rank, Step int
+	Reason     error
+}
+
+// Error implements error.
+func (c *Cancelled) Error() string {
+	return fmt.Sprintf("fault: rank %d cancelled at step %d: %v", c.Rank, c.Step, c.Reason)
+}
+
+// Unwrap exposes the cancellation reason.
+func (c *Cancelled) Unwrap() error { return c.Reason }
+
+// AsCancelled reports whether err wraps a *Cancelled and returns it.
+func AsCancelled(err error) (*Cancelled, bool) {
+	var c *Cancelled
+	if errors.As(err, &c) {
+		return c, true
+	}
+	return nil, false
+}
+
+// Canceller is a cooperative cancellation token for running archetype
+// programs: the owner arms it with Cancel(reason), and every rank's
+// step loop polls it via Check, which panics with *Cancelled — the
+// same step-boundary seam Injector uses, so cancellation surfaces
+// through the runtime supervisors as an ordinary error.  A nil
+// *Canceller is inert, so call sites need no guards.
+//
+// Checks happen only at step boundaries, so a rank already blocked in
+// a receive does not observe the token; pair the Canceller with a
+// transport-level abort (e.g. channel.SocketTransport.Abort) when the
+// run must terminate even from inside a blocking operation.
+type Canceller struct {
+	reason atomic.Pointer[error]
+}
+
+// NewCanceller returns an unarmed cancellation token.
+func NewCanceller() *Canceller { return &Canceller{} }
+
+// Cancel arms the token with a reason.  The first reason wins; later
+// calls are no-ops, so racing cancel paths (timeout vs drain) are safe.
+func (c *Canceller) Cancel(reason error) {
+	if reason == nil {
+		reason = errors.New("cancelled")
+	}
+	c.reason.CompareAndSwap(nil, &reason)
+}
+
+// Err returns the cancellation reason, or nil while unarmed.
+func (c *Canceller) Err() error {
+	if c == nil {
+		return nil
+	}
+	if p := c.reason.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Check panics with *Cancelled if the token is armed.  Application
+// step loops call it once per rank per step, next to Injector.Check.
+func (c *Canceller) Check(rank, step int) {
+	if c == nil {
+		return
+	}
+	if p := c.reason.Load(); p != nil {
+		panic(&Cancelled{Rank: rank, Step: step, Reason: *p})
+	}
+}
+
 // Jitter is a sched.Policy wrapper that, with probability Prob per
 // scheduling point, overrides the inner policy with a seeded random
 // pick among the enabled processes.  Every pick stays inside the

@@ -242,3 +242,52 @@ func TestTruncate(t *testing.T) {
 		t.Fatal("over-truncation accepted")
 	}
 }
+
+func TestCancellerNilAndUnarmed(t *testing.T) {
+	var c *Canceller
+	c.Check(0, 0) // nil receiver must be inert
+	if c.Err() != nil {
+		t.Fatal("nil canceller reports a reason")
+	}
+	c = NewCanceller()
+	c.Check(1, 2) // unarmed must not panic
+	if c.Err() != nil {
+		t.Fatalf("unarmed canceller reports %v", c.Err())
+	}
+}
+
+func TestCancellerFirstReasonWins(t *testing.T) {
+	c := NewCanceller()
+	first := errors.New("deadline exceeded")
+	c.Cancel(first)
+	c.Cancel(errors.New("drain"))
+	if !errors.Is(c.Err(), first) {
+		t.Fatalf("reason %v, want the first cancel", c.Err())
+	}
+}
+
+func TestCancellerCheckPanicsTyped(t *testing.T) {
+	c := NewCanceller()
+	reason := errors.New("job timeout")
+	c.Cancel(reason)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("armed Check did not panic")
+		}
+		cc, ok := r.(*Cancelled)
+		if !ok {
+			t.Fatalf("panic value %T, want *Cancelled", r)
+		}
+		if cc.Rank != 2 || cc.Step != 7 {
+			t.Fatalf("cancelled at rank=%d step=%d, want 2/7", cc.Rank, cc.Step)
+		}
+		if !errors.Is(cc, reason) {
+			t.Fatal("Cancelled does not unwrap to the reason")
+		}
+		if got, ok := AsCancelled(fmt.Errorf("wrapped: %w", cc)); !ok || got != cc {
+			t.Fatal("AsCancelled failed through a wrapping layer")
+		}
+	}()
+	c.Check(2, 7)
+}

@@ -31,6 +31,12 @@ type Options struct {
 	// *fault.Crash, which the runtime supervisor converts into an error.
 	// Nil injects nothing.
 	Inject *fault.Injector
+	// Cancel, when non-nil, is a cooperative cancellation token checked
+	// by each rank at the top of each time step (fault.Canceller.Check):
+	// once armed, every rank panics with a *fault.Cancelled at its next
+	// step boundary, which the runtime supervisor converts into an
+	// error.  The job service uses it for per-job timeouts and drain.
+	Cancel *fault.Canceller
 }
 
 // DefaultOptions returns the archetype defaults used by the paper's
@@ -138,6 +144,7 @@ func spmd(c *mesh.Comm, spec Spec, slabs []grid.Slab, opt Options) *Result {
 
 	for n := 0; n < spec.Steps; n++ {
 		opt.Inject.Check(rank, n)
+		opt.Cancel.Check(rank, n)
 		st.step(n)
 	}
 	probeLocal := st.probe

@@ -103,6 +103,7 @@ func spmd2D(c *mesh.Comm, spec Spec, topo *mesh.Topo2D, opt Options) *Result {
 
 	for n := 0; n < spec.Steps; n++ {
 		opt.Inject.Check(rank, n)
+		opt.Cancel.Check(rank, n)
 		st.step(n)
 	}
 	probeLocal := st.probe

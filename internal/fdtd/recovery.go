@@ -276,6 +276,7 @@ func spmdSegment(c *mesh.Comm, spec Spec, slabs []grid.Slab, opt Options, start 
 
 	for n := start.StepsDone; n < until; n++ {
 		opt.Inject.Check(rank, n)
+		opt.Cancel.Check(rank, n)
 		st.step(n)
 	}
 	probeLocal := st.probe

@@ -28,6 +28,16 @@ func decompose(spec Spec, p int) ([]grid.Slab, error) {
 	return slabs, nil
 }
 
+// ValidateForP reports the first problem with running spec distributed
+// over p processes: an invalid spec, too many processes for the grid,
+// or a boundary treatment the edge slabs cannot support.  It is the
+// admission-time check of the job service — the exact predicate the
+// workers apply, so an admitted job cannot fail decomposition later.
+func ValidateForP(spec Spec, p int) error {
+	_, err := decompose(spec, p)
+	return err
+}
+
 // RunArchetypeWorker executes one rank of the archetype application in
 // this process, with the other ranks reached through tr (typically
 // channel.DialMesh in a -procs worker).  The returned Result carries

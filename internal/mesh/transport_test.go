@@ -1,6 +1,8 @@
 package mesh
 
 import (
+	"errors"
+	"strings"
 	"fmt"
 	"path/filepath"
 	"sync"
@@ -204,4 +206,94 @@ func TestRunWorkerDialMesh(t *testing.T) {
 		}
 	}
 	assertSameGhosts(t, "worker mesh", want, got)
+}
+
+// TestRunWorkerAbortedTransport: a worker blocked in a receive on an
+// aborted transport must return a typed error (*channel.TransportError
+// carrying the abort reason), not hang — the error path the job
+// service's per-job timeout rides.
+func TestRunWorkerAbortedTransport(t *testing.T) {
+	tr, err := channel.NewLoopbackMesh(2, "unix", WireCodec(), channel.SocketOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	reason := errors.New("per-job deadline exceeded")
+	done := make(chan error, 1)
+	go func() {
+		// Rank 0 blocks forever: rank 1 never runs, so the receive can
+		// only be satisfied by the abort.
+		_, err := RunWorker(0, tr, DefaultOptions(), func(c *Comm) float64 {
+			return c.recv(1)[0]
+		})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the worker reach the blocking receive
+	tr.Abort(reason)
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("worker on an aborted transport returned nil error")
+		}
+		var te *channel.TransportError
+		if !errors.As(err, &te) {
+			t.Fatalf("error %v (%T) does not wrap *channel.TransportError", err, err)
+		}
+		if !errors.Is(err, reason) {
+			t.Fatalf("error %v does not carry the abort reason", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker hung on an aborted transport")
+	}
+}
+
+// TestRunWorkerPeerClosed: when a peer closes its transport without
+// sending, a worker blocked on that channel must fail with a typed
+// transport error naming the closed peer, not hang.
+func TestRunWorkerPeerClosed(t *testing.T) {
+	dir := t.TempDir()
+	addrs := []string{filepath.Join(dir, "r0.sock"), filepath.Join(dir, "r1.sock")}
+
+	done := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		tr, err := channel.DialMesh("unix", addrs, 0, WireCodec(), channel.SocketOptions{})
+		if err != nil {
+			done <- err
+			return
+		}
+		defer tr.Close()
+		_, err = RunWorker(0, tr, DefaultOptions(), func(c *Comm) float64 {
+			return c.recv(1)[0] // rank 1 exits without ever sending
+		})
+		done <- err
+	}()
+	go func() {
+		defer wg.Done()
+		tr, err := channel.DialMesh("unix", addrs, 1, WireCodec(), channel.SocketOptions{})
+		if err != nil {
+			return
+		}
+		time.Sleep(20 * time.Millisecond) // let rank 0 block first
+		tr.Close()
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("worker whose peer vanished returned nil error")
+		}
+		var te *channel.TransportError
+		if !errors.As(err, &te) {
+			t.Fatalf("error %v (%T) does not wrap *channel.TransportError", err, err)
+		}
+		if !strings.Contains(err.Error(), "peer closed") {
+			t.Fatalf("error %q does not identify the closed peer", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker hung after its peer closed")
+	}
+	wg.Wait()
 }

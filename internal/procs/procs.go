@@ -46,6 +46,38 @@ type exit struct {
 	err error
 }
 
+// WorkerError is the typed failure of one worker process: its index in
+// the group and the underlying cause (typically an *exec.ExitError for
+// a nonzero exit).  errors.As recovers it through any wrapping, so
+// launchers can tell "a rank died" from "the group timed out".
+type WorkerError struct {
+	ID  int
+	Err error
+}
+
+// Error implements error.
+func (e *WorkerError) Error() string {
+	return fmt.Sprintf("procs: worker %d: %v", e.ID, e.Err)
+}
+
+// Unwrap exposes the underlying process failure.
+func (e *WorkerError) Unwrap() error { return e.Err }
+
+// TimeoutError is the typed failure of a group that did not finish
+// within the launcher's deadline: the timeout and how many workers
+// were still running when the group was killed.
+type TimeoutError struct {
+	Timeout time.Duration
+	Running int
+	Total   int
+}
+
+// Error implements error.
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("procs: timed out after %v with %d of %d workers still running",
+		e.Timeout, e.Running, e.Total)
+}
+
 // Group supervises a set of started worker processes.
 type Group struct {
 	cmds  []*exec.Cmd
@@ -104,11 +136,10 @@ func (g *Group) Wait(timeout time.Duration) error {
 		case e := <-g.exits:
 			if e.err != nil {
 				reaped++
-				return abort(fmt.Errorf("procs: worker %d: %w", e.id, e.err))
+				return abort(&WorkerError{ID: e.id, Err: e.err})
 			}
 		case <-timer:
-			return abort(fmt.Errorf("procs: timed out after %v with %d of %d workers still running",
-				timeout, len(g.cmds)-reaped, len(g.cmds)))
+			return abort(&TimeoutError{Timeout: timeout, Running: len(g.cmds) - reaped, Total: len(g.cmds)})
 		}
 	}
 	return nil

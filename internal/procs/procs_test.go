@@ -1,6 +1,7 @@
 package procs
 
 import (
+	"errors"
 	"os/exec"
 	"strings"
 	"testing"
@@ -91,5 +92,46 @@ func TestGroupTimeout(t *testing.T) {
 	err = g.Wait(100 * time.Millisecond)
 	if err == nil || !strings.Contains(err.Error(), "timed out") {
 		t.Fatalf("want timeout error, got %v", err)
+	}
+}
+
+func TestGroupNonzeroExitMidRunIsTyped(t *testing.T) {
+	// Worker 1 runs briefly and then exits nonzero mid-run; the failure
+	// must surface as a typed *WorkerError naming the worker (not a
+	// hang, not an anonymous string), with the exec.ExitError cause
+	// reachable through Unwrap.
+	g, err := Start([]*exec.Cmd{
+		exec.Command("sleep", "60"),
+		exec.Command("sh", "-c", "sleep 0.05; exit 7"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = g.Wait(30 * time.Second)
+	var we *WorkerError
+	if !errors.As(err, &we) {
+		t.Fatalf("error %v (%T) is not a *WorkerError", err, err)
+	}
+	if we.ID != 1 {
+		t.Fatalf("failure attributed to worker %d, want 1", we.ID)
+	}
+	var ee *exec.ExitError
+	if !errors.As(we, &ee) || ee.ExitCode() != 7 {
+		t.Fatalf("cause %v does not unwrap to exit code 7", we.Err)
+	}
+}
+
+func TestGroupTimeoutIsTyped(t *testing.T) {
+	g, err := Start([]*exec.Cmd{exec.Command("sleep", "60")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = g.Wait(100 * time.Millisecond)
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("error %v (%T) is not a *TimeoutError", err, err)
+	}
+	if te.Running != 1 || te.Total != 1 {
+		t.Fatalf("timeout reports %d/%d running, want 1/1", te.Running, te.Total)
 	}
 }

@@ -107,11 +107,56 @@ func (a *Alternating) Pick(enabled []int, step int) int {
 	return enabled[0]
 }
 
+// LIFO always picks the process that became enabled most recently — a
+// stack discipline, and the adversarial mirror image of RoundRobin's
+// fairness: a process that has been runnable the longest is starved
+// until nothing newer remains.  The interleaving is still maximal
+// (some enabled process always runs), so by Theorem 1 the final state
+// must match every other policy's; what LIFO stresses is the queue
+// growth and wake-up order of freshly unblocked processes, which the
+// fair policies never exercise.  Newly enabled ties are broken towards
+// the highest rank.
+type LIFO struct {
+	seen map[int]int // rank -> step at which it (re-)entered the enabled set
+	prev map[int]bool // enabled set at the previous scheduling point
+}
+
+// NewLIFO returns a most-recently-enabled policy.
+func NewLIFO() *LIFO {
+	return &LIFO{seen: map[int]int{}, prev: map[int]bool{}}
+}
+
+// Name implements Policy.
+func (l *LIFO) Name() string { return "lifo" }
+
+// Pick implements Policy.
+func (l *LIFO) Pick(enabled []int, step int) int {
+	for _, e := range enabled {
+		if !l.prev[e] {
+			l.seen[e] = step // newly enabled since the last pick
+		}
+	}
+	for r := range l.prev {
+		delete(l.prev, r)
+	}
+	best := enabled[0]
+	for _, e := range enabled {
+		l.prev[e] = true
+		// >= breaks same-step ties towards the highest rank, so the
+		// very first pick is already the Highest-adversarial corner.
+		if l.seen[e] >= l.seen[best] {
+			best = e
+		}
+	}
+	return best
+}
+
 // DefaultPolicies returns a representative family of interleaving
-// policies used by the determinacy checker: deterministic extremes,
-// fair rotation, alternation, and several random seeds.
+// policies used by the determinacy checker: deterministic extremes
+// (lowest, highest, most-recently-enabled), fair rotation,
+// alternation, and several random seeds.
 func DefaultPolicies(randomSeeds int) []Policy {
-	ps := []Policy{Lowest{}, Highest{}, NewRoundRobin(), NewAlternating()}
+	ps := []Policy{Lowest{}, Highest{}, NewLIFO(), NewRoundRobin(), NewAlternating()}
 	for s := 0; s < randomSeeds; s++ {
 		ps = append(ps, NewRandom(int64(s)+1))
 	}

@@ -394,3 +394,48 @@ func TestSchedulerTracesAreCausallyConsistent(t *testing.T) {
 		t.Fatalf("concurrent trace causally inconsistent: %s", msg)
 	}
 }
+
+func TestLIFOPicksMostRecentlyEnabled(t *testing.T) {
+	l := NewLIFO()
+	// First sight of {0,1,2}: all tie at step 0, highest rank wins.
+	if got := l.Pick([]int{0, 1, 2}, 0); got != 2 {
+		t.Fatalf("initial pick %d, want the highest rank 2", got)
+	}
+	// Still {0,1,2}: no newcomer, 2 remains the freshest.
+	if got := l.Pick([]int{0, 1, 2}, 1); got != 2 {
+		t.Fatalf("pick %d, want 2 to keep running", got)
+	}
+	// 2 blocks; 0 and 1 are stale from step 0, tie to the highest.
+	if got := l.Pick([]int{0, 1}, 2); got != 1 {
+		t.Fatalf("pick %d, want 1", got)
+	}
+	// 2 wakes up: freshest again, must preempt the stale ranks.
+	if got := l.Pick([]int{0, 1, 2}, 3); got != 2 {
+		t.Fatalf("pick %d, want the freshly woken 2", got)
+	}
+	// 2 and 1 block, 0 is the only choice left.
+	if got := l.Pick([]int{0}, 4); got != 0 {
+		t.Fatalf("pick %d, want the only enabled process", got)
+	}
+	// 1 wakes (fresh at step 5), 0 re-entered the set at step... never
+	// left, so 1 is strictly fresher.
+	if got := l.Pick([]int{0, 1}, 5); got != 1 {
+		t.Fatalf("pick %d, want the freshly woken 1", got)
+	}
+}
+
+func TestLIFODeterminacyOnRing(t *testing.T) {
+	// The final states of the ring network must match Lowest exactly
+	// (Theorem 1), even under the adversarial stack order.
+	ref, err := RunControlled(pingPong(4), Lowest{}, Options[int]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunControlled(pingPong(4), NewLIFO(), Options[int]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, got) {
+		t.Fatalf("LIFO results %v diverge from Lowest %v", got, ref)
+	}
+}

@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// OverloadedError is the typed backpressure rejection: the admission
+// queue is full, so the job was refused instead of piling another
+// goroutine onto the pool.  RetryAfter is the server's estimate of
+// when capacity will free up (it becomes the HTTP Retry-After header).
+type OverloadedError struct {
+	QueueDepth, QueueCap int
+	RetryAfter           time.Duration
+}
+
+// Error implements error.
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("serve: overloaded: admission queue full (%d/%d), retry after %v",
+		e.QueueDepth, e.QueueCap, e.RetryAfter)
+}
+
+// AsOverloaded reports whether err wraps an *OverloadedError.
+func AsOverloaded(err error) (*OverloadedError, bool) {
+	var o *OverloadedError
+	if errors.As(err, &o) {
+		return o, true
+	}
+	return nil, false
+}
+
+// ErrDraining rejects new jobs while the server is shutting down.
+// In-flight jobs keep running until the drain deadline.
+var ErrDraining = errors.New("serve: draining: server is shutting down")
+
+// JobTimeoutError is the typed per-job deadline failure: the job's
+// cancellation token was armed and the worker mesh aborted, so every
+// rank terminated instead of hanging.
+type JobTimeoutError struct {
+	Timeout time.Duration
+}
+
+// Error implements error.
+func (e *JobTimeoutError) Error() string {
+	return fmt.Sprintf("serve: job exceeded its %v deadline and was cancelled", e.Timeout)
+}
+
+// AsJobTimeout reports whether err wraps a *JobTimeoutError.
+func AsJobTimeout(err error) (*JobTimeoutError, bool) {
+	var t *JobTimeoutError
+	if errors.As(err, &t) {
+		return t, true
+	}
+	return nil, false
+}
+
+// InvalidJobError is an admission-time rejection: the spec failed
+// validation, so the job never consumed a queue slot.
+type InvalidJobError struct {
+	Reason error
+}
+
+// Error implements error.
+func (e *InvalidJobError) Error() string { return "serve: invalid job: " + e.Reason.Error() }
+
+// Unwrap exposes the validation failure.
+func (e *InvalidJobError) Unwrap() error { return e.Reason }

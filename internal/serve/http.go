@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/fdtd"
+)
+
+// JobRequest is the POST /v1/jobs body.  Exactly one of Preset or Spec
+// must be set; Preset names one of the repository's experiment specs.
+type JobRequest struct {
+	// Preset selects a built-in spec: "small", "small-a", "table1" or
+	// "figure2".
+	Preset string `json:"preset,omitempty"`
+	// Spec is a full run specification (see fdtd.Spec).
+	Spec *fdtd.Spec `json:"spec,omitempty"`
+	// TimeoutMS overrides the server's default per-job timeout; -1
+	// disables the deadline.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// NoCache forces a fresh computation, bypassing cache and
+	// coalescing.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// JobResponse is the POST /v1/jobs success body.
+type JobResponse struct {
+	Origin string     `json:"origin"` // computed | cache | coalesced
+	Result *JobResult `json:"result"`
+}
+
+// errorResponse is the JSON error body every failure returns.
+type errorResponse struct {
+	Kind  string `json:"kind"`
+	Error string `json:"error"`
+}
+
+// presetSpec resolves a named preset.
+func presetSpec(name string) (fdtd.Spec, error) {
+	switch name {
+	case "small":
+		return fdtd.SpecSmall(), nil
+	case "small-a":
+		return fdtd.SpecSmallA(), nil
+	case "table1":
+		return fdtd.SpecTable1(), nil
+	case "figure2":
+		return fdtd.SpecFigure2(), nil
+	}
+	return fdtd.Spec{}, fmt.Errorf("unknown preset %q (want small, small-a, table1 or figure2)", name)
+}
+
+// Handler returns the service's HTTP mux:
+//
+//	POST /v1/jobs   submit a job, wait for its result
+//	GET  /v1/stats  service counters as JSON
+//	GET  /healthz   liveness ("ok", or 503 while draining)
+//	GET  /metrics   Prometheus text exposition
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "method", fmt.Errorf("use POST"))
+		return
+	}
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid", fmt.Errorf("decode request: %w", err))
+		return
+	}
+	var spec fdtd.Spec
+	switch {
+	case req.Preset != "" && req.Spec != nil:
+		writeError(w, http.StatusBadRequest, "invalid", fmt.Errorf("set preset or spec, not both"))
+		return
+	case req.Preset != "":
+		var err error
+		if spec, err = presetSpec(req.Preset); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid", err)
+			return
+		}
+	case req.Spec != nil:
+		spec = *req.Spec
+	default:
+		writeError(w, http.StatusBadRequest, "invalid", fmt.Errorf("request needs a preset or a spec"))
+		return
+	}
+	opts := SubmitOptions{NoCache: req.NoCache}
+	if req.TimeoutMS != 0 {
+		opts.Timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+
+	res, origin, err := s.Submit(spec, opts)
+	if err != nil {
+		s.writeSubmitError(w, err)
+		return
+	}
+	w.Header().Set("X-Archserve-Origin", origin.String())
+	writeJSON(w, http.StatusOK, JobResponse{Origin: origin.String(), Result: res})
+}
+
+// writeSubmitError maps the service's typed errors onto HTTP statuses:
+// backpressure is 429 with Retry-After, drain is 503, a job deadline
+// is 504, a bad spec is 400, anything else 500.
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+	if o, ok := AsOverloaded(err); ok {
+		secs := int(o.RetryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprint(secs))
+		writeError(w, http.StatusTooManyRequests, "overloaded", err)
+		return
+	}
+	if errors.Is(err, ErrDraining) {
+		writeError(w, http.StatusServiceUnavailable, "draining", err)
+		return
+	}
+	if _, ok := AsJobTimeout(err); ok {
+		writeError(w, http.StatusGatewayTimeout, "timeout", err)
+		return
+	}
+	var inv *InvalidJobError
+	if errors.As(err, &inv) {
+		writeError(w, http.StatusBadRequest, "invalid", err)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, "internal", err)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, "draining", ErrDraining)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.m.writeText(w, len(s.pool.queue), cap(s.pool.queue), s.cfg.Workers, s.cache.len())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, kind string, err error) {
+	writeJSON(w, status, errorResponse{Kind: kind, Error: err.Error()})
+}

@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func postJob(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf strings.Builder
+	dec := json.NewDecoder(resp.Body)
+	dec.UseNumber()
+	var raw json.RawMessage
+	if err := dec.Decode(&raw); err == nil {
+		buf.Write(raw)
+	}
+	return resp, []byte(buf.String())
+}
+
+func TestHTTPJobLifecycle(t *testing.T) {
+	s := newTestServer(t, Config{P: 2, Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Compute, then hit the cache; the response bytes must round-trip
+	// the identical result.
+	resp, body := postJob(t, ts, `{"preset":"small-a"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first POST status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Archserve-Origin"); got != "computed" {
+		t.Fatalf("origin header %q, want computed", got)
+	}
+	var first JobResponse
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+
+	resp, body = postJob(t, ts, `{"preset":"small-a"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached POST status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Archserve-Origin"); got != "cache" {
+		t.Fatalf("origin header %q, want cache", got)
+	}
+	var second JobResponse
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatalf("decode cached response: %v", err)
+	}
+	// JSON round-trip preserves float64 bits (shortest representation),
+	// so the decoded results must still compare bitwise equal.
+	if !second.Result.BitwiseEqual(first.Result) {
+		t.Fatalf("cached HTTP result is not bitwise identical")
+	}
+
+	// Error mapping.
+	for _, tc := range []struct {
+		body string
+		want int
+	}{
+		{`{"preset":"nope"}`, http.StatusBadRequest},
+		{`{}`, http.StatusBadRequest},
+		{`{"preset":"small-a","spec":{"NX":8}}`, http.StatusBadRequest},
+		{`{"spec":{"NX":8,"NY":8,"NZ":8,"Steps":0,"DT":0.5}}`, http.StatusBadRequest},
+		{`not json`, http.StatusBadRequest},
+	} {
+		resp, _ := postJob(t, ts, tc.body)
+		if resp.StatusCode != tc.want {
+			t.Fatalf("POST %s -> %d, want %d", tc.body, resp.StatusCode, tc.want)
+		}
+	}
+	if resp, err := http.Get(ts.URL + "/v1/jobs"); err != nil || resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/jobs should be 405")
+	}
+
+	// Stats and metrics reflect the traffic.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/stats: %v (%d)", err, resp.StatusCode)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	resp.Body.Close()
+	if st.JobsOK != 1 || st.CacheHits != 1 {
+		t.Fatalf("stats = ok %d hits %d, want 1/1", st.JobsOK, st.CacheHits)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read metrics: %v", err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		`archserve_jobs_total{status="ok"} 1`,
+		"archserve_cache_hits_total 1",
+		"archserve_queue_capacity 16",
+		`archserve_job_phase_seconds_total{phase="compute"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, text)
+		}
+	}
+
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+}
+
+func TestHTTPOverloadMapsTo429(t *testing.T) {
+	s := newTestServer(t, Config{P: 2, Workers: 1, QueueDepth: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	hold := &testHold{entered: make(chan *job, 4), release: make(chan struct{})}
+	s.pool.setHold(hold)
+	done := make(chan int, 4)
+	go func() {
+		resp, _ := postJob(t, ts, `{"spec":`+specJSON(uniqueSpec(50))+`}`)
+		done <- resp.StatusCode
+	}()
+	select {
+	case <-hold.entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never picked up the job")
+	}
+	go func() {
+		resp, _ := postJob(t, ts, `{"spec":`+specJSON(uniqueSpec(51))+`}`)
+		done <- resp.StatusCode
+	}()
+	waitFor(t, func() bool { return s.Stats().QueueDepth == 1 })
+
+	resp, body := postJob(t, ts, `{"spec":`+specJSON(uniqueSpec(52))+`}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload POST status %d (%s), want 429", resp.StatusCode, body)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After header %q, want a positive integer", resp.Header.Get("Retry-After"))
+	}
+	var e errorResponse
+	if err := json.Unmarshal(body, &e); err != nil || e.Kind != "overloaded" {
+		t.Fatalf("error body %s, want kind overloaded", body)
+	}
+
+	close(hold.release)
+	for i := 0; i < 2; i++ {
+		if code := <-done; code != http.StatusOK {
+			t.Fatalf("held request finished with %d", code)
+		}
+	}
+}
+
+func TestHTTPDrainingMapsTo503(t *testing.T) {
+	s := New(Config{P: 2, Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	resp, body := postJob(t, ts, `{"preset":"small-a"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST while draining: %d (%s), want 503", resp.StatusCode, body)
+	}
+	if hresp, err := http.Get(ts.URL + "/healthz"); err != nil || hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining should be 503")
+	}
+}
+
+func specJSON(s interface{ Fingerprint() uint64 }) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// metrics holds the service-level counters and gauges exported over
+// the Prometheus text endpoint, alongside the per-job phase timers the
+// obs collectors measure.  Everything is atomic: the pool, the
+// admission path and the scraper touch it concurrently.
+type metrics struct {
+	jobsOK        atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsTimedOut  atomic.Int64
+	jobsInFlight  atomic.Int64
+	rejectedLoad  atomic.Int64 // admission-queue backpressure
+	rejectedDrain atomic.Int64 // draining rejections
+	rejectedBad   atomic.Int64 // invalid specs
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
+	coalesced     atomic.Int64 // requests attached to an in-flight duplicate
+	batches       atomic.Int64 // dispatches (>= 1 job each)
+	batchedJobs   atomic.Int64 // jobs that shared a dispatch with another
+	rebuilds      atomic.Int64 // warm transports rebuilt after failure
+	wallNanos     atomic.Int64 // cumulative job wall time
+	phaseNanos    [obs.NumPhases]atomic.Int64
+}
+
+// addSnapshot folds one job's observability snapshot into the
+// cumulative per-phase timers.
+func (m *metrics) addSnapshot(snap obs.Snapshot) {
+	for _, r := range snap.Ranks {
+		for ph := obs.Phase(0); ph < obs.NumPhases; ph++ {
+			m.phaseNanos[ph].Add(r.Phase[ph].Nanoseconds())
+		}
+	}
+}
+
+// avgWall returns the mean job wall time, or fallback when no job has
+// completed yet — the basis of the Retry-After estimate.
+func (m *metrics) avgWall(fallback time.Duration) time.Duration {
+	done := m.jobsOK.Load() + m.jobsFailed.Load() + m.jobsTimedOut.Load()
+	if done == 0 {
+		return fallback
+	}
+	return time.Duration(m.wallNanos.Load() / done)
+}
+
+// writeText emits the service metrics in Prometheus text exposition
+// format (version 0.0.4), matching the hand-rolled style of
+// internal/obs.  queueDepth/queueCap/workers/cached are sampled by the
+// caller so this file needs no back-reference to the server.
+func (m *metrics) writeText(w io.Writer, queueDepth, queueCap, workers, cached int) error {
+	var b strings.Builder
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("archserve_queue_depth", "Jobs waiting in the admission queue.", int64(queueDepth))
+	gauge("archserve_queue_capacity", "Admission queue bound.", int64(queueCap))
+	gauge("archserve_workers", "Warm pool executors.", int64(workers))
+	gauge("archserve_jobs_inflight", "Jobs admitted and not yet completed.", m.jobsInFlight.Load())
+	gauge("archserve_cache_entries", "Results currently cached.", int64(cached))
+
+	fmt.Fprintf(&b, "# HELP archserve_jobs_total Completed jobs by status.\n# TYPE archserve_jobs_total counter\n")
+	fmt.Fprintf(&b, "archserve_jobs_total{status=\"ok\"} %d\n", m.jobsOK.Load())
+	fmt.Fprintf(&b, "archserve_jobs_total{status=\"error\"} %d\n", m.jobsFailed.Load())
+	fmt.Fprintf(&b, "archserve_jobs_total{status=\"timeout\"} %d\n", m.jobsTimedOut.Load())
+
+	fmt.Fprintf(&b, "# HELP archserve_rejected_total Requests rejected at admission.\n# TYPE archserve_rejected_total counter\n")
+	fmt.Fprintf(&b, "archserve_rejected_total{reason=\"overloaded\"} %d\n", m.rejectedLoad.Load())
+	fmt.Fprintf(&b, "archserve_rejected_total{reason=\"draining\"} %d\n", m.rejectedDrain.Load())
+	fmt.Fprintf(&b, "archserve_rejected_total{reason=\"invalid\"} %d\n", m.rejectedBad.Load())
+
+	counter("archserve_cache_hits_total", "Jobs answered from the result cache.", m.cacheHits.Load())
+	counter("archserve_cache_misses_total", "Jobs that had to compute.", m.cacheMisses.Load())
+	counter("archserve_coalesced_total", "Requests attached to an identical in-flight job.", m.coalesced.Load())
+	counter("archserve_batches_total", "Pool dispatches (each may carry several coalesced small jobs).", m.batches.Load())
+	counter("archserve_batched_jobs_total", "Jobs that shared a dispatch with at least one other job.", m.batchedJobs.Load())
+	counter("archserve_transport_rebuilds_total", "Warm worker meshes rebuilt after a failure or abort.", m.rebuilds.Load())
+
+	fmt.Fprintf(&b, "# HELP archserve_job_wall_seconds_total Cumulative job wall time.\n# TYPE archserve_job_wall_seconds_total counter\n")
+	fmt.Fprintf(&b, "archserve_job_wall_seconds_total %g\n", time.Duration(m.wallNanos.Load()).Seconds())
+
+	fmt.Fprintf(&b, "# HELP archserve_job_phase_seconds_total Per-phase time summed over ranks and jobs.\n# TYPE archserve_job_phase_seconds_total counter\n")
+	for ph := obs.Phase(0); ph < obs.NumPhases; ph++ {
+		fmt.Fprintf(&b, "archserve_job_phase_seconds_total{phase=\"%s\"} %g\n",
+			ph, time.Duration(m.phaseNanos[ph].Load()).Seconds())
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
