@@ -1,11 +1,11 @@
 GO ?= go
 
 # Packages whose concurrency the race detector must vet.
-RACE_PKGS = ./internal/channel ./internal/sched ./internal/mesh ./internal/trace ./internal/obs ./internal/serve
+RACE_PKGS = ./internal/channel ./internal/sched ./internal/mesh ./internal/trace ./internal/obs ./internal/serve ./internal/cluster ./internal/cluster/client
 
-.PHONY: check build vet test race bench bench-smoke bench-compare net-smoke serve-smoke fuzz-smoke
+.PHONY: check build vet test race bench bench-smoke bench-compare net-smoke serve-smoke cluster-smoke chaos-smoke fuzz-smoke
 
-check: vet build test race bench-smoke net-smoke serve-smoke fuzz-smoke
+check: vet build test race bench-smoke net-smoke serve-smoke cluster-smoke chaos-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,9 @@ race:
 # observability metrics land in BENCH_obs.json and fdtd_report.json.
 # Three -bench-append runs then extend the artifact with the scale-out
 # numbers: loopback-socket wire counters, a multi-process wall clock,
-# and the P-scaling sweep with measured + modelled speedups.
+# and the P-scaling sweep with measured + modelled speedups.  A final
+# archload run lands the cluster latency/error/cache numbers
+# (cluster/load/*) from a self-contained 3-node cluster.
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem ./internal/sched ./internal/mesh ./internal/fdtd ./internal/gridio
 	$(GO) run ./cmd/fdtd -build par -p 4 -nx 24 -ny 16 -nz 16 -steps 64 -baseline -quiet \
@@ -36,6 +38,8 @@ bench:
 		-net unix -bench-out BENCH_obs.json -bench-append
 	$(GO) run ./cmd/fdtd -build par -sweep 1,2,4 -nx 24 -ny 16 -nz 16 -steps 64 -quiet \
 		-bench-out BENCH_obs.json -bench-append
+	$(GO) run ./cmd/archload -cluster 3 -clients 6 -jobs 120 -specs 24 -p 2 -workers 1 -seed 1 \
+		-bench BENCH_obs.json
 	@echo "wrote fdtd_report.json and BENCH_obs.json"
 
 # bench-smoke compiles and runs every benchmark once (no timing) so
@@ -56,6 +60,22 @@ net-smoke:
 serve-smoke:
 	$(GO) test -run 'TestServeSmoke' -count=1 ./cmd/archserve
 	$(GO) test -race -run 'TestServiceEndToEnd' -count=1 ./internal/serve
+
+# cluster-smoke boots the real archcoord binary over two real archserve
+# nodes, kills one mid-burst, and verifies zero lost jobs, bitwise
+# identity against a mesh.Sim oracle, /v1/nodes reporting the death,
+# and a clean SIGTERM stop (TestClusterSmoke).
+cluster-smoke:
+	$(GO) test -run 'TestClusterSmoke' -count=1 ./cmd/archcoord
+
+# chaos-smoke is the kill-a-node acceptance proof under the race
+# detector: 3 archserve nodes under procs supervision, a 60-job burst
+# with duplicates, SIGKILL of a live node mid-burst, zero lost jobs,
+# bitwise identity (including mesh.Par with fault.DelaySends), dead-arc
+# failover, rejoin-serves-cache-hits, and no leaked goroutines
+# (TestClusterChaos).
+chaos-smoke:
+	$(GO) test -race -run 'TestClusterChaos' -count=1 -timeout 10m ./internal/cluster
 
 # fuzz-smoke runs each wire-protocol fuzz target briefly: long enough
 # to replay the seed corpus and explore a little, short enough for CI.

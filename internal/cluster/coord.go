@@ -1,0 +1,261 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster/client"
+	"repro/internal/serve"
+)
+
+// Config assembles a Coordinator.
+type Config struct {
+	// Nodes is the cluster roster.  The set is fixed for the
+	// coordinator's lifetime; nodes come and go by dying and rejoining,
+	// not by reconfiguration.
+	Nodes []Node
+	// Member tunes probing and failure thresholds.
+	Member MemberConfig
+	// Client tunes the forwarding retry policy.
+	Client client.Policy
+	// Seed decorrelates the client's backoff jitter.
+	Seed int64
+	// Probe overrides the HTTP health prober (tests only).
+	Probe func(n Node) (float64, error)
+}
+
+// Coordinator fronts a set of archserve nodes behind the single-node
+// /v1/jobs API: it fingerprints each request, routes it to the ring
+// primary for that fingerprint, and fails over through the membership
+// layer's candidate order when nodes are down or shedding load.
+type Coordinator struct {
+	member *Membership
+	client *client.Client
+
+	// counters (atomic; exposed by /v1/stats)
+	jobs      atomic.Int64 // requests accepted for forwarding
+	forwarded atomic.Int64 // final responses obtained from a node
+	degraded  atomic.Int64 // responses served off-primary
+	failovers atomic.Int64 // node switches across all requests
+	retried   atomic.Int64 // 429s absorbed by the client
+	exhausted atomic.Int64 // requests that spent their retry budget
+	rejected  atomic.Int64 // malformed requests answered locally
+}
+
+// New builds a coordinator and starts its probe loop.  Close stops it.
+func New(cfg Config) (*Coordinator, error) {
+	var probe probeFn
+	if cfg.Probe != nil {
+		p := cfg.Probe
+		probe = func(_ context.Context, n Node) (float64, error) { return p(n) }
+	}
+	m, err := NewMembership(cfg.Nodes, cfg.Member, probe)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		member: m,
+		client: client.New(cfg.Client, cfg.Seed),
+	}
+	m.Start()
+	return c, nil
+}
+
+// Close stops the probe loop and releases client connections.
+func (c *Coordinator) Close() {
+	c.member.Close()
+	c.client.Close()
+}
+
+// Membership exposes the membership layer (tests and stats).
+func (c *Coordinator) Membership() *Membership { return c.member }
+
+// ClusterResponse is the coordinator's POST /v1/jobs success body: the
+// node's JobResponse fields plus routing provenance.  Result is kept as
+// the node's verbatim JSON (json.RawMessage) so float64 values are
+// never re-encoded — the bitwise-identity guarantee survives the hop.
+type ClusterResponse struct {
+	Origin string          `json:"origin"`
+	Result json.RawMessage `json:"result"`
+	// Node served the response; Primary is the ring's first choice for
+	// this fingerprint.  Degraded means Node != Primary: the answer is
+	// still bitwise-correct (Theorem 1 — any node computes the same
+	// result), only placement quality suffered, so the coordinator
+	// degrades instead of failing.
+	Node     string `json:"node"`
+	Primary  string `json:"primary"`
+	Degraded bool   `json:"degraded"`
+	// Attempts/Failovers/Retried429 describe the forwarding effort.
+	Attempts   int `json:"attempts"`
+	Failovers  int `json:"failovers,omitempty"`
+	Retried429 int `json:"retried_429,omitempty"`
+}
+
+// Stats is the coordinator's GET /v1/stats body.
+type Stats struct {
+	Jobs      int64        `json:"jobs"`
+	Forwarded int64        `json:"forwarded"`
+	Degraded  int64        `json:"degraded"`
+	Failovers int64        `json:"failovers"`
+	Retried   int64        `json:"retried_429"`
+	Exhausted int64        `json:"exhausted"`
+	Rejected  int64        `json:"rejected"`
+	Nodes     []NodeStatus `json:"nodes"`
+}
+
+// Handler returns the coordinator's HTTP mux:
+//
+//	POST /v1/jobs   forward a job to its shard, wait for the result
+//	GET  /v1/stats  coordinator counters + node states as JSON
+//	GET  /v1/nodes  node states alone
+//	GET  /healthz   liveness
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", c.handleJobs)
+	mux.HandleFunc("/v1/stats", c.handleStats)
+	mux.HandleFunc("/v1/nodes", c.handleNodes)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (c *Coordinator) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "method", "use POST")
+		return
+	}
+	var req serve.JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		c.rejected.Add(1)
+		writeError(w, http.StatusBadRequest, "invalid", fmt.Sprintf("decode request: %v", err))
+		return
+	}
+	// Resolve exactly as a node would, so a preset and its expanded
+	// spec fingerprint — and therefore shard — identically here and
+	// there.
+	spec, _, err := serve.ResolveRequest(req)
+	if err != nil {
+		c.rejected.Add(1)
+		writeError(w, http.StatusBadRequest, "invalid", err.Error())
+		return
+	}
+	fp := spec.Fingerprint()
+	primary, cands := c.member.Route(fp)
+	if len(cands) == 0 {
+		writeError(w, http.StatusServiceUnavailable, "no_nodes",
+			fmt.Sprintf("no live node for fingerprint %016x (primary %s is down)", fp, primary))
+		return
+	}
+	c.jobs.Add(1)
+
+	// Re-encode the decoded request rather than forwarding raw bytes:
+	// the body was already consumed by strict decoding, and JobRequest
+	// round-trips losslessly (ints and bools only; the spec's float
+	// fields re-encode shortest-round-trip, preserving bits).
+	body, err := json.Marshal(req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	urls := make([]string, len(cands))
+	for i, n := range cands {
+		urls[i] = n.URL
+	}
+	res, err := c.client.PostJSON(r.Context(), urls, "/v1/jobs", body)
+	if err != nil {
+		c.exhausted.Add(1)
+		if x, ok := client.AsExhausted(err); ok && x.LastStatus == http.StatusTooManyRequests {
+			// The whole cluster is shedding load: propagate the
+			// backpressure with the nodes' own hint.
+			secs := int(x.RetryAfter.Round(time.Second) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", fmt.Sprint(secs))
+			writeError(w, http.StatusTooManyRequests, "overloaded", err.Error())
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, "unavailable", err.Error())
+		return
+	}
+	c.failovers.Add(int64(res.Failovers))
+	c.retried.Add(int64(res.Retried429))
+
+	servedName := ""
+	for _, n := range cands {
+		if n.URL == res.Node {
+			servedName = n.Name
+			break
+		}
+	}
+	if res.Status != http.StatusOK {
+		// A final node-side error (400 invalid spec, 504 job deadline):
+		// pass the node's verdict through verbatim.
+		if ct := res.Header.Get("Content-Type"); ct != "" {
+			w.Header().Set("Content-Type", ct)
+		}
+		w.WriteHeader(res.Status)
+		w.Write(res.Body)
+		return
+	}
+	var nodeResp struct {
+		Origin string          `json:"origin"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(res.Body, &nodeResp); err != nil {
+		writeError(w, http.StatusBadGateway, "bad_node_response", err.Error())
+		return
+	}
+	c.forwarded.Add(1)
+	c.member.servedBy(servedName)
+	degraded := servedName != primary
+	if degraded {
+		c.degraded.Add(1)
+	}
+	writeJSON(w, http.StatusOK, ClusterResponse{
+		Origin:     nodeResp.Origin,
+		Result:     nodeResp.Result,
+		Node:       servedName,
+		Primary:    primary,
+		Degraded:   degraded,
+		Attempts:   res.Attempts,
+		Failovers:  res.Failovers,
+		Retried429: res.Retried429,
+	})
+}
+
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Stats{
+		Jobs:      c.jobs.Load(),
+		Forwarded: c.forwarded.Load(),
+		Degraded:  c.degraded.Load(),
+		Failovers: c.failovers.Load(),
+		Retried:   c.retried.Load(),
+		Exhausted: c.exhausted.Load(),
+		Rejected:  c.rejected.Load(),
+		Nodes:     c.member.Snapshot(),
+	})
+}
+
+func (c *Coordinator) handleNodes(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.member.Snapshot())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, kind, msg string) {
+	writeJSON(w, status, map[string]string{"kind": kind, "error": msg})
+}

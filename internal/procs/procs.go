@@ -7,9 +7,12 @@ package procs
 
 import (
 	"fmt"
+	"io"
 	"net"
+	"os"
 	"os/exec"
 	"path/filepath"
+	"sync"
 	"time"
 )
 
@@ -47,16 +50,23 @@ type exit struct {
 }
 
 // WorkerError is the typed failure of one worker process: its index in
-// the group and the underlying cause (typically an *exec.ExitError for
-// a nonzero exit).  errors.As recovers it through any wrapping, so
-// launchers can tell "a rank died" from "the group timed out".
+// the group, the underlying cause (an *exec.ExitError for a nonzero
+// exit or a kill signal), and the tail of the worker's stderr — the
+// diagnostics a crashed child managed to write before dying, which
+// would otherwise vanish with the process.  errors.As recovers it
+// through any wrapping, so launchers can tell "a rank died" from "the
+// group timed out".
 type WorkerError struct {
-	ID  int
-	Err error
+	ID     int
+	Err    error
+	Stderr string
 }
 
 // Error implements error.
 func (e *WorkerError) Error() string {
+	if e.Stderr != "" {
+		return fmt.Sprintf("procs: worker %d: %v; stderr tail: %q", e.ID, e.Err, e.Stderr)
+	}
 	return fmt.Sprintf("procs: worker %d: %v", e.ID, e.Err)
 }
 
@@ -78,44 +88,128 @@ func (e *TimeoutError) Error() string {
 		e.Timeout, e.Running, e.Total)
 }
 
+// tailBuffer keeps the last tailBytes of everything written to it —
+// enough stderr to diagnose a dead worker without buffering a chatty
+// one unboundedly.
+const tailBytes = 4096
+
+type tailBuffer struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+// Write implements io.Writer.
+func (t *tailBuffer) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	t.buf = append(t.buf, p...)
+	if over := len(t.buf) - tailBytes; over > 0 {
+		t.buf = t.buf[over:]
+	}
+	t.mu.Unlock()
+	return len(p), nil
+}
+
+func (t *tailBuffer) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return string(t.buf)
+}
+
+// Worker is one supervised process plus its scratch run-dir.
+type Worker struct {
+	Cmd *exec.Cmd
+	// RunDir, when set, is the worker's private scratch directory
+	// (rendezvous sockets, partial results).  The group reaps it when
+	// the worker is aborted — killed, failed, or timed out — so a
+	// SIGKILLed child cannot leave stale sockets behind for the next
+	// run to trip over.
+	RunDir string
+}
+
 // Group supervises a set of started worker processes.
 type Group struct {
-	cmds  []*exec.Cmd
-	exits chan exit
+	workers []Worker
+	tails   []*tailBuffer
+	exits   chan exit
 }
 
 // Start launches every command and returns the supervising group.  If
 // any command fails to start, the already-started ones are killed and
 // reaped.
 func Start(cmds []*exec.Cmd) (*Group, error) {
-	g := &Group{cmds: cmds, exits: make(chan exit, len(cmds))}
+	ws := make([]Worker, len(cmds))
 	for i, cmd := range cmds {
-		if err := cmd.Start(); err != nil {
+		ws[i] = Worker{Cmd: cmd}
+	}
+	return StartWorkers(ws)
+}
+
+// StartWorkers launches every worker and returns the supervising
+// group.  Each worker's stderr is teed into a bounded tail buffer
+// (composing with any Stderr the caller already set) so a failure
+// report can carry the child's last words.  If any command fails to
+// start, the already-started ones are killed and reaped.
+func StartWorkers(workers []Worker) (*Group, error) {
+	g := &Group{
+		workers: workers,
+		tails:   make([]*tailBuffer, len(workers)),
+		exits:   make(chan exit, len(workers)),
+	}
+	for i, w := range workers {
+		tail := &tailBuffer{}
+		g.tails[i] = tail
+		if w.Cmd.Stderr != nil {
+			w.Cmd.Stderr = io.MultiWriter(w.Cmd.Stderr, tail)
+		} else {
+			w.Cmd.Stderr = tail
+		}
+		if err := w.Cmd.Start(); err != nil {
 			g.Kill()
 			for j := 0; j < i; j++ {
 				<-g.exits
 			}
+			g.reapRunDirs()
 			return nil, fmt.Errorf("procs: start worker %d: %w", i, err)
 		}
-		go func(id int, cmd *exec.Cmd) { g.exits <- exit{id, cmd.Wait()} }(i, cmd)
+		go func(id int, cmd *exec.Cmd) { g.exits <- exit{id, cmd.Wait()} }(i, w.Cmd)
 	}
 	return g, nil
 }
 
 // Kill forcibly terminates every still-running worker.
 func (g *Group) Kill() {
-	for _, cmd := range g.cmds {
-		if cmd.Process != nil {
-			cmd.Process.Kill()
+	for _, w := range g.workers {
+		if w.Cmd.Process != nil {
+			w.Cmd.Process.Kill()
 		}
+	}
+}
+
+// reapRunDirs removes every worker's run-dir atomically: the directory
+// is first renamed aside (one atomic step, so no observer ever sees a
+// half-deleted dir at the original path — a relaunch can mkdir it
+// immediately), then deleted at leisure.  Missing dirs are fine; a
+// worker may never have created one.
+func (g *Group) reapRunDirs() {
+	for _, w := range g.workers {
+		if w.RunDir == "" {
+			continue
+		}
+		doomed := w.RunDir + ".reaped"
+		if err := os.Rename(w.RunDir, doomed); err != nil {
+			continue
+		}
+		os.RemoveAll(doomed)
 	}
 }
 
 // Wait blocks until every worker exits cleanly, a worker fails, or the
 // timeout elapses (timeout <= 0 waits forever).  On failure or timeout
-// the remaining workers are killed and reaped, and an error naming the
-// first cause is returned — the group's result is all-or-nothing,
-// matching the run's all-ranks-or-abort semantics.
+// the remaining workers are killed and reaped — processes first, then
+// their run-dirs — and an error naming the first cause is returned:
+// the group's result is all-or-nothing, matching the run's
+// all-ranks-or-abort semantics.  A failing worker surfaces as a
+// *WorkerError carrying its captured stderr tail.
 func (g *Group) Wait(timeout time.Duration) error {
 	var timer <-chan time.Time
 	if timeout > 0 {
@@ -126,20 +220,21 @@ func (g *Group) Wait(timeout time.Duration) error {
 	reaped := 0
 	abort := func(cause error) error {
 		g.Kill()
-		for ; reaped < len(g.cmds); reaped++ {
+		for ; reaped < len(g.workers); reaped++ {
 			<-g.exits
 		}
+		g.reapRunDirs()
 		return cause
 	}
-	for ; reaped < len(g.cmds); reaped++ {
+	for ; reaped < len(g.workers); reaped++ {
 		select {
 		case e := <-g.exits:
 			if e.err != nil {
 				reaped++
-				return abort(&WorkerError{ID: e.id, Err: e.err})
+				return abort(&WorkerError{ID: e.id, Err: e.err, Stderr: g.tails[e.id].String()})
 			}
 		case <-timer:
-			return abort(&TimeoutError{Timeout: timeout, Running: len(g.cmds) - reaped, Total: len(g.cmds)})
+			return abort(&TimeoutError{Timeout: timeout, Running: len(g.workers) - reaped, Total: len(g.workers)})
 		}
 	}
 	return nil

@@ -2,7 +2,9 @@ package procs
 
 import (
 	"errors"
+	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -133,5 +135,103 @@ func TestGroupTimeoutIsTyped(t *testing.T) {
 	}
 	if te.Running != 1 || te.Total != 1 {
 		t.Fatalf("timeout reports %d/%d running, want 1/1", te.Running, te.Total)
+	}
+}
+
+func TestGroupSIGKILLDuringRun(t *testing.T) {
+	// Worker 0 writes diagnostics and then SIGKILLs itself mid-run —
+	// the harshest failure mode: no exit handler, no cleanup.  The
+	// group must surface a typed *WorkerError carrying the stderr tail,
+	// kill the surviving sleeper, and atomically reap both run-dirs.
+	dir0 := filepath.Join(t.TempDir(), "w0")
+	dir1 := filepath.Join(t.TempDir(), "w1")
+	for _, d := range []string{dir0, dir1} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(d, "rank.sock"), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := StartWorkers([]Worker{
+		{Cmd: exec.Command("sh", "-c", "echo pre-crash diagnostics >&2; sleep 0.05; kill -9 $$"), RunDir: dir0},
+		{Cmd: exec.Command("sleep", "60"), RunDir: dir1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err = g.Wait(30 * time.Second)
+	var we *WorkerError
+	if !errors.As(err, &we) {
+		t.Fatalf("error %v (%T) is not a *WorkerError", err, err)
+	}
+	if we.ID != 0 {
+		t.Fatalf("failure attributed to worker %d, want 0", we.ID)
+	}
+	if !strings.Contains(we.Stderr, "pre-crash diagnostics") {
+		t.Fatalf("stderr tail %q missing the child's last words", we.Stderr)
+	}
+	if !strings.Contains(err.Error(), "killed") {
+		t.Fatalf("error %q does not describe the kill signal", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("SIGKILL handling took %v (sleeper not killed?)", elapsed)
+	}
+	// Both run-dirs must be gone — the dead worker's and the aborted
+	// survivor's — with nothing left at the original paths.
+	for _, d := range []string{dir0, dir1} {
+		if _, err := os.Stat(d); !os.IsNotExist(err) {
+			t.Fatalf("run-dir %s not reaped (stat err %v)", d, err)
+		}
+		if _, err := os.Stat(d + ".reaped"); !os.IsNotExist(err) {
+			t.Fatalf("reap staging dir %s.reaped left behind (stat err %v)", d, err)
+		}
+	}
+}
+
+func TestGroupStderrTailBounded(t *testing.T) {
+	// A worker that floods stderr before failing must not buffer it
+	// all: the tail is capped, keeping only the most recent output
+	// (which is where the actual error usually is).
+	g, err := StartWorkers([]Worker{{
+		Cmd: exec.Command("sh", "-c",
+			"i=0; while [ $i -lt 2000 ]; do echo filler-line-$i >&2; i=$((i+1)); done; echo FINAL WORDS >&2; exit 9"),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = g.Wait(30 * time.Second)
+	var we *WorkerError
+	if !errors.As(err, &we) {
+		t.Fatalf("error %v (%T) is not a *WorkerError", err, err)
+	}
+	if len(we.Stderr) > tailBytes {
+		t.Fatalf("stderr tail is %d bytes, cap is %d", len(we.Stderr), tailBytes)
+	}
+	if !strings.Contains(we.Stderr, "FINAL WORDS") {
+		t.Fatalf("tail lost the final output: %q", we.Stderr[:80])
+	}
+	if strings.Contains(we.Stderr, "filler-line-0\n") {
+		t.Fatal("tail kept the oldest output instead of the newest")
+	}
+}
+
+func TestGroupSuccessKeepsRunDirs(t *testing.T) {
+	// A clean run must NOT reap run-dirs: the launcher still needs to
+	// read results out of them.
+	dir := filepath.Join(t.TempDir(), "w0")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	g, err := StartWorkers([]Worker{{Cmd: exec.Command("true"), RunDir: dir}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Wait(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("run-dir reaped after a clean run: %v", err)
 	}
 }

@@ -53,6 +53,33 @@ func presetSpec(name string) (fdtd.Spec, error) {
 	return fdtd.Spec{}, fmt.Errorf("unknown preset %q (want small, small-a, table1 or figure2)", name)
 }
 
+// ResolveRequest resolves a JobRequest into the spec and submit
+// options it denotes, enforcing the preset/spec alternative.  The
+// cluster coordinator shares this resolution so that a named preset
+// and its expanded spec fingerprint — and therefore shard — the same
+// way on the coordinator as on the node.
+func ResolveRequest(req JobRequest) (fdtd.Spec, SubmitOptions, error) {
+	var spec fdtd.Spec
+	switch {
+	case req.Preset != "" && req.Spec != nil:
+		return spec, SubmitOptions{}, fmt.Errorf("set preset or spec, not both")
+	case req.Preset != "":
+		var err error
+		if spec, err = presetSpec(req.Preset); err != nil {
+			return spec, SubmitOptions{}, err
+		}
+	case req.Spec != nil:
+		spec = *req.Spec
+	default:
+		return spec, SubmitOptions{}, fmt.Errorf("request needs a preset or a spec")
+	}
+	opts := SubmitOptions{NoCache: req.NoCache}
+	if req.TimeoutMS != 0 {
+		opts.Timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	return spec, opts, nil
+}
+
 // Handler returns the service's HTTP mux:
 //
 //	POST /v1/jobs   submit a job, wait for its result
@@ -81,26 +108,10 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid", fmt.Errorf("decode request: %w", err))
 		return
 	}
-	var spec fdtd.Spec
-	switch {
-	case req.Preset != "" && req.Spec != nil:
-		writeError(w, http.StatusBadRequest, "invalid", fmt.Errorf("set preset or spec, not both"))
+	spec, opts, err := ResolveRequest(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid", err)
 		return
-	case req.Preset != "":
-		var err error
-		if spec, err = presetSpec(req.Preset); err != nil {
-			writeError(w, http.StatusBadRequest, "invalid", err)
-			return
-		}
-	case req.Spec != nil:
-		spec = *req.Spec
-	default:
-		writeError(w, http.StatusBadRequest, "invalid", fmt.Errorf("request needs a preset or a spec"))
-		return
-	}
-	opts := SubmitOptions{NoCache: req.NoCache}
-	if req.TimeoutMS != 0 {
-		opts.Timeout = time.Duration(req.TimeoutMS) * time.Millisecond
 	}
 
 	res, origin, err := s.Submit(spec, opts)

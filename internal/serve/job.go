@@ -110,6 +110,12 @@ func fieldHash(res *fdtd.Result) uint64 {
 	return h.Sum64()
 }
 
+// ResultFieldHash renders the service's field digest for an fdtd
+// result the way the API exposes it.  External bitwise-identity checks
+// (the cluster chaos tests) use it to compare a node's JSON response
+// against a fresh mesh.Sim recomputation.
+func ResultFieldHash(res *fdtd.Result) string { return fingerprintString(fieldHash(res)) }
+
 // buildResult assembles the serialisable result from rank 0's Result
 // and the job's observability snapshot.
 func buildResult(jb *job, p int, res *fdtd.Result, wall time.Duration, snap obs.Snapshot) *JobResult {

@@ -23,6 +23,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -242,11 +243,15 @@ func (s *Server) Submit(spec fdtd.Spec, opts SubmitOptions) (*JobResult, Origin,
 }
 
 // retryAfter estimates when a rejected client should try again: the
-// mean job wall time scaled by how many queue "generations" are ahead.
+// mean job wall time scaled by how many queue "generations" are ahead,
+// with ±25% jitter so the clients rejected in one overload window do
+// not come back in lockstep and collide again (the 429 thundering
+// herd).  The global rand source is goroutine-safe.
 func (s *Server) retryAfter() time.Duration {
 	avg := s.m.avgWall(time.Second)
 	gens := time.Duration(s.cfg.QueueDepth/s.cfg.Workers + 1)
 	est := avg * gens
+	est = est*3/4 + time.Duration(rand.Int63n(int64(est/2)+1))
 	if est < time.Second {
 		est = time.Second
 	}
@@ -347,6 +352,10 @@ type Stats struct {
 	Batches           int64 `json:"batches"`
 	BatchedJobs       int64 `json:"batched_jobs"`
 	TransportRebuilds int64 `json:"transport_rebuilds"`
+	// LoadScore is admitted-but-uncompleted jobs (queued + executing)
+	// per executor — the one-number load signal a cluster coordinator
+	// uses for least-loaded placement tiebreaks.
+	LoadScore float64 `json:"load_score"`
 }
 
 // Stats snapshots the service counters.
@@ -374,5 +383,6 @@ func (s *Server) Stats() Stats {
 		Batches:           s.m.batches.Load(),
 		BatchedJobs:       s.m.batchedJobs.Load(),
 		TransportRebuilds: s.m.rebuilds.Load(),
+		LoadScore:         float64(s.m.jobsInFlight.Load()) / float64(s.cfg.Workers),
 	}
 }
