@@ -1,11 +1,11 @@
 GO ?= go
 
 # Packages whose concurrency the race detector must vet.
-RACE_PKGS = ./internal/channel ./internal/sched ./internal/mesh ./internal/trace ./internal/obs ./internal/serve ./internal/cluster ./internal/cluster/client
+RACE_PKGS = ./internal/channel ./internal/sched ./internal/mesh ./internal/trace ./internal/obs ./internal/serve ./internal/cluster ./internal/cluster/client ./internal/slo ./cmd/archload
 
-.PHONY: check build vet test race bench bench-smoke bench-compare net-smoke serve-smoke cluster-smoke chaos-smoke fuzz-smoke
+.PHONY: check build vet test race bench bench-smoke bench-compare net-smoke serve-smoke cluster-smoke chaos-smoke obs-smoke fuzz-smoke
 
-check: vet build test race bench-smoke net-smoke serve-smoke cluster-smoke chaos-smoke fuzz-smoke
+check: vet build test race bench-smoke net-smoke serve-smoke cluster-smoke chaos-smoke obs-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -26,8 +26,9 @@ race:
 # Three -bench-append runs then extend the artifact with the scale-out
 # numbers: loopback-socket wire counters, a multi-process wall clock,
 # and the P-scaling sweep with measured + modelled speedups.  A final
-# archload run lands the cluster latency/error/cache numbers
-# (cluster/load/*) from a self-contained 3-node cluster.
+# open-loop archload run lands the cluster latency histogram
+# (cluster/load/p50..p999 + bucket family), error/cache rates, and the
+# SLO burn-rate verdict from a self-contained 3-node cluster.
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem ./internal/sched ./internal/mesh ./internal/fdtd ./internal/gridio
 	$(GO) run ./cmd/fdtd -build par -p 4 -nx 24 -ny 16 -nz 16 -steps 64 -baseline -quiet \
@@ -38,8 +39,8 @@ bench:
 		-net unix -bench-out BENCH_obs.json -bench-append
 	$(GO) run ./cmd/fdtd -build par -sweep 1,2,4 -nx 24 -ny 16 -nz 16 -steps 64 -quiet \
 		-bench-out BENCH_obs.json -bench-append
-	$(GO) run ./cmd/archload -cluster 3 -clients 6 -jobs 120 -specs 24 -p 2 -workers 1 -seed 1 \
-		-bench BENCH_obs.json
+	$(GO) run ./cmd/archload -cluster 3 -rate 200 -jobs 120 -specs 24 -p 2 -workers 1 -seed 1 \
+		-slo "p99<2s,err<1%" -bench BENCH_obs.json
 	@echo "wrote fdtd_report.json and BENCH_obs.json"
 
 # bench-smoke compiles and runs every benchmark once (no timing) so
@@ -76,6 +77,15 @@ cluster-smoke:
 # (TestClusterChaos).
 chaos-smoke:
 	$(GO) test -race -run 'TestClusterChaos' -count=1 -timeout 10m ./internal/cluster
+
+# obs-smoke is the acceptance run of the observability plane: a 2-node
+# in-process cluster takes a 20-job open-loop (Poisson) run; the run
+# must yield populated latency histograms, a retrievable merged Chrome
+# trace whose spans share one trace id across coordinator and node
+# lanes, and a well-formed SLO burn-rate report — exercised both ways
+# (passing, and failing via -inject-latency).
+obs-smoke:
+	$(GO) test -race -run 'TestObsSmoke' -count=1 ./cmd/archload
 
 # fuzz-smoke runs each wire-protocol fuzz target briefly: long enough
 # to replay the seed corpus and explore a little, short enough for CI.

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestObsSmoke is the observability-plane smoke test (`make obs-smoke`):
+// a 2-node self-contained cluster takes a 20-job open-loop run, and the
+// run must yield a populated latency histogram, a retrievable merged
+// trace whose spans share one trace id across coordinator and node
+// lanes, and a well-formed passing SLO report.
+func TestObsSmoke(t *testing.T) {
+	res, err := runLoad(loadConfig{
+		Cluster:     2,
+		Jobs:        20,
+		Rate:        50, // open loop: ~0.4s of Poisson arrivals
+		Specs:       8,
+		Seed:        7,
+		SLO:         "p99<30s,err<50%", // generous: smoke checks plumbing, not performance
+		SampleTrace: true,
+		Quiet:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 20 {
+		t.Fatalf("issued %d samples, want 20", res.Total)
+	}
+	if res.Errs > 0 {
+		t.Fatalf("%d transport errors in smoke run", res.Errs)
+	}
+
+	// Histograms populated: every request recorded, quantiles ordered.
+	if res.Hist.Count != 20 {
+		t.Fatalf("histogram count %d, want 20", res.Hist.Count)
+	}
+	p50, p999 := res.Hist.Quantile(0.5), res.Hist.Quantile(0.999)
+	if p50 <= 0 || p999 < p50 {
+		t.Fatalf("degenerate histogram: p50=%d p999=%d", p50, p999)
+	}
+
+	// SLO report well-formed and passing.
+	if res.SLO == nil || !res.SLO.Pass {
+		t.Fatalf("SLO report missing or failing: %+v", res.SLO)
+	}
+	if len(res.SLO.Objectives) != 2 {
+		t.Fatalf("SLO evaluated %d objectives, want 2", len(res.SLO.Objectives))
+	}
+	for _, or := range res.SLO.Objectives {
+		if or.Slow.Good+or.Slow.Bad != 20 {
+			t.Fatalf("objective %s slow window saw %d samples, want 20", or.Objective, or.Slow.Good+or.Slow.Bad)
+		}
+	}
+	if !strings.Contains(res.SLO.Format(), "verdict: PASS") {
+		t.Fatalf("report format lacks verdict:\n%s", res.SLO.Format())
+	}
+
+	// Merged trace retrievable, with coordinator + node lanes sharing
+	// one trace id and rank-level spans present.
+	if res.SampledTrace == "" {
+		t.Fatal("no merged trace retrieved")
+	}
+	var ct struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(res.TraceJSON, &ct); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v", err)
+	}
+	pids := map[int]bool{}
+	ranks := map[int]bool{}
+	for _, ev := range ct.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		pids[ev.Pid] = true
+		if ev.Tid > 0 {
+			ranks[ev.Tid] = true
+		}
+		if ev.Args["trace"] != res.SampledTrace {
+			t.Fatalf("span %q trace arg %v, want %s", ev.Name, ev.Args["trace"], res.SampledTrace)
+		}
+	}
+	if len(pids) < 2 {
+		t.Fatalf("merged trace has %d process lanes, want >= 2", len(pids))
+	}
+	if len(ranks) < 2 {
+		t.Fatalf("merged trace has %d rank lanes, want >= 2 (P=2)", len(ranks))
+	}
+
+	// Bench entries: histogram percentiles incl. p999, bucket family,
+	// burn rates and the verdict.
+	entries := res.BenchEntries("cluster/load")
+	names := map[string]bool{}
+	for _, e := range entries {
+		names[e.Name] = true
+	}
+	for _, want := range []string{
+		"cluster/load/p50", "cluster/load/p95", "cluster/load/p99", "cluster/load/p999",
+		"cluster/load/throughput", "cluster/load/error_rate",
+		"cluster/load/burn_rate_fast", "cluster/load/burn_rate_slow", "cluster/load/slo_pass",
+	} {
+		if !names[want] {
+			t.Errorf("bench entries lack %s", want)
+		}
+	}
+	bucketEntries := 0
+	for name := range names {
+		if strings.Contains(name, "/latency_bucket/le_") {
+			bucketEntries++
+		}
+	}
+	if bucketEntries == 0 {
+		t.Error("bench entries lack the latency bucket family")
+	}
+}
+
+// TestObsSmokeSLOFail: the injected-latency hook must push the run over
+// a tight latency objective and flip the verdict — proving the SLO gate
+// can actually fail.
+func TestObsSmokeSLOFail(t *testing.T) {
+	res, err := runLoad(loadConfig{
+		Cluster:       1,
+		Jobs:          10,
+		Rate:          50,
+		Specs:         4,
+		Seed:          11,
+		SLO:           "p99<250ms,err<1%",
+		InjectLatency: 400 * time.Millisecond,
+		Quiet:         true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SLO == nil || res.SLO.Pass {
+		t.Fatalf("injected 400ms latency should fail p99<250ms: %+v", res.SLO)
+	}
+	var latObj *string
+	for _, or := range res.SLO.Objectives {
+		if or.Objective == "p99<250ms" {
+			if or.Pass {
+				t.Fatalf("latency objective passed despite injection: %+v", or)
+			}
+			if or.Observed < 0.4 {
+				t.Fatalf("observed p99 %.3fs, want >= 0.4 (injection included)", or.Observed)
+			}
+			s := or.Objective
+			latObj = &s
+		}
+	}
+	if latObj == nil {
+		t.Fatal("latency objective missing from report")
+	}
+	// Burn-rate entries reflect the breach: slow-window burn must
+	// exceed 1 (budget overrun) by a wide margin when every request is
+	// slow.
+	for _, e := range res.BenchEntries("cluster/load") {
+		if e.Name == "cluster/load/burn_rate_slow" && e.Value < 10 {
+			t.Fatalf("slow burn %.2f, want >> 1 when 100%% of requests breach", e.Value)
+		}
+		if e.Name == "cluster/load/slo_pass" && e.Value != 0 {
+			t.Fatalf("slo_pass entry %v, want 0", e.Value)
+		}
+	}
+}

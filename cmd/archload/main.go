@@ -1,141 +1,44 @@
 // Command archload drives a cluster (or a single archserve node) with
-// a closed-loop, zipf-distributed job mix and reports latency
-// percentiles, error rate and backpressure rate — the observable half
-// of the cluster's robustness story.  A zipf spec popularity curve is
-// the realistic workload for a fingerprint-sharded cache: a few hot
-// specs dominate (and should hit node caches), a long tail stays cold.
+// a zipf-distributed job mix and reports latency percentiles, error
+// rate and backpressure rate — the observable half of the cluster's
+// robustness story.  A zipf spec popularity curve is the realistic
+// workload for a fingerprint-sharded cache: a few hot specs dominate
+// (and should hit node caches), a long tail stays cold.
 //
 //	archload -coord http://127.0.0.1:8090 -clients 8 -jobs 200
 //	archload -cluster 3 -clients 8 -jobs 200 -bench BENCH_obs.json
+//	archload -cluster 3 -rate 200 -jobs 1000 -slo "p99<250ms,err<1%"
 //
 // With -cluster N the tool is self-contained: it spins up N in-process
 // archserve nodes and a coordinator, runs the load, and tears it all
 // down — so one command produces reproducible cluster numbers.
+//
+// Two load modes:
+//
+//   - Closed loop (default): -clients goroutines each issue the next
+//     request as soon as the previous response returns.  Simple, but a
+//     slow service throttles its own measurement.
+//   - Open loop (-rate R): arrivals form a Poisson process of R
+//     jobs/second launched at their scheduled instants, and latency is
+//     measured from the scheduled arrival — the coordinated-omission-
+//     safe discipline, where queueing delay a real client would suffer
+//     shows up in the percentiles instead of vanishing.
+//
+// With -slo the run is evaluated against objectives like
+// "p99<250ms,err<1%" (burn rates over a fast runDur/12 window and the
+// whole run; see internal/slo) and the process exits nonzero on
+// failure, so CI can gate on the verdict.
 package main
 
 import (
-	"bytes"
-	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"log"
-	"math/rand"
-	"net"
-	"net/http"
 	"os"
-	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
 
-	"repro/internal/cluster"
-	"repro/internal/cluster/client"
-	"repro/internal/fdtd"
 	"repro/internal/obs"
-	"repro/internal/serve"
 )
-
-// loadSpec is spec i of the population: a fast Version A run whose
-// source delay perturbs the fingerprint without changing the cost, so
-// every distinct i is a distinct cache key of identical weight.
-func loadSpec(i int) fdtd.Spec {
-	s := fdtd.SpecSmallA()
-	s.Source.Delay = 5 + float64(i)
-	return s
-}
-
-// sample is one request's outcome.
-type sample struct {
-	latency  time.Duration
-	status   int
-	origin   string
-	degraded bool
-	err      bool // transport-level failure
-}
-
-// stats aggregates samples.
-type stats struct {
-	mu      sync.Mutex
-	samples []sample
-}
-
-func (st *stats) add(s sample) {
-	st.mu.Lock()
-	st.samples = append(st.samples, s)
-	st.mu.Unlock()
-}
-
-// percentile returns the q-quantile of sorted latencies.
-func percentile(sorted []time.Duration, q float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(q * float64(len(sorted)-1))
-	return sorted[i]
-}
-
-// localNode is one self-contained in-process archserve.
-type localNode struct {
-	srv  *serve.Server
-	http *http.Server
-	ln   net.Listener
-}
-
-// startLocalCluster spins up n nodes and a coordinator, returning the
-// coordinator URL and a teardown function.
-func startLocalCluster(n, p, workers int) (string, func(), error) {
-	var nodes []localNode
-	var roster []cluster.Node
-	teardown := func() {
-		for _, nd := range nodes {
-			nd.http.Close()
-			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-			nd.srv.Shutdown(ctx)
-			cancel()
-		}
-	}
-	for i := 0; i < n; i++ {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			teardown()
-			return "", nil, err
-		}
-		s := serve.New(serve.Config{P: p, Workers: workers})
-		hs := &http.Server{Handler: s.Handler()}
-		go hs.Serve(ln)
-		nodes = append(nodes, localNode{srv: s, http: hs, ln: ln})
-		roster = append(roster, cluster.Node{
-			Name: fmt.Sprintf("n%d", i),
-			URL:  "http://" + ln.Addr().String(),
-		})
-	}
-	coord, err := cluster.New(cluster.Config{
-		Nodes:  roster,
-		Member: cluster.MemberConfig{ProbeInterval: 100 * time.Millisecond},
-		Client: client.Policy{},
-		Seed:   1,
-	})
-	if err != nil {
-		teardown()
-		return "", nil, err
-	}
-	cln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		coord.Close()
-		teardown()
-		return "", nil, err
-	}
-	chs := &http.Server{Handler: coord.Handler()}
-	go chs.Serve(cln)
-	full := func() {
-		chs.Close()
-		coord.Close()
-		teardown()
-	}
-	return "http://" + cln.Addr().String(), full, nil
-}
 
 func main() {
 	var (
@@ -149,128 +52,72 @@ func main() {
 		p        = flag.Int("p", 2, "ranks per job (self-contained nodes)")
 		workers  = flag.Int("workers", 1, "executors per node (self-contained nodes)")
 		seed     = flag.Int64("seed", 1, "workload RNG seed")
+		rate     = flag.Float64("rate", 0, "open-loop mode: Poisson arrival rate in jobs/s (0 = closed loop)")
+		sloSpec  = flag.String("slo", "", `SLO spec to evaluate, e.g. "p99<250ms,err<1%" (exit 1 on failure)`)
+		inject   = flag.Duration("inject-latency", 0, "add this synthetic delay to every measured latency (SLO failure testing)")
+		traceOut = flag.String("trace-out", "", "write one sampled job's merged Chrome trace to this file")
 		benchOut = flag.String("bench", "", "append results to this BENCH json file")
 		prefix   = flag.String("prefix", "cluster/load", "bench entry name prefix")
 	)
 	flag.Parse()
 
-	target := *coordURL
-	if *clusterN > 0 {
-		if target != "" {
-			log.Fatal("archload: use -coord or -cluster, not both")
-		}
-		url, teardown, err := startLocalCluster(*clusterN, *p, *workers)
-		if err != nil {
-			log.Fatalf("archload: start cluster: %v", err)
-		}
-		defer teardown()
-		target = url
-		log.Printf("archload: self-contained cluster of %d nodes behind %s", *clusterN, target)
+	if *coordURL != "" && *clusterN > 0 {
+		log.Fatal("archload: use -coord or -cluster, not both")
 	}
-	if target == "" {
-		log.Fatal("archload: -coord URL or -cluster N is required")
+	res, err := runLoad(loadConfig{
+		Target:        *coordURL,
+		Cluster:       *clusterN,
+		P:             *p,
+		Workers:       *workers,
+		Clients:       *clients,
+		Jobs:          *jobs,
+		Specs:         *specs,
+		ZipfS:         *zipfS,
+		ZipfV:         *zipfV,
+		Seed:          *seed,
+		Rate:          *rate,
+		SLO:           *sloSpec,
+		InjectLatency: *inject,
+		SampleTrace:   *traceOut != "",
+	})
+	if err != nil {
+		log.Fatalf("archload: %v", err)
 	}
-
-	st := &stats{}
-	var issued atomic.Int64
-	start := time.Now()
-	var wg sync.WaitGroup
-	for c := 0; c < *clients; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(*seed + int64(c)))
-			zipf := rand.NewZipf(rng, *zipfS, *zipfV, uint64(*specs-1))
-			hc := &http.Client{Timeout: 2 * time.Minute}
-			for issued.Add(1) <= int64(*jobs) {
-				spec := loadSpec(int(zipf.Uint64()))
-				body, _ := json.Marshal(serve.JobRequest{Spec: &spec})
-				t0 := time.Now()
-				resp, err := hc.Post(target+"/v1/jobs", "application/json", bytes.NewReader(body))
-				s := sample{latency: time.Since(t0)}
-				if err != nil {
-					s.err = true
-					st.add(s)
-					continue
-				}
-				s.status = resp.StatusCode
-				if resp.StatusCode == http.StatusOK {
-					var cr struct {
-						Origin   string `json:"origin"`
-						Degraded bool   `json:"degraded"`
-					}
-					raw, _ := io.ReadAll(resp.Body)
-					if json.Unmarshal(raw, &cr) == nil {
-						s.origin = cr.Origin
-						s.degraded = cr.Degraded
-					}
-				} else {
-					io.Copy(io.Discard, resp.Body)
-				}
-				resp.Body.Close()
-				st.add(s)
-			}
-		}(c)
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-
-	// Aggregate.
-	var ok, errs, overloaded, degraded, cacheHits int
-	var lats []time.Duration
-	for _, s := range st.samples {
-		lats = append(lats, s.latency)
-		switch {
-		case s.err:
-			errs++
-		case s.status == http.StatusOK:
-			ok++
-			if s.degraded {
-				degraded++
-			}
-			if s.origin == "cache" || s.origin == "coalesced" {
-				cacheHits++
-			}
-		case s.status == http.StatusTooManyRequests:
-			overloaded++
-		default:
-			errs++
-		}
-	}
-	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
-	total := len(st.samples)
-	if total == 0 {
+	if res.Total == 0 {
 		log.Fatal("archload: no samples")
 	}
-	p50 := percentile(lats, 0.50)
-	p95 := percentile(lats, 0.95)
-	p99 := percentile(lats, 0.99)
-	rate := func(n int) float64 { return float64(n) / float64(total) }
-	throughput := float64(ok) / elapsed.Seconds()
 
-	fmt.Printf("archload: %d requests in %v (%d clients, %d specs, zipf s=%.2f)\n",
-		total, elapsed.Round(time.Millisecond), *clients, *specs, *zipfS)
-	fmt.Printf("  ok=%d err=%d 429=%d degraded=%d cache-hits=%d\n", ok, errs, overloaded, degraded, cacheHits)
-	fmt.Printf("  latency p50=%v p95=%v p99=%v  throughput=%.1f jobs/s\n",
-		p50.Round(time.Microsecond), p95.Round(time.Microsecond), p99.Round(time.Microsecond), throughput)
+	mode := fmt.Sprintf("closed loop, %d clients", *clients)
+	if *rate > 0 {
+		mode = fmt.Sprintf("open loop, %.1f jobs/s Poisson", *rate)
+	}
+	ms := func(q float64) time.Duration { return time.Duration(res.Hist.Quantile(q)).Round(time.Microsecond) }
+	fmt.Printf("archload: %d requests in %v (%s, %d specs, zipf s=%.2f)\n",
+		res.Total, res.Elapsed.Round(time.Millisecond), mode, *specs, *zipfS)
+	fmt.Printf("  ok=%d err=%d 429=%d degraded=%d cache-hits=%d\n",
+		res.OK, res.Errs, res.Overloaded, res.Degraded, res.CacheHits)
+	fmt.Printf("  latency p50=%v p95=%v p99=%v p999=%v  throughput=%.1f jobs/s\n",
+		ms(0.50), ms(0.95), ms(0.99), ms(0.999), res.Throughput)
+	if res.SLO != nil {
+		fmt.Print(res.SLO.Format())
+	}
+	if res.SampledTrace != "" {
+		if err := os.WriteFile(*traceOut, res.TraceJSON, 0o644); err != nil {
+			log.Fatalf("archload: write trace: %v", err)
+		}
+		log.Printf("archload: merged trace for job %s written to %s", res.SampledTrace, *traceOut)
+	} else if *traceOut != "" {
+		log.Printf("archload: no merged trace retrievable this run")
+	}
 
 	if *benchOut != "" {
-		entries := []obs.BenchEntry{
-			{Name: *prefix + "/p50_ms", Value: float64(p50) / float64(time.Millisecond), Unit: "ms"},
-			{Name: *prefix + "/p95_ms", Value: float64(p95) / float64(time.Millisecond), Unit: "ms"},
-			{Name: *prefix + "/p99_ms", Value: float64(p99) / float64(time.Millisecond), Unit: "ms"},
-			{Name: *prefix + "/throughput", Value: throughput, Unit: "jobs/s"},
-			{Name: *prefix + "/error_rate", Value: rate(errs), Unit: "frac"},
-			{Name: *prefix + "/rate_429", Value: rate(overloaded), Unit: "frac"},
-			{Name: *prefix + "/degraded_rate", Value: rate(degraded), Unit: "frac"},
-			{Name: *prefix + "/cache_hit_rate", Value: rate(cacheHits), Unit: "frac"},
-		}
+		entries := res.BenchEntries(*prefix)
 		if err := obs.MergeBenchFile(*benchOut, entries); err != nil {
 			log.Fatalf("archload: write bench: %v", err)
 		}
 		log.Printf("archload: appended %d entries under %s to %s", len(entries), *prefix, *benchOut)
 	}
-	if errs > 0 {
+	if res.Errs > 0 || (res.SLO != nil && !res.SLO.Pass) {
 		os.Exit(1)
 	}
 }

@@ -15,10 +15,19 @@
 // without breaking CI.
 //
 // Two thresholds apply: deterministic metrics (counts, bytes, allocs)
-// gate at -threshold, while timing-derived metrics — units "s", "x",
-// and "ratio", all downstream of a wall clock — gate at the looser
-// -timing-threshold, because a millisecond-scale wall on a loaded
-// shared host swings far more than any real regression needs to.
+// gate at -threshold, while timing-derived metrics — units "s", "ms",
+// "x", and "ratio", all downstream of a wall clock — gate at the
+// looser -timing-threshold, because a millisecond-scale wall on a
+// loaded shared host swings far more than any real regression needs
+// to.
+//
+// Tail metrics go one step further: p99/p999 quantiles, burn rates and
+// histogram bucket counts are compared and reported ("noted") but
+// never gate, because a single scheduler stall legitimately moves a
+// tail quantile by an order of magnitude on a shared host.  Histogram
+// bucket families (`.../latency_bucket/le_*`) are also collapsed to
+// one entry in the additions/removals summary, so a reshaped
+// histogram reads as one changed metric rather than dozens.
 package main
 
 import (
@@ -40,10 +49,36 @@ func higherIsBetter(e obs.BenchEntry) bool {
 // bytes, and allocation metrics are deterministic and gate strictly.
 func timingDerived(e obs.BenchEntry) bool {
 	switch e.Unit {
-	case "s", "x", "ratio":
+	case "s", "ms", "x", "ratio":
 		return true
 	}
 	return false
+}
+
+// bucketFamily returns the histogram family key when the entry is one
+// cumulative bucket of a latency histogram (".../latency_bucket/le_5"
+// -> ".../latency_bucket"), or "" for scalar entries.  Families are
+// counted once in the additions/removals summary: a latency shift that
+// re-populates different buckets is one reshaped histogram, not a
+// dozen new metrics.
+func bucketFamily(name string) string {
+	if i := strings.Index(name, "/latency_bucket/le_"); i >= 0 {
+		return name[:i] + "/latency_bucket"
+	}
+	return ""
+}
+
+// neverGate reports whether an entry is a one-sided tail metric: tail
+// quantiles (p99/p999), SLO burn rates, and histogram bucket counts.
+// These are compared and reported for visibility but never counted as
+// regressions — one scheduler stall on a shared host legitimately
+// moves a p999 or a fast-window burn rate by an order of magnitude,
+// and gating on them would make the gate cry wolf.
+func neverGate(e obs.BenchEntry) bool {
+	return strings.HasSuffix(e.Name, "/p99") ||
+		strings.HasSuffix(e.Name, "/p999") ||
+		strings.Contains(e.Name, "/burn_rate") ||
+		bucketFamily(e.Name) != ""
 }
 
 // thresholds carries the two gate levels.
@@ -78,10 +113,19 @@ func compare(base, next []obs.BenchEntry, th thresholds) diffResult {
 		baseByName[e.Name] = e
 	}
 	seen := make(map[string]bool, len(next))
+	addedFamilies := make(map[string]bool)
 	for _, e := range next {
 		seen[e.Name] = true
 		b, ok := baseByName[e.Name]
 		if !ok {
+			if fam := bucketFamily(e.Name); fam != "" {
+				if !addedFamilies[fam] {
+					addedFamilies[fam] = true
+					d.additions++
+					d.lines = append(d.lines, fmt.Sprintf("  new   %-40s histogram family (no baseline)", fam))
+				}
+				continue
+			}
 			d.additions++
 			d.lines = append(d.lines, fmt.Sprintf("  new   %-40s %12.6g %s (no baseline)", e.Name, e.Value, e.Unit))
 			continue
@@ -103,17 +147,31 @@ func compare(base, next []obs.BenchEntry, th thresholds) diffResult {
 		}
 		status := "ok"
 		if worse > th.for_(e) {
-			status = "REGRESSION"
-			d.regressions++
+			if neverGate(e) {
+				status = "noted" // one-sided tail metric: reported, never gated
+			} else {
+				status = "REGRESSION"
+				d.regressions++
+			}
 		}
 		d.lines = append(d.lines, fmt.Sprintf("  %-5s %-40s %12.6g -> %-12.6g %s (%+.1f%%)",
 			status, e.Name, b.Value, e.Value, e.Unit, 100*worse))
 	}
+	goneFamilies := make(map[string]bool)
 	for _, b := range base {
-		if !seen[b.Name] {
-			d.removals++
-			d.lines = append(d.lines, fmt.Sprintf("  gone  %-40s %12.6g %s (missing from new run)", b.Name, b.Value, b.Unit))
+		if seen[b.Name] {
+			continue
 		}
+		if fam := bucketFamily(b.Name); fam != "" {
+			if !goneFamilies[fam] {
+				goneFamilies[fam] = true
+				d.removals++
+				d.lines = append(d.lines, fmt.Sprintf("  gone  %-40s histogram family (missing from new run)", fam))
+			}
+			continue
+		}
+		d.removals++
+		d.lines = append(d.lines, fmt.Sprintf("  gone  %-40s %12.6g %s (missing from new run)", b.Name, b.Value, b.Unit))
 	}
 	return d
 }

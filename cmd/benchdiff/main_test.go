@@ -138,6 +138,90 @@ func TestCompareTwoTierThresholds(t *testing.T) {
 	}
 }
 
+// TestCompareNeverGateTailMetrics: p99/p999 quantiles and burn rates
+// are compared and reported ("noted") but never counted as
+// regressions, no matter how far they move.
+func TestCompareNeverGateTailMetrics(t *testing.T) {
+	th := thresholds{strict: 0.10, timing: 0.50}
+	base := []obs.BenchEntry{
+		entry("cluster/load/p50", 10, "ms"),
+		entry("cluster/load/p99", 20, "ms"),
+		entry("cluster/load/p999", 30, "ms"),
+		entry("cluster/load/burn_rate_fast", 0.1, "ratio"),
+		entry("cluster/load/burn_rate_slow", 0.1, "ratio"),
+	}
+	next := []obs.BenchEntry{
+		entry("cluster/load/p50", 11, "ms"),    // within timing threshold
+		entry("cluster/load/p99", 500, "ms"),   // 25x: noted, not gated
+		entry("cluster/load/p999", 3000, "ms"), // 100x: noted, not gated
+		entry("cluster/load/burn_rate_fast", 50, "ratio"),
+		entry("cluster/load/burn_rate_slow", 14, "ratio"),
+	}
+	d := compare(base, next, th)
+	if d.regressions != 0 {
+		t.Fatalf("tail metrics must never gate: got %d regressions:\n%s",
+			d.regressions, strings.Join(d.lines, "\n"))
+	}
+	joined := strings.Join(d.lines, "\n")
+	if !strings.Contains(joined, "noted") {
+		t.Fatalf("huge tail moves should be reported as noted:\n%s", joined)
+	}
+	// The p50 percentile is NOT a never-gate metric: past the timing
+	// threshold it still regresses.
+	d = compare(base, []obs.BenchEntry{entry("cluster/load/p50", 100, "ms")}, th)
+	if d.regressions != 1 {
+		t.Fatalf("10x slower p50 past 50%% timing threshold: want 1 regression, got %d", d.regressions)
+	}
+}
+
+// TestCompareMsIsTimingDerived: percentile entries carry unit "ms" and
+// must gate at the loose timing threshold, not the strict one.
+func TestCompareMsIsTimingDerived(t *testing.T) {
+	th := thresholds{strict: 0.10, timing: 0.50}
+	base := []obs.BenchEntry{entry("cluster/load/p50", 10, "ms")}
+	d := compare(base, []obs.BenchEntry{entry("cluster/load/p50", 13, "ms")}, th)
+	if d.regressions != 0 {
+		t.Fatalf("30%% p50 noise under the 50%% timing threshold must pass, got %d regressions", d.regressions)
+	}
+}
+
+// TestCompareBucketFamilyCountedOnce: a histogram's bucket entries
+// collapse to one addition/removal, and bucket-count drift never
+// gates.
+func TestCompareBucketFamilyCountedOnce(t *testing.T) {
+	th := thresholds{strict: 0.10, timing: 0.50}
+	base := []obs.BenchEntry{
+		entry("fdtd/par/P=4/wall", 1.0, "s"),
+		entry("old/load/latency_bucket/le_1", 5, "count"),
+		entry("old/load/latency_bucket/le_2", 9, "count"),
+		entry("old/load/latency_bucket/le_4", 12, "count"),
+	}
+	next := []obs.BenchEntry{
+		entry("fdtd/par/P=4/wall", 1.0, "s"),
+		entry("cluster/load/latency_bucket/le_0.5", 3, "count"),
+		entry("cluster/load/latency_bucket/le_1", 8, "count"),
+		entry("cluster/load/latency_bucket/le_2", 15, "count"),
+		entry("cluster/load/latency_bucket/le_4", 20, "count"),
+	}
+	d := compare(base, next, th)
+	if d.additions != 1 || d.removals != 1 {
+		t.Fatalf("bucket families must count once: want 1 addition, 1 removal; got %d/%d\n%s",
+			d.additions, d.removals, strings.Join(d.lines, "\n"))
+	}
+	joined := strings.Join(d.lines, "\n")
+	if !strings.Contains(joined, "cluster/load/latency_bucket") || !strings.Contains(joined, "histogram family") {
+		t.Fatalf("family lines missing:\n%s", joined)
+	}
+
+	// Buckets present in both runs drift with latency: reported, never
+	// gated — the distribution shape is information, not a contract.
+	base = []obs.BenchEntry{entry("cluster/load/latency_bucket/le_1", 5, "count")}
+	d = compare(base, []obs.BenchEntry{entry("cluster/load/latency_bucket/le_1", 100, "count")}, th)
+	if d.regressions != 0 {
+		t.Fatalf("bucket drift must not gate, got %d regressions", d.regressions)
+	}
+}
+
 func TestCompareNoWarningWhenAligned(t *testing.T) {
 	base := []obs.BenchEntry{entry("a", 1, "s")}
 	d := compare(base, base, thresholds{strict: 0.10, timing: 0.10})

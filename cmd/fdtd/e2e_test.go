@@ -102,6 +102,45 @@ func TestSweepSmoke(t *testing.T) {
 	}
 }
 
+// TestBaselineFile: a prior -report artifact attaches as the speedup
+// baseline when the workload fingerprints match, and is refused with a
+// visible warning (speedup left unset) when they differ — the stale-
+// baseline trap the fingerprint exists to catch.
+func TestBaselineFile(t *testing.T) {
+	exe := buildBinary(t)
+	dir := t.TempDir()
+	grid := []string{"-nx", "16", "-ny", "8", "-nz", "8", "-steps", "8", "-quiet"}
+
+	baseRep := filepath.Join(dir, "base.json")
+	runCmd(t, exe, append([]string{"-build", "par", "-p", "1", "-report", baseRep}, grid...)...)
+
+	// Matching fingerprint: speedup computed from the recorded wall.
+	outRep := filepath.Join(dir, "p2.json")
+	runCmd(t, exe, append([]string{"-build", "par", "-p", "2", "-baseline-file", baseRep, "-report", outRep}, grid...)...)
+	rep := mustRead(t, outRep)
+	for _, want := range []string{`"spec_fingerprint"`, `"speedup"`, `"baseline_wall_seconds"`} {
+		if !bytes.Contains(rep, []byte(want)) {
+			t.Fatalf("report missing %s after -baseline-file:\n%s", want, rep)
+		}
+	}
+
+	// Different workload (other grid): typed mismatch warning on
+	// stderr, run still succeeds, speedup stays unset.
+	outRep2 := filepath.Join(dir, "p2-stale.json")
+	cmd := exec.Command(exe, "-build", "par", "-p", "2", "-baseline-file", baseRep, "-report", outRep2,
+		"-nx", "20", "-ny", "10", "-nz", "10", "-steps", "8", "-quiet")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("mismatched baseline must warn, not fail: %v\n%s", err, out)
+	}
+	if !bytes.Contains(out, []byte("baseline")) || !bytes.Contains(out, []byte("fingerprint")) {
+		t.Fatalf("no fingerprint-mismatch warning in output:\n%s", out)
+	}
+	if rep2 := mustRead(t, outRep2); bytes.Contains(rep2, []byte(`"speedup"`)) {
+		t.Fatalf("stale baseline still produced a speedup:\n%s", rep2)
+	}
+}
+
 // TestFlagValidation: conflicting flag combinations must exit with
 // usage status 2 before doing any work.
 func TestFlagValidation(t *testing.T) {
@@ -113,6 +152,8 @@ func TestFlagValidation(t *testing.T) {
 		{"-build", "par", "-procs", "2", "-backend", "socket"},
 		{"-build", "par", "-procs", "2", "-sweep", "1,2"},
 		{"-build", "par", "-procs", "2", "-baseline"},
+		{"-build", "par", "-baseline", "-baseline-file", "x.json"},
+		{"-build", "seq", "-baseline-file", "x.json"},
 		{"-build", "par", "-sweep", "1,2", "-dump", "x.grid"},
 		{"-build", "par", "-bench-append"},
 		{"-worker-rank", "0"},

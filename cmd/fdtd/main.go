@@ -23,7 +23,10 @@
 // report (wall time, per-phase breakdown, load imbalance,
 // comm-to-compute ratio) and prints its table; -baseline additionally
 // runs the same workload on P=1 to compute measured speedup and
-// efficiency; -trace-out writes a Chrome trace (open in
+// efficiency; -baseline-file attaches a previously written -report
+// JSON as the baseline instead (refused with a warning when its spec
+// fingerprint names a different workload); -trace-out writes a Chrome
+// trace (open in
 // chrome://tracing or https://ui.perfetto.dev) with one lane per rank;
 // -bench-out writes the headline numbers as a BENCH_*.json artifact;
 // -metrics-addr serves live Prometheus /metrics plus expvar and pprof
@@ -46,6 +49,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -102,6 +106,7 @@ func main() {
 	benchOut := flag.String("bench-out", "", "ssp/par builds: write headline metrics as a BENCH json artifact to this file")
 	metricsAddr := flag.String("metrics-addr", "", "ssp/par builds: serve Prometheus /metrics (+expvar, pprof) on this address during the run")
 	baseline := flag.Bool("baseline", false, "ssp/par builds: also run the workload on P=1 to measure speedup and efficiency")
+	baselineFile := flag.String("baseline-file", "", "ssp/par builds: attach a prior -report JSON as the speedup baseline instead of re-running P=1")
 	quiet := flag.Bool("quiet", false, "suppress the human-readable run summary (artifacts are still written)")
 	backend := flag.String("backend", "inproc", "par build channel backend: inproc | socket (loopback socket mesh)")
 	netKind := flag.String("net", "tcp", "socket network for -backend socket and -procs: tcp | unix")
@@ -123,15 +128,21 @@ func main() {
 	}
 
 	// Reject conflicting flag combinations up front, before any work.
-	obsWanted := *report != "" || *traceOut != "" || *benchOut != "" || *metricsAddr != ""
+	// Baselines (measured or recorded) need the collector too: the run
+	// report is where the speedup comparison lands.
+	obsWanted := *report != "" || *traceOut != "" || *benchOut != "" || *metricsAddr != "" ||
+		*baseline || *baselineFile != ""
 	if flag.NArg() > 0 {
 		usageErr("unexpected arguments: %v", flag.Args())
 	}
 	if *build != "ssp" && *build != "par" && *build != "seq" {
 		usageErr("unknown build %q (want seq, ssp, or par)", *build)
 	}
-	if *build == "seq" && (obsWanted || *baseline) {
-		usageErr("-report/-trace-out/-bench-out/-metrics-addr/-baseline instrument the archetype runtime; they require -build ssp or par")
+	if *build == "seq" && obsWanted {
+		usageErr("-report/-trace-out/-bench-out/-metrics-addr/-baseline/-baseline-file instrument the archetype runtime; they require -build ssp or par")
+	}
+	if *baseline && *baselineFile != "" {
+		usageErr("-baseline and -baseline-file are mutually exclusive (measured vs recorded baseline)")
 	}
 	if *injectCrash != "" && *build != "par" {
 		usageErr("-inject-crash requires -build par (crash recovery runs on the parallel build)")
@@ -173,7 +184,7 @@ func main() {
 		if recovery || *injectCrash != "" {
 			usageErr("-procs does not compose with crash recovery or -inject-crash")
 		}
-		if *report != "" || *traceOut != "" || *metricsAddr != "" || *baseline {
+		if *report != "" || *traceOut != "" || *metricsAddr != "" || *baseline || *baselineFile != "" {
 			usageErr("-report/-trace-out/-metrics-addr/-baseline require an in-process backend; -procs supports -dump and -bench-out")
 		}
 	}
@@ -185,7 +196,7 @@ func main() {
 			usageErr("-sweep scales the 1-D slab decomposition only (py=1)")
 		}
 		if recovery || *injectCrash != "" || *dump != "" ||
-			*report != "" || *traceOut != "" || *metricsAddr != "" || *baseline {
+			*report != "" || *traceOut != "" || *metricsAddr != "" || *baseline || *baselineFile != "" {
 			usageErr("-sweep runs its own measurement matrix; combine it only with -bench-out/-bench-append, -backend, and -net")
 		}
 	}
@@ -424,6 +435,7 @@ func main() {
 	title := fmt.Sprintf("fdtd version=%s build=%s P=%d grid=%dx%dx%d steps=%d",
 		*version, *build, ranks, *nx, *ny, *nz, *steps)
 	runRep := obs.BuildReport(title, col.Snapshot())
+	runRep.SpecFingerprint = fmt.Sprintf("%016x", spec.Fingerprint())
 	if *baseline && ranks > 1 {
 		mode := mesh.Sim
 		if *build == "par" {
@@ -438,7 +450,32 @@ func main() {
 			os.Exit(1)
 		}
 		baseCol.Finish()
-		runRep.SetBaseline(obs.BuildReport(title+" baseline", baseCol.Snapshot()))
+		baseRep := obs.BuildReport(title+" baseline", baseCol.Snapshot())
+		baseRep.SpecFingerprint = runRep.SpecFingerprint
+		if err := runRep.SetBaseline(baseRep); err != nil {
+			fmt.Fprintf(os.Stderr, "fdtd: warning: baseline not attached: %v\n", err)
+		}
+	}
+	if *baselineFile != "" {
+		// A recorded baseline can silently go stale: the report on disk
+		// may describe a different workload than this run.  SetBaseline
+		// refuses fingerprint mismatches with a typed error; surface it
+		// as a warning (speedup stays unset) rather than comparing a run
+		// against the wrong workload.
+		baseRep, err := obs.ReadReportFile(*baselineFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fdtd: -baseline-file: %v\n", err)
+			os.Exit(1)
+		}
+		if err := runRep.SetBaseline(baseRep); err != nil {
+			var mismatch *obs.BaselineMismatchError
+			if errors.As(err, &mismatch) {
+				fmt.Fprintf(os.Stderr, "fdtd: warning: %s ignored: %v\n", *baselineFile, mismatch)
+			} else {
+				fmt.Fprintf(os.Stderr, "fdtd: -baseline-file: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
 
 	if !*quiet {

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/fdtd"
 	"repro/internal/gridio"
+	"repro/internal/obs"
 	"repro/internal/procs"
 )
 
@@ -45,15 +46,20 @@ func runProcs(spec fdtd.Spec, n int, network string, compensated, wantDump bool)
 	if err := os.WriteFile(filepath.Join(dir, workerConfigFile), raw, 0o644); err != nil {
 		return nil, 0, err
 	}
-	cmds := make([]*exec.Cmd, n)
+	// One trace id correlates the whole run: it labels every worker in
+	// the supervisor's failure reports, so a dead rank's stderr tail
+	// names the run it belonged to even when several multi-process runs
+	// interleave in one log stream.
+	runTrace := obs.NewTraceSource(time.Now().UnixNano())()
+	workers := make([]procs.Worker, n)
 	for r := 0; r < n; r++ {
 		cmd := exec.Command(exe, "-worker-rank", fmt.Sprint(r), "-worker-dir", dir)
 		cmd.Stdout = os.Stderr
 		cmd.Stderr = os.Stderr
-		cmds[r] = cmd
+		workers[r] = procs.Worker{Cmd: cmd, Label: fmt.Sprintf("rank %d [trace %s]", r, runTrace)}
 	}
 	start := time.Now()
-	group, err := procs.Start(cmds)
+	group, err := procs.StartWorkers(workers)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -118,6 +118,7 @@ type SocketTransport[T any] struct {
 
 	inflight atomic.Int64
 	notify   atomic.Value // of func()
+	trace    atomic.Uint64
 	errv     atomic.Value // of error
 	failOnce sync.Once
 	closed   atomic.Bool
@@ -198,6 +199,14 @@ func (t *SocketTransport[T]) Err() error {
 // Notify registers f to run after every local delivery or failure.
 func (t *SocketTransport[T]) Notify(f func()) { t.notify.Store(f) }
 
+// SetTrace tags the transport with the trace id of the job currently
+// riding it, so a transport failure surfaces in logs already correlated
+// with the request that suffered it.  Warm-pool executors run jobs
+// serially per transport, making a plain overwrite per job safe; zero
+// clears the tag.  The id never touches the wire format — it decorates
+// the error text only.
+func (t *SocketTransport[T]) SetTrace(id uint64) { t.trace.Store(id) }
+
 func (t *SocketTransport[T]) notifyFn() {
 	if f, ok := t.notify.Load().(func()); ok && f != nil {
 		f()
@@ -269,6 +278,9 @@ func (t *SocketTransport[T]) Abort(err error) {
 // so a blocked runtime re-examines its state.
 func (t *SocketTransport[T]) fail(err error) {
 	t.failOnce.Do(func() {
+		if id := t.trace.Load(); id != 0 {
+			err = fmt.Errorf("%w [trace %016x]", err, id)
+		}
 		t.errv.Store(err)
 		for _, b := range t.boxes {
 			if b != nil {

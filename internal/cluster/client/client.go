@@ -187,7 +187,9 @@ func (c *Client) parseRetryAfter(h http.Header) time.Duration {
 // immediately; after a full cycle of candidates has failed, the client
 // sleeps (full-jitter exponential backoff, or the largest capped
 // Retry-After seen in the cycle if greater) before going around again.
-func (c *Client) PostJSON(ctx context.Context, nodes []string, path string, body []byte) (*Result, error) {
+// Optional extra headers (e.g. the trace-context header) are applied to
+// every attempt, so a failover carries the same correlation id.
+func (c *Client) PostJSON(ctx context.Context, nodes []string, path string, body []byte, hdr ...http.Header) (*Result, error) {
 	if len(nodes) == 0 {
 		return nil, errors.New("cluster client: no candidate nodes")
 	}
@@ -202,7 +204,7 @@ func (c *Client) PostJSON(ctx context.Context, nodes []string, path string, body
 		if attempt > 1 {
 			res.Failovers++
 		}
-		status, hdr, respBody, err := c.post(ctx, node, path, body)
+		status, respHdr, respBody, err := c.post(ctx, node, path, body, hdr)
 		switch {
 		case err != nil:
 			last = fmt.Errorf("node %s: %w", node, err)
@@ -212,14 +214,14 @@ func (c *Client) PostJSON(ctx context.Context, nodes []string, path string, body
 			lastStatus = status
 			if status == http.StatusTooManyRequests {
 				res.Retried429++
-				if ra := c.parseRetryAfter(hdr); ra > cycleRetryAfter {
+				if ra := c.parseRetryAfter(respHdr); ra > cycleRetryAfter {
 					cycleRetryAfter = ra
 				}
 			}
 		default:
 			res.Node = node
 			res.Status = status
-			res.Header = hdr
+			res.Header = respHdr
 			res.Body = respBody
 			return res, nil
 		}
@@ -253,7 +255,7 @@ func (c *Client) PostJSON(ctx context.Context, nodes []string, path string, body
 }
 
 // post runs one attempt with its own deadline.
-func (c *Client) post(ctx context.Context, node, path string, body []byte) (int, http.Header, []byte, error) {
+func (c *Client) post(ctx context.Context, node, path string, body []byte, extra []http.Header) (int, http.Header, []byte, error) {
 	actx, cancel := context.WithTimeout(ctx, c.pol.PerAttemptTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(actx, http.MethodPost, node+path, bytes.NewReader(body))
@@ -261,6 +263,13 @@ func (c *Client) post(ctx context.Context, node, path string, body []byte) (int,
 		return 0, nil, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	for _, h := range extra {
+		for k, vs := range h {
+			for _, v := range vs {
+				req.Header.Add(k, v)
+			}
+		}
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return 0, nil, nil, err
@@ -274,4 +283,27 @@ func (c *Client) post(ctx context.Context, node, path string, body []byte) (int,
 		return 0, nil, nil, fmt.Errorf("reading response: %w", err)
 	}
 	return resp.StatusCode, resp.Header, respBody, nil
+}
+
+// GetJSON performs one plain GET against a single node with the
+// per-attempt timeout and no retrying — the shape of best-effort
+// sidecar fetches like the coordinator's trace fan-out, where a missing
+// response degrades the answer instead of failing it.
+func (c *Client) GetJSON(ctx context.Context, node, path string) (int, []byte, error) {
+	actx, cancel := context.WithTimeout(ctx, c.pol.PerAttemptTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, node+path, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, fmt.Errorf("reading response: %w", err)
+	}
+	return resp.StatusCode, body, nil
 }

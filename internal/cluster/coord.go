@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster/client"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -22,8 +24,12 @@ type Config struct {
 	Member MemberConfig
 	// Client tunes the forwarding retry policy.
 	Client client.Policy
-	// Seed decorrelates the client's backoff jitter.
+	// Seed decorrelates the client's backoff jitter and the trace-id
+	// mint.
 	Seed int64
+	// TraceDepth bounds the coordinator's trace ring buffer.  0 uses
+	// the obs default (128); negative disables trace retention.
+	TraceDepth int
 	// Probe overrides the HTTP health prober (tests only).
 	Probe func(n Node) (float64, error)
 }
@@ -35,6 +41,8 @@ type Config struct {
 type Coordinator struct {
 	member *Membership
 	client *client.Client
+	mint   func() obs.TraceID // per-request trace ids
+	traces *obs.TraceStore    // coordinator-side service spans
 
 	// counters (atomic; exposed by /v1/stats)
 	jobs      atomic.Int64 // requests accepted for forwarding
@@ -44,6 +52,9 @@ type Coordinator struct {
 	retried   atomic.Int64 // 429s absorbed by the client
 	exhausted atomic.Int64 // requests that spent their retry budget
 	rejected  atomic.Int64 // malformed requests answered locally
+
+	// fwdLatency is the end-to-end forward-latency histogram (/metrics).
+	fwdLatency obs.Histogram
 }
 
 // New builds a coordinator and starts its probe loop.  Close stops it.
@@ -57,9 +68,18 @@ func New(cfg Config) (*Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
+	depth := cfg.TraceDepth
+	if depth == 0 {
+		depth = obs.DefaultTraceDepth
+	}
+	if depth < 0 {
+		depth = 0
+	}
 	c := &Coordinator{
 		member: m,
 		client: client.New(cfg.Client, cfg.Seed),
+		mint:   obs.NewTraceSource(cfg.Seed),
+		traces: obs.NewTraceStore(depth),
 	}
 	m.Start()
 	return c, nil
@@ -93,6 +113,10 @@ type ClusterResponse struct {
 	Attempts   int `json:"attempts"`
 	Failovers  int `json:"failovers,omitempty"`
 	Retried429 int `json:"retried_429,omitempty"`
+	// Trace is the request's trace id, minted here (or adopted from the
+	// caller's X-Archetype-Trace-Id header) and propagated to the node.
+	// The merged cross-process trace is at GET /v1/jobs/{trace}/trace.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Stats is the coordinator's GET /v1/stats body.
@@ -109,18 +133,25 @@ type Stats struct {
 
 // Handler returns the coordinator's HTTP mux:
 //
-//	POST /v1/jobs   forward a job to its shard, wait for the result
-//	GET  /v1/stats  coordinator counters + node states as JSON
-//	GET  /v1/nodes  node states alone
-//	GET  /healthz   liveness
+//	POST /v1/jobs              forward a job to its shard, wait for the result
+//	GET  /v1/jobs/{id}/trace   merged cross-process Chrome trace for a job
+//	GET  /v1/stats             coordinator counters + node states as JSON
+//	GET  /v1/nodes             node states alone
+//	GET  /healthz              liveness
+//	GET  /metrics              Prometheus text exposition
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/jobs", c.handleJobs)
+	mux.HandleFunc("/v1/jobs/", c.handleJobTrace)
 	mux.HandleFunc("/v1/stats", c.handleStats)
 	mux.HandleFunc("/v1/nodes", c.handleNodes)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		c.writeMetrics(w)
 	})
 	return mux
 }
@@ -148,11 +179,23 @@ func (c *Coordinator) handleJobs(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid", err.Error())
 		return
 	}
+	// Trace context: this is where cluster-wide trace ids are born.
+	// A caller-supplied header is adopted (so external tooling can
+	// correlate its own spans); otherwise the coordinator mints one.
+	trace, err := obs.ParseTraceID(r.Header.Get(obs.TraceHeader))
+	if err != nil {
+		c.rejected.Add(1)
+		writeError(w, http.StatusBadRequest, "invalid", fmt.Sprintf("%s: %v", obs.TraceHeader, err))
+		return
+	}
+	if trace == 0 {
+		trace = c.mint()
+	}
 	fp := spec.Fingerprint()
 	primary, cands := c.member.Route(fp)
 	if len(cands) == 0 {
 		writeError(w, http.StatusServiceUnavailable, "no_nodes",
-			fmt.Sprintf("no live node for fingerprint %016x (primary %s is down)", fp, primary))
+			fmt.Sprintf("no live node for fingerprint %016x (primary %s is down) [trace %s]", fp, primary, trace))
 		return
 	}
 	c.jobs.Add(1)
@@ -170,7 +213,11 @@ func (c *Coordinator) handleJobs(w http.ResponseWriter, r *http.Request) {
 	for i, n := range cands {
 		urls[i] = n.URL
 	}
-	res, err := c.client.PostJSON(r.Context(), urls, "/v1/jobs", body)
+	hdr := http.Header{}
+	hdr.Set(obs.TraceHeader, trace.String())
+	w.Header().Set(obs.TraceHeader, trace.String())
+	fwdStart := time.Now()
+	res, err := c.client.PostJSON(r.Context(), urls, "/v1/jobs", body, hdr)
 	if err != nil {
 		c.exhausted.Add(1)
 		if x, ok := client.AsExhausted(err); ok && x.LastStatus == http.StatusTooManyRequests {
@@ -181,12 +228,16 @@ func (c *Coordinator) handleJobs(w http.ResponseWriter, r *http.Request) {
 				secs = 1
 			}
 			w.Header().Set("Retry-After", fmt.Sprint(secs))
-			writeError(w, http.StatusTooManyRequests, "overloaded", err.Error())
+			writeError(w, http.StatusTooManyRequests, "overloaded",
+				fmt.Sprintf("%v [trace %s]", err, trace))
 			return
 		}
-		writeError(w, http.StatusServiceUnavailable, "unavailable", err.Error())
+		writeError(w, http.StatusServiceUnavailable, "unavailable",
+			fmt.Sprintf("%v [trace %s]", err, trace))
 		return
 	}
+	fwdEnd := time.Now()
+	c.recordForward(fwdEnd.Sub(fwdStart))
 	c.failovers.Add(int64(res.Failovers))
 	c.retried.Add(int64(res.Retried429))
 
@@ -221,6 +272,16 @@ func (c *Coordinator) handleJobs(w http.ResponseWriter, r *http.Request) {
 	if degraded {
 		c.degraded.Add(1)
 	}
+	// Coordinator-side service span: the whole forwarding effort
+	// (candidate attempts, backoff, the node's compute) as one span in
+	// the coordinator's lane of the merged trace.
+	c.traces.Put(obs.TraceBundle{
+		Trace:  trace.String(),
+		Source: "archcoord",
+		Spans: []obs.TraceSpan{
+			obs.ServiceSpan("forward", fmt.Sprintf("forward to %s (%d attempts)", servedName, res.Attempts), fwdStart, fwdEnd),
+		},
+	})
 	writeJSON(w, http.StatusOK, ClusterResponse{
 		Origin:     nodeResp.Origin,
 		Result:     nodeResp.Result,
@@ -230,7 +291,51 @@ func (c *Coordinator) handleJobs(w http.ResponseWriter, r *http.Request) {
 		Attempts:   res.Attempts,
 		Failovers:  res.Failovers,
 		Retried429: res.Retried429,
+		Trace:      trace.String(),
 	})
+}
+
+// handleJobTrace serves GET /v1/jobs/{id}/trace: the merged Chrome
+// trace for one traced job.  The coordinator contributes its own
+// forward span and fans out to every node's GET /v1/trace/{id} —
+// best-effort, so a node that has evicted the bundle (or died) thins
+// the trace instead of failing it.  Each contributing process becomes
+// one pid lane in the Chrome trace; rank spans keep their rank lanes.
+func (c *Coordinator) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	idStr, ok := strings.CutSuffix(rest, "/trace")
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("unknown path %q", r.URL.Path))
+		return
+	}
+	id, err := obs.ParseTraceID(idStr)
+	if err != nil || id == 0 {
+		writeError(w, http.StatusBadRequest, "invalid", fmt.Sprintf("bad trace id %q", idStr))
+		return
+	}
+	var bundles []obs.TraceBundle
+	if b, ok := c.traces.Get(id); ok {
+		bundles = append(bundles, b)
+	}
+	for _, n := range c.member.Snapshot() {
+		status, body, err := c.client.GetJSON(r.Context(), n.URL, "/v1/trace/"+id.String())
+		if err != nil || status != http.StatusOK {
+			continue
+		}
+		var b obs.TraceBundle
+		if json.Unmarshal(body, &b) == nil && b.Trace == id.String() {
+			bundles = append(bundles, b)
+		}
+	}
+	if len(bundles) == 0 {
+		writeError(w, http.StatusNotFound, "not_found",
+			fmt.Sprintf("trace %s not retained by the coordinator or any node", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := obs.MergeChromeTrace(w, bundles); err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+	}
 }
 
 func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {

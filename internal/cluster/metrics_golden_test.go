@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files from live output")
+
+// TestCoordMetricsGolden pins the coordinator's /metrics contract the
+// same way internal/serve pins the node's: the page must parse under
+// the text-format grammar AND reduce to exactly the schema committed
+// in testdata/metrics.golden (families, HELP strings, TYPEs, label
+// sets — including the per-node labels).  Regenerate with `go test
+// ./internal/cluster -run TestCoordMetricsGolden -update-golden`
+// after an intentional change.
+func TestCoordMetricsGolden(t *testing.T) {
+	tc := newTestCluster(t, "n0", "n1")
+	spec, _ := tc.specWithPrimary(t, "n0", 400)
+	tc.submit(t, spec)
+
+	resp, err := http.Get(tc.front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.LintProm(strings.NewReader(string(raw))); err != nil {
+		t.Fatalf("coordinator /metrics fails the exposition grammar: %v\n%s", err, raw)
+	}
+	schema, err := obs.PromSchema(strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(schema, "\n") + "\n"
+
+	const golden = "testdata/metrics.golden"
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create it)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("coordinator /metrics schema drifted from %s (run with -update-golden if intentional)\n--- got ---\n%s--- want ---\n%s",
+			golden, got, want)
+	}
+}

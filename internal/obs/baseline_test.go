@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestSetBaselineFingerprintMismatch: a baseline from a different
+// workload must be refused with the typed error, leaving speedup unset;
+// matching (or legacy fingerprint-less) baselines still attach.
+func TestSetBaselineFingerprintMismatch(t *testing.T) {
+	mk := func(fp string, wall time.Duration) *RunReport {
+		c := New(1)
+		c.Finish()
+		r := BuildReport("t", c.Snapshot())
+		r.SpecFingerprint = fp
+		r.WallSeconds = wall.Seconds()
+		return r
+	}
+	run := mk("aaaaaaaaaaaaaaaa", 100*time.Millisecond)
+	stale := mk("bbbbbbbbbbbbbbbb", 400*time.Millisecond)
+	err := run.SetBaseline(stale)
+	var mm *BaselineMismatchError
+	if !errors.As(err, &mm) {
+		t.Fatalf("want *BaselineMismatchError, got %v", err)
+	}
+	if mm.RunFingerprint != "aaaaaaaaaaaaaaaa" || mm.BaselineFingerprint != "bbbbbbbbbbbbbbbb" {
+		t.Fatalf("error fingerprints: %+v", mm)
+	}
+	if run.Speedup != 0 || run.BaselineWallSeconds != 0 {
+		t.Fatalf("mismatched baseline still set speedup=%g baseline=%g", run.Speedup, run.BaselineWallSeconds)
+	}
+
+	good := mk("aaaaaaaaaaaaaaaa", 400*time.Millisecond)
+	if err := run.SetBaseline(good); err != nil {
+		t.Fatalf("matching baseline refused: %v", err)
+	}
+	if run.Speedup < 3.9 || run.Speedup > 4.1 {
+		t.Fatalf("speedup = %g, want ~4", run.Speedup)
+	}
+
+	legacy := mk("", 200*time.Millisecond) // pre-fingerprint report
+	if err := run.SetBaseline(legacy); err != nil {
+		t.Fatalf("legacy baseline refused: %v", err)
+	}
+}
+
+// TestReadReportFile round-trips a report through disk.
+func TestReadReportFile(t *testing.T) {
+	c := New(2)
+	c.Finish()
+	r := BuildReport("roundtrip", c.Snapshot())
+	r.SpecFingerprint = "0123456789abcdef"
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := r.WriteJSONFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReportFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SpecFingerprint != r.SpecFingerprint || back.Title != r.Title || back.P != r.P {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, r)
+	}
+	if _, err := ReadReportFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file read without error")
+	}
+}

@@ -45,6 +45,10 @@ func WriteChromeTrace(w io.Writer, c *Collector) error {
 				Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
 			})
 		}
+		var args map[string]any
+		if id := c.Trace(); id != 0 {
+			args = map[string]any{"trace": id.String()}
+		}
 		for _, s := range c.Spans() {
 			name := s.Label
 			if name == "" {
@@ -58,6 +62,7 @@ func WriteChromeTrace(w io.Writer, c *Collector) error {
 				Dur:  durationMicros(s),
 				Pid:  0,
 				Tid:  s.Rank,
+				Args: args,
 			})
 		}
 	}

@@ -106,6 +106,7 @@ type rankState struct {
 type Collector struct {
 	p     int
 	epoch time.Time
+	trace atomic.Uint64 // TraceID stamping the spans (see tracectx.go)
 
 	ranks []rankState
 
@@ -137,6 +138,16 @@ func (c *Collector) P() int {
 		return 0
 	}
 	return c.p
+}
+
+// Epoch returns the collector's creation instant — the zero point of
+// every span timestamp, which trace mergers use to place spans from
+// different collectors on one wall-clock axis.  Zero time on nil.
+func (c *Collector) Epoch() time.Time {
+	if c == nil {
+		return time.Time{}
+	}
+	return c.epoch
 }
 
 func (c *Collector) now() time.Duration { return time.Since(c.epoch) }

@@ -1,0 +1,348 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-exposition (version 0.0.4) grammar checker.  The
+// repository writes its /metrics endpoints by hand, so the tests need a
+// parser that fails on the mistakes hand-rolled writers actually make:
+// TYPE before HELP, a family's samples split across the file, raw
+// quotes or newlines in label values, histogram buckets out of order or
+// missing the +Inf/_sum/_count triple.  LintProm enforces exactly the
+// subset of the grammar the repo's writers promise.
+
+var (
+	promMetricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelName  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// promFamily tracks one metric family's declaration and samples.
+type promFamily struct {
+	name     string
+	typ      string
+	helpSeen bool
+	typeSeen bool
+	closed   bool // a different family started after this one
+	samples  int
+
+	// histogram bookkeeping
+	lastLE   float64
+	infSeen  bool
+	infCount float64
+	sumSeen  bool
+	cntSeen  bool
+	cntValue float64
+}
+
+// LintProm reads a text exposition and returns the first grammar
+// violation, or nil when the document parses clean.
+func LintProm(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fams := map[string]*promFamily{}
+	var cur *promFamily
+	lineNo := 0
+	get := func(name string) *promFamily {
+		f, ok := fams[name]
+		if !ok {
+			f = &promFamily{name: name, lastLE: -1}
+			fams[name] = f
+		}
+		return f
+	}
+	// switchTo enforces family contiguity: once the stream moves on
+	// from a family, it must not come back.
+	switchTo := func(f *promFamily) error {
+		if cur == f {
+			return nil
+		}
+		if cur != nil {
+			cur.closed = true
+		}
+		if f.closed {
+			return fmt.Errorf("family %q reopened; all HELP/TYPE/samples of a family must be contiguous", f.name)
+		}
+		cur = f
+		return nil
+	}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("promlint: line %d: %s: %q", lineNo, fmt.Sprintf(format, args...), line)
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, rest, ok := strings.Cut(strings.TrimPrefix(line, "# "), " ")
+			if !ok || (kind != "HELP" && kind != "TYPE") {
+				continue // free-form comment
+			}
+			name, payload, ok := strings.Cut(rest, " ")
+			if !ok || !promMetricName.MatchString(name) {
+				return fail("malformed %s line", kind)
+			}
+			f := get(name)
+			if err := switchTo(f); err != nil {
+				return fail("%v", err)
+			}
+			switch kind {
+			case "HELP":
+				if f.helpSeen {
+					return fail("duplicate HELP for %s", name)
+				}
+				if f.typeSeen || f.samples > 0 {
+					return fail("HELP for %s must precede its TYPE and samples", name)
+				}
+				f.helpSeen = true
+			case "TYPE":
+				if f.typeSeen {
+					return fail("duplicate TYPE for %s", name)
+				}
+				if f.samples > 0 {
+					return fail("TYPE for %s must precede its samples", name)
+				}
+				switch payload {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fail("unknown TYPE %q", payload)
+				}
+				f.typeSeen = true
+				f.typ = payload
+			}
+			continue
+		}
+		// Sample line: name[{labels}] value [timestamp]
+		name, labels, value, err := parsePromSample(line)
+		if err != nil {
+			return fail("%v", err)
+		}
+		base := name
+		suffix := ""
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suf)
+			if trimmed != name {
+				if f, ok := fams[trimmed]; ok && f.typ == "histogram" {
+					base, suffix = trimmed, suf
+				}
+				break
+			}
+		}
+		f := get(base)
+		if err := switchTo(f); err != nil {
+			return fail("%v", err)
+		}
+		if !f.typeSeen {
+			return fail("sample for %s before its TYPE", base)
+		}
+		f.samples++
+		if f.typ == "histogram" {
+			switch suffix {
+			case "_bucket":
+				le, ok := labels["le"]
+				if !ok {
+					return fail("histogram bucket without le label")
+				}
+				if le == "+Inf" {
+					f.infSeen = true
+					f.infCount = value
+					break
+				}
+				lv, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return fail("unparseable le %q", le)
+				}
+				if f.infSeen {
+					return fail("bucket after +Inf for %s", base)
+				}
+				if lv <= f.lastLE {
+					return fail("histogram buckets not strictly increasing (%g after %g)", lv, f.lastLE)
+				}
+				f.lastLE = lv
+			case "_sum":
+				f.sumSeen = true
+			case "_count":
+				f.cntSeen = true
+				f.cntValue = value
+			default:
+				return fail("bare sample %s for histogram family", name)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("promlint: %w", err)
+	}
+	for _, f := range fams {
+		if f.samples == 0 && (f.helpSeen || f.typeSeen) {
+			return fmt.Errorf("promlint: family %q declared but has no samples", f.name)
+		}
+		if f.samples > 0 && !f.helpSeen {
+			return fmt.Errorf("promlint: family %q has samples but no HELP", f.name)
+		}
+		if f.typ == "histogram" {
+			if !f.infSeen {
+				return fmt.Errorf("promlint: histogram %q missing +Inf bucket", f.name)
+			}
+			if !f.sumSeen || !f.cntSeen {
+				return fmt.Errorf("promlint: histogram %q missing _sum or _count", f.name)
+			}
+			if f.cntValue != f.infCount {
+				return fmt.Errorf("promlint: histogram %q _count (%g) != +Inf bucket (%g)", f.name, f.cntValue, f.infCount)
+			}
+		}
+	}
+	return nil
+}
+
+// parsePromSample splits a sample line into name, label map and value,
+// validating metric/label names, label-value escaping and the float
+// value.
+func parsePromSample(line string) (string, map[string]string, float64, error) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	var name string
+	labels := map[string]string{}
+	if brace >= 0 {
+		name = rest[:brace]
+		rest = rest[brace+1:]
+		for {
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("label without '='")
+			}
+			lname := rest[:eq]
+			if !promLabelName.MatchString(lname) {
+				return "", nil, 0, fmt.Errorf("bad label name %q", lname)
+			}
+			rest = rest[eq+1:]
+			if len(rest) == 0 || rest[0] != '"' {
+				return "", nil, 0, fmt.Errorf("label value for %q not quoted", lname)
+			}
+			rest = rest[1:]
+			var val strings.Builder
+			i := 0
+			for {
+				if i >= len(rest) {
+					return "", nil, 0, fmt.Errorf("unterminated label value for %q", lname)
+				}
+				c := rest[i]
+				if c == '\\' {
+					if i+1 >= len(rest) {
+						return "", nil, 0, fmt.Errorf("dangling escape in label %q", lname)
+					}
+					switch rest[i+1] {
+					case '\\', '"':
+						val.WriteByte(rest[i+1])
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return "", nil, 0, fmt.Errorf("bad escape \\%c in label %q", rest[i+1], lname)
+					}
+					i += 2
+					continue
+				}
+				if c == '"' {
+					i++
+					break
+				}
+				if c == '\n' {
+					return "", nil, 0, fmt.Errorf("raw newline in label %q", lname)
+				}
+				val.WriteByte(c)
+				i++
+			}
+			labels[lname] = val.String()
+			rest = rest[i:]
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+				continue
+			}
+			if strings.HasPrefix(rest, "}") {
+				rest = strings.TrimPrefix(rest[1:], " ")
+				break
+			}
+			return "", nil, 0, fmt.Errorf("expected ',' or '}' after label %q", lname)
+		}
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return "", nil, 0, fmt.Errorf("sample without value")
+		}
+		name = rest[:sp]
+		rest = rest[sp+1:]
+	}
+	if !promMetricName.MatchString(name) {
+		return "", nil, 0, fmt.Errorf("bad metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("expected value [timestamp], got %q", rest)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("unparseable value %q", fields[0])
+	}
+	return name, labels, v, nil
+}
+
+// promLE collapses the value of any le label so histogram bucket lines
+// with different (timing-dependent) boundaries reduce to one schema
+// line.
+var promLE = regexp.MustCompile(`le="[^"]*"`)
+
+// PromSchema reduces a text exposition to its deterministic shape for
+// golden-file comparison: HELP and TYPE lines verbatim, and one line
+// per distinct sample name + label set with the value dropped.
+// Histogram `le` labels collapse to `le="*"` (bucket boundaries track
+// the observed latencies, so they differ run to run while the schema
+// does not).  The input must already parse — lint first, then diff the
+// schema.
+func PromSchema(r io.Reader) ([]string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []string
+	seen := map[string]bool{}
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			out = append(out, line)
+			continue
+		}
+		name, _, _, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("promschema: %v: %q", err, line)
+		}
+		key := name
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			j := strings.LastIndexByte(line, '}')
+			key = promLE.ReplaceAllString(line[:j+1], `le="*"`)
+		}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, key)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("promschema: %w", err)
+	}
+	return out, nil
+}
+
+// PromEscapeLabel escapes a label value per the text format: backslash,
+// double quote and newline.
+func PromEscapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}

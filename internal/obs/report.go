@@ -28,9 +28,14 @@ type RankReport struct {
 // speedup and efficiency.  It marshals to JSON for tooling and formats
 // as an aligned table for humans.
 type RunReport struct {
-	Title       string  `json:"title"`
-	P           int     `json:"p"`
-	WallSeconds float64 `json:"wall_seconds"`
+	Title string `json:"title"`
+	P     int    `json:"p"`
+	// SpecFingerprint identifies the workload (the spec's 16-hex-digit
+	// fingerprint).  Baseline attachment refuses to compare runs whose
+	// fingerprints differ — a speedup of one workload over a different
+	// workload is noise masquerading as measurement.
+	SpecFingerprint string  `json:"spec_fingerprint,omitempty"`
+	WallSeconds     float64 `json:"wall_seconds"`
 	// PhaseSeconds is the mean over ranks of each phase's time; the
 	// values sum to ~WallSeconds because each rank's phases tile its
 	// timeline.
@@ -102,10 +107,32 @@ func BuildReport(title string, snap Snapshot) *RunReport {
 	return rep
 }
 
+// BaselineMismatchError reports a baseline whose workload is not the
+// one this run executed: the two reports carry different spec
+// fingerprints, so a speedup computed from their wall times would be
+// comparing different programs.  Typical cause: a stale -baseline-file
+// left over from an earlier experiment.
+type BaselineMismatchError struct {
+	RunFingerprint      string
+	BaselineFingerprint string
+}
+
+// Error implements error.
+func (e *BaselineMismatchError) Error() string {
+	return fmt.Sprintf("obs: baseline spec fingerprint %s does not match this run's %s; speedup/efficiency not computed (stale baseline file?)",
+		e.BaselineFingerprint, e.RunFingerprint)
+}
+
 // SetBaseline attaches a reference run (normally P=1 of the same
 // workload) and computes the paper's speedup and efficiency from the
-// two measured wall times.
-func (r *RunReport) SetBaseline(base *RunReport) {
+// two measured wall times.  When both reports carry spec fingerprints
+// and they differ, nothing is set and a *BaselineMismatchError is
+// returned — stale baselines fail loudly instead of producing a
+// plausible-looking speedup of one workload over another.
+func (r *RunReport) SetBaseline(base *RunReport) error {
+	if r.SpecFingerprint != "" && base.SpecFingerprint != "" && r.SpecFingerprint != base.SpecFingerprint {
+		return &BaselineMismatchError{RunFingerprint: r.SpecFingerprint, BaselineFingerprint: base.SpecFingerprint}
+	}
 	r.BaselineWallSeconds = base.WallSeconds
 	if r.WallSeconds > 0 {
 		r.Speedup = base.WallSeconds / r.WallSeconds
@@ -113,6 +140,21 @@ func (r *RunReport) SetBaseline(base *RunReport) {
 			r.Efficiency = r.Speedup / float64(r.P)
 		}
 	}
+	return nil
+}
+
+// ReadReportFile parses a RunReport JSON artifact written by
+// WriteJSONFile — the reader behind cmd/fdtd's -baseline-file.
+func ReadReportFile(path string) (*RunReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: report: %w", err)
+	}
+	var r RunReport
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("obs: report: %s: %w", path, err)
+	}
+	return &r, nil
 }
 
 // WriteJSON writes the report as indented JSON.

@@ -50,24 +50,30 @@ type exit struct {
 }
 
 // WorkerError is the typed failure of one worker process: its index in
-// the group, the underlying cause (an *exec.ExitError for a nonzero
-// exit or a kill signal), and the tail of the worker's stderr — the
-// diagnostics a crashed child managed to write before dying, which
-// would otherwise vanish with the process.  errors.As recovers it
-// through any wrapping, so launchers can tell "a rank died" from "the
-// group timed out".
+// the group, its correlation label (when the launcher set one), the
+// underlying cause (an *exec.ExitError for a nonzero exit or a kill
+// signal), and the tail of the worker's stderr — the diagnostics a
+// crashed child managed to write before dying, which would otherwise
+// vanish with the process.  errors.As recovers it through any
+// wrapping, so launchers can tell "a rank died" from "the group timed
+// out".
 type WorkerError struct {
 	ID     int
+	Label  string
 	Err    error
 	Stderr string
 }
 
 // Error implements error.
 func (e *WorkerError) Error() string {
-	if e.Stderr != "" {
-		return fmt.Sprintf("procs: worker %d: %v; stderr tail: %q", e.ID, e.Err, e.Stderr)
+	who := fmt.Sprintf("worker %d", e.ID)
+	if e.Label != "" {
+		who = fmt.Sprintf("worker %d (%s)", e.ID, e.Label)
 	}
-	return fmt.Sprintf("procs: worker %d: %v", e.ID, e.Err)
+	if e.Stderr != "" {
+		return fmt.Sprintf("procs: %s: %v; stderr tail: %q", who, e.Err, e.Stderr)
+	}
+	return fmt.Sprintf("procs: %s: %v", who, e.Err)
 }
 
 // Unwrap exposes the underlying process failure.
@@ -124,6 +130,10 @@ type Worker struct {
 	// SIGKILLed child cannot leave stale sockets behind for the next
 	// run to trip over.
 	RunDir string
+	// Label, when set, names the worker in failure reports — typically
+	// "rank R [trace <id>]", so a dead rank's stderr tail correlates
+	// with the launcher's trace of the run it belonged to.
+	Label string
 }
 
 // Group supervises a set of started worker processes.
@@ -231,7 +241,7 @@ func (g *Group) Wait(timeout time.Duration) error {
 		case e := <-g.exits:
 			if e.err != nil {
 				reaped++
-				return abort(&WorkerError{ID: e.id, Err: e.err, Stderr: g.tails[e.id].String()})
+				return abort(&WorkerError{ID: e.id, Label: g.workers[e.id].Label, Err: e.err, Stderr: g.tails[e.id].String()})
 			}
 		case <-timer:
 			return abort(&TimeoutError{Timeout: timeout, Running: len(g.workers) - reaped, Total: len(g.workers)})

@@ -190,6 +190,41 @@ func TestGroupSIGKILLDuringRun(t *testing.T) {
 	}
 }
 
+// TestWorkerErrorCarriesLabel: a launcher-assigned correlation label
+// (rank + trace id) must survive into the typed failure and its
+// message, so a dead rank's stderr tail names the run it belonged to.
+func TestWorkerErrorCarriesLabel(t *testing.T) {
+	g, err := StartWorkers([]Worker{{
+		Cmd:   exec.Command("sh", "-c", "echo boom >&2; exit 3"),
+		Label: "rank 0 [trace 00000000deadbeef]",
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = g.Wait(30 * time.Second)
+	var we *WorkerError
+	if !errors.As(err, &we) {
+		t.Fatalf("error %v (%T) is not a *WorkerError", err, err)
+	}
+	if we.Label != "rank 0 [trace 00000000deadbeef]" {
+		t.Fatalf("label %q not carried", we.Label)
+	}
+	for _, want := range []string{"rank 0 [trace 00000000deadbeef]", "boom"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err, want)
+		}
+	}
+	// An unlabelled worker keeps the terse form.
+	g, err = StartWorkers([]Worker{{Cmd: exec.Command("sh", "-c", "exit 4")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = g.Wait(30 * time.Second)
+	if strings.Contains(err.Error(), "()") {
+		t.Fatalf("unlabelled worker error %q grew an empty label", err)
+	}
+}
+
 func TestGroupStderrTailBounded(t *testing.T) {
 	// A worker that floods stderr before failing must not buffer it
 	// all: the tail is capped, keeping only the most recent output

@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro/internal/fdtd"
+	"repro/internal/obs"
 )
 
 // JobRequest is the POST /v1/jobs body.  Exactly one of Preset or Spec
@@ -30,6 +32,11 @@ type JobRequest struct {
 type JobResponse struct {
 	Origin string     `json:"origin"` // computed | cache | coalesced
 	Result *JobResult `json:"result"`
+	// Trace is the request's trace id (propagated from the
+	// X-Archetype-Trace-Id header, or minted here when absent); the
+	// node's span bundle is retrievable at GET /v1/trace/{id} while it
+	// stays in the ring buffer.
+	Trace string `json:"trace,omitempty"`
 }
 
 // errorResponse is the JSON error body every failure returns.
@@ -82,14 +89,16 @@ func ResolveRequest(req JobRequest) (fdtd.Spec, SubmitOptions, error) {
 
 // Handler returns the service's HTTP mux:
 //
-//	POST /v1/jobs   submit a job, wait for its result
-//	GET  /v1/stats  service counters as JSON
-//	GET  /healthz   liveness ("ok", or 503 while draining)
-//	GET  /metrics   Prometheus text exposition
+//	POST /v1/jobs        submit a job, wait for its result
+//	GET  /v1/stats       service counters as JSON
+//	GET  /v1/trace/{id}  span bundle for a recent traced job
+//	GET  /healthz        liveness ("ok", or 503 while draining)
+//	GET  /metrics        Prometheus text exposition
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/trace/", s.handleTrace)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
@@ -113,20 +122,54 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid", err)
 		return
 	}
+	// Trace context: adopt the caller's id (the cluster coordinator
+	// mints one per request), or mint locally for direct submissions so
+	// standalone nodes are traceable too.  A malformed header is a bad
+	// request — silently dropping it would break correlation downstream.
+	trace, err := obs.ParseTraceID(r.Header.Get(obs.TraceHeader))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid", fmt.Errorf("%s: %w", obs.TraceHeader, err))
+		return
+	}
+	if trace == 0 {
+		trace = s.mint()
+	}
+	opts.Trace = trace
 
 	res, origin, err := s.Submit(spec, opts)
 	if err != nil {
-		s.writeSubmitError(w, err)
+		s.writeSubmitError(w, err, trace)
 		return
 	}
 	w.Header().Set("X-Archserve-Origin", origin.String())
-	writeJSON(w, http.StatusOK, JobResponse{Origin: origin.String(), Result: res})
+	w.Header().Set(obs.TraceHeader, trace.String())
+	writeJSON(w, http.StatusOK, JobResponse{Origin: origin.String(), Result: res, Trace: trace.String()})
+}
+
+// handleTrace serves GET /v1/trace/{id}: the node-local span bundle for
+// a recent traced job, consumed by the coordinator's cross-node merge.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id, err := obs.ParseTraceID(strings.TrimPrefix(r.URL.Path, "/v1/trace/"))
+	if err != nil || id == 0 {
+		writeError(w, http.StatusBadRequest, "invalid", fmt.Errorf("bad trace id in path %q", r.URL.Path))
+		return
+	}
+	bundle, ok := s.traces.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", fmt.Errorf("trace %s not retained (ring depth %d)", id, s.cfg.TraceDepth))
+		return
+	}
+	writeJSON(w, http.StatusOK, bundle)
 }
 
 // writeSubmitError maps the service's typed errors onto HTTP statuses:
 // backpressure is 429 with Retry-After, drain is 503, a job deadline
-// is 504, a bad spec is 400, anything else 500.
-func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+// is 504, a bad spec is 400, anything else 500.  The trace id rides the
+// response header so even failures stay correlated.
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error, trace obs.TraceID) {
+	if trace != 0 {
+		w.Header().Set(obs.TraceHeader, trace.String())
+	}
 	if o, ok := AsOverloaded(err); ok {
 		secs := int(o.RetryAfter.Round(time.Second) / time.Second)
 		if secs < 1 {

@@ -17,17 +17,23 @@ import (
 // coalesced requests may wait on the same job; the first writer of
 // res/err closes done exactly once.
 type job struct {
-	id      uint64
-	spec    fdtd.Spec
-	fp      uint64
-	timeout time.Duration
-	noCache bool
-	shared  bool // registered in the coalescing map (noCache jobs are not)
+	id       uint64
+	spec     fdtd.Spec
+	fp       uint64
+	timeout  time.Duration
+	noCache  bool
+	shared   bool // registered in the coalescing map (noCache jobs are not)
+	trace    obs.TraceID
+	admitted time.Time // when Submit accepted the job (queued-span start)
 
 	cancel *fault.Canceller
 	done   chan struct{}
 	res    *JobResult
 	err    error
+	// bundle is the job's trace spans (service lane + per-rank phase
+	// spans), filled by the executor for traced jobs and stored into the
+	// server's TraceStore at completion.
+	bundle obs.TraceBundle
 }
 
 // small reports whether the job is batchable: a grid under the

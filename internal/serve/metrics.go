@@ -28,8 +28,12 @@ type metrics struct {
 	batches       atomic.Int64 // dispatches (>= 1 job each)
 	batchedJobs   atomic.Int64 // jobs that shared a dispatch with another
 	rebuilds      atomic.Int64 // warm transports rebuilt after failure
-	wallNanos     atomic.Int64 // cumulative job wall time
-	phaseNanos    [obs.NumPhases]atomic.Int64
+	// latency is the job wall-time distribution (HDR-style log-bucketed
+	// histogram, ~3% relative error).  It subsumes the old scalar mean:
+	// the mean is Sum/Count, and the quantiles the mean used to hide —
+	// p99, p999 — are what capacity planning actually needs.
+	latency    obs.Histogram
+	phaseNanos [obs.NumPhases]atomic.Int64
 }
 
 // addSnapshot folds one job's observability snapshot into the
@@ -43,13 +47,44 @@ func (m *metrics) addSnapshot(snap obs.Snapshot) {
 }
 
 // avgWall returns the mean job wall time, or fallback when no job has
-// completed yet — the basis of the Retry-After estimate.
+// completed yet — the basis of the Retry-After estimate.  The sum and
+// count in the histogram header are exact (only the bucket placement is
+// approximate), so this mean is as precise as the old scalar one.
 func (m *metrics) avgWall(fallback time.Duration) time.Duration {
-	done := m.jobsOK.Load() + m.jobsFailed.Load() + m.jobsTimedOut.Load()
-	if done == 0 {
+	snap := m.latency.Snapshot()
+	if snap.Count == 0 {
 		return fallback
 	}
-	return time.Duration(m.wallNanos.Load() / done)
+	return time.Duration(snap.Sum / snap.Count)
+}
+
+// LatencySummary is the histogram-derived latency digest in /v1/stats.
+type LatencySummary struct {
+	Count  int64   `json:"count"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// latencySummary digests the wall-time histogram for /v1/stats.
+func (m *metrics) latencySummary() LatencySummary {
+	snap := m.latency.Snapshot()
+	ms := func(q float64) float64 {
+		return float64(snap.Quantile(q)) / float64(time.Millisecond)
+	}
+	if snap.Count == 0 {
+		return LatencySummary{}
+	}
+	return LatencySummary{
+		Count:  snap.Count,
+		P50Ms:  ms(0.5),
+		P95Ms:  ms(0.95),
+		P99Ms:  ms(0.99),
+		P999Ms: ms(0.999),
+		MaxMs:  float64(snap.Max) / float64(time.Millisecond),
+	}
 }
 
 // writeText emits the service metrics in Prometheus text exposition
@@ -87,13 +122,18 @@ func (m *metrics) writeText(w io.Writer, queueDepth, queueCap, workers, cached i
 	counter("archserve_batched_jobs_total", "Jobs that shared a dispatch with at least one other job.", m.batchedJobs.Load())
 	counter("archserve_transport_rebuilds_total", "Warm worker meshes rebuilt after a failure or abort.", m.rebuilds.Load())
 
+	latSnap := m.latency.Snapshot()
 	fmt.Fprintf(&b, "# HELP archserve_job_wall_seconds_total Cumulative job wall time.\n# TYPE archserve_job_wall_seconds_total counter\n")
-	fmt.Fprintf(&b, "archserve_job_wall_seconds_total %g\n", time.Duration(m.wallNanos.Load()).Seconds())
+	fmt.Fprintf(&b, "archserve_job_wall_seconds_total %g\n", time.Duration(latSnap.Sum).Seconds())
 
 	fmt.Fprintf(&b, "# HELP archserve_job_phase_seconds_total Per-phase time summed over ranks and jobs.\n# TYPE archserve_job_phase_seconds_total counter\n")
 	for ph := obs.Phase(0); ph < obs.NumPhases; ph++ {
 		fmt.Fprintf(&b, "archserve_job_phase_seconds_total{phase=\"%s\"} %g\n",
 			ph, time.Duration(m.phaseNanos[ph].Load()).Seconds())
+	}
+	if err := obs.WritePromHistogram(&b, "archserve_job_latency_seconds",
+		"Job wall-time distribution (completed jobs, all outcomes).", "", latSnap); err != nil {
+		return err
 	}
 	_, err := io.WriteString(w, b.String())
 	return err

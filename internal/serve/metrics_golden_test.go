@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files from live output")
+
+// TestMetricsGolden pins the /metrics contract: after real traffic the
+// page must parse under the text-format grammar AND reduce to exactly
+// the schema committed in testdata/metrics.golden — every family,
+// HELP string, TYPE and label set.  A metric renamed, dropped or
+// grown a label shows up as a diff against the golden file, not as a
+// silent dashboard break.  Regenerate with `go test ./internal/serve
+// -run TestMetricsGolden -update-golden` after an intentional change.
+func TestMetricsGolden(t *testing.T) {
+	s := newTestServer(t, Config{P: 2, Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	// Exercise the compute and cache paths so histograms and counters
+	// render populated (values are dropped by the schema reduction, but
+	// the page under test should be the loaded one, not the empty one).
+	postJob(t, ts, `{"preset":"small-a"}`)
+	postJob(t, ts, `{"preset":"small-a"}`)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.LintProm(strings.NewReader(string(raw))); err != nil {
+		t.Fatalf("/metrics fails the exposition grammar: %v\n%s", err, raw)
+	}
+	schema, err := obs.PromSchema(strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(schema, "\n") + "\n"
+
+	const golden = "testdata/metrics.golden"
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create it)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("/metrics schema drifted from %s (run with -update-golden if intentional)\n--- got ---\n%s--- want ---\n%s",
+			golden, got, want)
+	}
+}

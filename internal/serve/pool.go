@@ -121,6 +121,15 @@ func (p *pool) close() {
 	p.wg.Wait()
 }
 
+// traceTag renders " [trace <id>]" for correlated error text, or ""
+// when the job is untraced.
+func traceTag(id obs.TraceID) string {
+	if id == 0 {
+		return ""
+	}
+	return " [trace " + id.String() + "]"
+}
+
 // rankLoop is the resident goroutine for one rank of one executor.
 func (ex *executor) rankLoop(rank int) {
 	defer ex.ranks.Done()
@@ -234,7 +243,7 @@ func (ex *executor) retireTransport() {
 func (ex *executor) runJob(jb *job) {
 	if err := jb.cancel.Err(); err != nil {
 		// Cancelled while queued (drain deadline): don't touch the mesh.
-		ex.p.complete(jb, nil, fmt.Errorf("serve: job cancelled before dispatch: %w", err))
+		ex.p.complete(jb, nil, fmt.Errorf("serve: job%s cancelled before dispatch: %w", traceTag(jb.trace), err))
 		return
 	}
 	tr, err := ex.ensureTransport()
@@ -244,6 +253,8 @@ func (ex *executor) runJob(jb *job) {
 	}
 
 	col := obs.New(ex.p.cfg.P)
+	col.SetTrace(jb.trace)
+	tr.SetTrace(uint64(jb.trace)) // tag transport failures with this job's trace
 	opt := fdtd.DefaultOptions()
 	opt.Mesh.Obs = col
 	opt.Cancel = jb.cancel
@@ -290,11 +301,24 @@ func (ex *executor) runJob(jb *job) {
 	if timer != nil {
 		timer.Stop()
 	}
-	wall := time.Since(start)
+	end := time.Now()
+	wall := end.Sub(start)
 	col.Finish()
 	snap := col.Snapshot()
-	ex.p.m.wallNanos.Add(wall.Nanoseconds())
+	ex.p.m.latency.Record(wall)
 	ex.p.m.addSnapshot(snap)
+
+	if jb.trace != 0 {
+		// Assemble the node-local span bundle: rank-level phase spans
+		// from the collector plus service-lane spans for the queue wait
+		// and the execution itself.  complete() files it in the store.
+		jb.bundle = obs.BundleFromCollector(jb.trace, ex.p.cfg.Name, col)
+		jb.bundle.Spans = append(jb.bundle.Spans,
+			obs.ServiceSpan("serve", "queued", jb.admitted, start),
+			obs.ServiceSpan("serve", "execute", start, end),
+		)
+	}
+	tr.SetTrace(0)
 
 	// The mesh is reusable only if the run ended clean: no transport
 	// failure, nothing buffered, nothing undelivered.  Anything else —
@@ -309,12 +333,12 @@ func (ex *executor) runJob(jb *job) {
 		ex.p.complete(jb, nil, &JobTimeoutError{Timeout: jb.timeout})
 	case firstErr != nil:
 		if c, ok := fault.AsCancelled(firstErr); ok {
-			ex.p.complete(jb, nil, fmt.Errorf("serve: job cancelled at step %d: %w", c.Step, firstErr))
+			ex.p.complete(jb, nil, fmt.Errorf("serve: job%s cancelled at step %d: %w", traceTag(jb.trace), c.Step, firstErr))
 		} else {
-			ex.p.complete(jb, nil, fmt.Errorf("serve: job failed: %w", firstErr))
+			ex.p.complete(jb, nil, fmt.Errorf("serve: job%s failed: %w", traceTag(jb.trace), firstErr))
 		}
 	case res0 == nil:
-		ex.p.complete(jb, nil, fmt.Errorf("serve: job produced no rank-0 result"))
+		ex.p.complete(jb, nil, fmt.Errorf("serve: job%s produced no rank-0 result", traceTag(jb.trace)))
 	default:
 		ex.p.complete(jb, buildResult(jb, ex.p.cfg.P, res0, wall, snap), nil)
 	}

@@ -23,6 +23,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -30,6 +31,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/fdtd"
+	"repro/internal/obs"
 )
 
 // Config sizes the service.  The zero value is unusable; call
@@ -58,6 +60,13 @@ type Config struct {
 	// BatchCells is the largest grid (in cells) considered "small"
 	// enough to batch.  Default 32768.
 	BatchCells int
+	// Name identifies this node in trace bundles and correlated logs.
+	// Default "archserve".
+	Name string
+	// TraceDepth bounds the node-local trace ring buffer (recent jobs
+	// whose span bundles GET /v1/trace/{id} can return).  0 uses the
+	// obs default (128); negative disables trace retention.
+	TraceDepth int
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +96,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BatchCells <= 0 {
 		c.BatchCells = 32768
+	}
+	if c.Name == "" {
+		c.Name = "archserve"
+	}
+	if c.TraceDepth == 0 {
+		c.TraceDepth = obs.DefaultTraceDepth
+	}
+	if c.TraceDepth < 0 {
+		c.TraceDepth = 0
 	}
 	return c
 }
@@ -124,14 +142,20 @@ type SubmitOptions struct {
 	// NoCache bypasses both the result cache and in-flight coalescing:
 	// the job always computes fresh.  The result is still not stored.
 	NoCache bool
+	// Trace is the request's trace id (minted upstream by the cluster
+	// coordinator, or by the HTTP layer for direct submissions).  Zero
+	// disables tracing for this job.
+	Trace obs.TraceID
 }
 
 // Server is the archetype job service.
 type Server struct {
-	cfg   Config
-	m     *metrics
-	cache *cache
-	pool  *pool
+	cfg    Config
+	m      *metrics
+	cache  *cache
+	pool   *pool
+	traces *obs.TraceStore
+	mint   func() obs.TraceID // node-local trace ids for untraced submits
 
 	mu       sync.Mutex
 	draining bool
@@ -149,9 +173,16 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		m:        &metrics{},
 		cache:    newCache(cfg.CacheEntries),
+		traces:   obs.NewTraceStore(cfg.TraceDepth),
 		inflight: make(map[uint64]*job),
 		all:      make(map[*job]struct{}),
 	}
+	// Seed the node-local trace mint from the node name so two
+	// standalone nodes do not mint colliding id sequences; cluster
+	// deployments mint at the coordinator and never hit this source.
+	h := fnv.New64a()
+	h.Write([]byte(cfg.Name))
+	s.mint = obs.NewTraceSource(int64(h.Sum64()))
 	s.pool = newPool(cfg, s.m, s.complete)
 	return s
 }
@@ -174,6 +205,7 @@ func (s *Server) Submit(spec fdtd.Spec, opts SubmitOptions) (*JobResult, Origin,
 	if !opts.NoCache {
 		if res, ok := s.cache.get(fp); ok {
 			s.m.cacheHits.Add(1)
+			s.storeServiceTrace(opts.Trace, "cache", time.Now())
 			return res, OriginCache, nil
 		}
 	}
@@ -196,19 +228,23 @@ func (s *Server) Submit(spec fdtd.Spec, opts SubmitOptions) (*JobResult, Origin,
 		if existing, ok := s.inflight[fp]; ok {
 			s.mu.Unlock()
 			s.m.coalesced.Add(1)
+			waitStart := time.Now()
 			<-existing.done
+			s.storeServiceTrace(opts.Trace, "coalesced", waitStart)
 			return existing.res, OriginCoalesced, existing.err
 		}
 	}
 	jb := &job{
-		id:      s.nextID.Add(1),
-		spec:    spec,
-		fp:      fp,
-		timeout: timeout,
-		noCache: opts.NoCache,
-		shared:  !opts.NoCache,
-		cancel:  fault.NewCanceller(),
-		done:    make(chan struct{}),
+		id:       s.nextID.Add(1),
+		spec:     spec,
+		fp:       fp,
+		timeout:  timeout,
+		noCache:  opts.NoCache,
+		shared:   !opts.NoCache,
+		trace:    opts.Trace,
+		admitted: time.Now(),
+		cancel:   fault.NewCanceller(),
+		done:     make(chan struct{}),
 	}
 	if jb.shared {
 		s.inflight[fp] = jb
@@ -261,6 +297,24 @@ func (s *Server) retryAfter() time.Duration {
 	return est
 }
 
+// storeServiceTrace records a one-span bundle for a request answered
+// without reaching the pool (cache hit, coalesced wait).  No-op for
+// untraced requests.
+func (s *Server) storeServiceTrace(id obs.TraceID, label string, start time.Time) {
+	if id == 0 {
+		return
+	}
+	s.traces.Put(obs.TraceBundle{
+		Trace:  id.String(),
+		Source: s.cfg.Name,
+		P:      s.cfg.P,
+		Spans:  []obs.TraceSpan{obs.ServiceSpan("serve", label, start, time.Now())},
+	})
+}
+
+// Trace returns the node-local span bundle recorded for a trace id.
+func (s *Server) Trace(id obs.TraceID) (obs.TraceBundle, bool) { return s.traces.Get(id) }
+
 // complete is the pool's single exit point for job outcomes.
 func (s *Server) complete(jb *job, res *JobResult, err error) {
 	s.mu.Lock()
@@ -270,6 +324,9 @@ func (s *Server) complete(jb *job, res *JobResult, err error) {
 	delete(s.all, jb)
 	s.mu.Unlock()
 
+	if jb.bundle.Trace != "" {
+		s.traces.Put(jb.bundle)
+	}
 	jb.res, jb.err = res, err
 	close(jb.done)
 	s.m.jobsInFlight.Add(-1)
@@ -352,6 +409,8 @@ type Stats struct {
 	Batches           int64 `json:"batches"`
 	BatchedJobs       int64 `json:"batched_jobs"`
 	TransportRebuilds int64 `json:"transport_rebuilds"`
+	// JobLatency digests the completed-job wall-time histogram.
+	JobLatency LatencySummary `json:"job_latency"`
 	// LoadScore is admitted-but-uncompleted jobs (queued + executing)
 	// per executor — the one-number load signal a cluster coordinator
 	// uses for least-loaded placement tiebreaks.
@@ -383,6 +442,7 @@ func (s *Server) Stats() Stats {
 		Batches:           s.m.batches.Load(),
 		BatchedJobs:       s.m.batchedJobs.Load(),
 		TransportRebuilds: s.m.rebuilds.Load(),
+		JobLatency:        s.m.latencySummary(),
 		LoadScore:         float64(s.m.jobsInFlight.Load()) / float64(s.cfg.Workers),
 	}
 }

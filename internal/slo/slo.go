@@ -1,0 +1,303 @@
+// Package slo parses service-level-objective specs of the form
+// "p99<250ms,err<1%" and evaluates load-run samples against them,
+// producing per-objective verdicts plus burn rates over a fast and a
+// slow window (the SRE-book multi-window alerting shape, scaled to the
+// run length: real deployments use 5m/1h windows against a 30-day
+// budget; a load run of duration D uses D/12 and D so the same 1:12
+// ratio holds).
+//
+// The burn rate of an objective over a window is the fraction of bad
+// events in that window divided by the error budget (the fraction the
+// objective permits).  Burn 1.0 means the budget is being consumed
+// exactly at the sustainable rate; burn 14 over the fast window is the
+// classic page-now threshold.
+package slo
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ObjectiveKind distinguishes latency-quantile objectives from
+// error-rate objectives.
+type ObjectiveKind int
+
+const (
+	// KindLatency is "pXX<dur": the XX'th percentile latency must be
+	// below dur.  A bad event is a request slower than dur; the error
+	// budget is 1-quantile (p99<250ms tolerates 1% of requests above
+	// 250ms).
+	KindLatency ObjectiveKind = iota
+	// KindError is "err<P%": the error rate must stay below P percent.
+	// A bad event is a failed request; the budget is P/100.
+	KindError
+)
+
+// Objective is one clause of an SLO spec.
+type Objective struct {
+	Kind ObjectiveKind
+	// Quantile in (0,1) for KindLatency (0.99 for "p99").
+	Quantile float64
+	// Threshold latency for KindLatency.
+	Threshold time.Duration
+	// MaxRate is the permitted bad-event fraction: 1-Quantile for
+	// latency objectives, the parsed percentage for error objectives.
+	MaxRate float64
+	// Raw is the clause as written, for reports.
+	Raw string
+}
+
+// Spec is a parsed SLO: one or more objectives, all of which must hold.
+type Spec struct {
+	Objectives []Objective
+	// Raw is the spec string as given.
+	Raw string
+}
+
+// ParseSpec parses a comma-separated list of objective clauses.
+// Accepted clauses:
+//
+//	p50<10ms  p95<1s  p99<250ms  p999<2s   (quantile + Go duration)
+//	err<1%    err<0.5%                      (error-rate percentage)
+//
+// Whitespace around clauses is ignored.  An empty spec is an error —
+// callers gate on "was -slo given" before parsing.
+func ParseSpec(s string) (*Spec, error) {
+	spec := &Spec{Raw: s}
+	for _, clause := range strings.Split(s, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(clause, "<")
+		if !ok {
+			return nil, fmt.Errorf("slo: clause %q: want name<threshold", clause)
+		}
+		name = strings.TrimSpace(name)
+		rest = strings.TrimSpace(rest)
+		switch {
+		case name == "err":
+			if !strings.HasSuffix(rest, "%") {
+				return nil, fmt.Errorf("slo: clause %q: error threshold must end in %%", clause)
+			}
+			pct, err := strconv.ParseFloat(strings.TrimSuffix(rest, "%"), 64)
+			if err != nil || pct <= 0 || pct >= 100 {
+				return nil, fmt.Errorf("slo: clause %q: bad error percentage", clause)
+			}
+			spec.Objectives = append(spec.Objectives, Objective{
+				Kind: KindError, MaxRate: pct / 100, Raw: clause,
+			})
+		case strings.HasPrefix(name, "p"):
+			q, err := parseQuantile(name[1:])
+			if err != nil {
+				return nil, fmt.Errorf("slo: clause %q: %v", clause, err)
+			}
+			d, err := time.ParseDuration(rest)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("slo: clause %q: bad duration %q", clause, rest)
+			}
+			spec.Objectives = append(spec.Objectives, Objective{
+				Kind: KindLatency, Quantile: q, Threshold: d, MaxRate: 1 - q, Raw: clause,
+			})
+		default:
+			return nil, fmt.Errorf("slo: clause %q: unknown objective %q", clause, name)
+		}
+	}
+	if len(spec.Objectives) == 0 {
+		return nil, fmt.Errorf("slo: empty spec %q", s)
+	}
+	return spec, nil
+}
+
+// parseQuantile turns "50", "95", "99", "999" into 0.5, 0.95, 0.99,
+// 0.999: digits after the first two are fractional ("p999" is the
+// conventional spelling of the 99.9th percentile).
+func parseQuantile(digits string) (float64, error) {
+	if digits == "" || len(digits) > 4 {
+		return 0, fmt.Errorf("bad quantile digits %q", digits)
+	}
+	for _, c := range digits {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("bad quantile digits %q", digits)
+		}
+	}
+	n, _ := strconv.Atoi(digits)
+	q := float64(n)
+	for i := 0; i < len(digits); i++ {
+		q /= 10
+	}
+	// "p5" means p50, not p05: single digits scale as tens.
+	if len(digits) == 1 {
+		q = float64(n) / 10
+	}
+	if q <= 0 || q >= 1 {
+		return 0, fmt.Errorf("quantile %q out of (0,1)", digits)
+	}
+	return q, nil
+}
+
+// Sample is one request as the load generator observed it.  Start is
+// the scheduled (open-loop) arrival offset from the run's start — using
+// the scheduled rather than actual send time keeps the evaluation
+// coordinated-omission-safe and makes windowing deterministic.
+type Sample struct {
+	Start   time.Duration
+	Latency time.Duration
+	Err     bool
+}
+
+// WindowReport is one objective's burn rate over one window.
+type WindowReport struct {
+	// WindowSeconds is the window length; the window is anchored at
+	// the end of the run.
+	WindowSeconds float64 `json:"window_seconds"`
+	// Good/Bad event counts inside the window.
+	Good int64 `json:"good"`
+	Bad  int64 `json:"bad"`
+	// Burn = badFraction / errorBudget.  <1 sustainable, >1 burning.
+	Burn float64 `json:"burn_rate"`
+}
+
+// ObjectiveReport is the evaluation of one objective.
+type ObjectiveReport struct {
+	Objective string `json:"objective"`
+	Pass      bool   `json:"pass"`
+	// Observed is the measured quantity: the quantile latency in
+	// seconds for latency objectives, the error fraction for error
+	// objectives.
+	Observed float64 `json:"observed"`
+	// Threshold in the same unit as Observed.
+	Threshold float64      `json:"threshold"`
+	Fast      WindowReport `json:"fast_window"`
+	Slow      WindowReport `json:"slow_window"`
+}
+
+// Report is the full SLO evaluation of a run.
+type Report struct {
+	Spec       string            `json:"spec"`
+	RunSeconds float64           `json:"run_seconds"`
+	Samples    int64             `json:"samples"`
+	Pass       bool              `json:"pass"`
+	Objectives []ObjectiveReport `json:"objectives"`
+}
+
+// Eval evaluates the spec against the run's samples.  runDur is the
+// run's nominal length; the slow window spans the whole run and the
+// fast window its final twelfth (mirroring 5m:1h multi-window burn
+// alerting).  The overall verdict is the AND of the objectives'
+// whole-run verdicts; the window burn rates are informational (a run
+// can pass overall while its fast window burns hot — the report shows
+// both).
+func Eval(spec *Spec, samples []Sample, runDur time.Duration) *Report {
+	rep := &Report{Spec: spec.Raw, RunSeconds: runDur.Seconds(), Samples: int64(len(samples)), Pass: true}
+	fastWin := runDur / 12
+	if fastWin <= 0 {
+		fastWin = runDur
+	}
+	// Latencies sorted once for exact quantiles; the histogram path is
+	// for live aggregation — the final report can afford exactness.
+	lat := make([]time.Duration, 0, len(samples))
+	var errs int64
+	for _, s := range samples {
+		if s.Err {
+			errs++
+		} else {
+			lat = append(lat, s.Latency)
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+
+	for _, obj := range spec.Objectives {
+		or := ObjectiveReport{Objective: obj.Raw}
+		bad := func(s Sample) bool {
+			if obj.Kind == KindError {
+				return s.Err
+			}
+			// A request that errored never produced a latency; it does
+			// not count against a latency objective (the err clause
+			// owns it).
+			return !s.Err && s.Latency > obj.Threshold
+		}
+		switch obj.Kind {
+		case KindLatency:
+			or.Threshold = obj.Threshold.Seconds()
+			or.Observed = quantileDur(lat, obj.Quantile).Seconds()
+			or.Pass = or.Observed < or.Threshold || len(lat) == 0
+		case KindError:
+			or.Threshold = obj.MaxRate
+			if len(samples) > 0 {
+				or.Observed = float64(errs) / float64(len(samples))
+			}
+			or.Pass = or.Observed < or.Threshold
+		}
+		or.Fast = windowBurn(samples, bad, runDur-fastWin, obj.MaxRate)
+		or.Fast.WindowSeconds = fastWin.Seconds()
+		or.Slow = windowBurn(samples, bad, 0, obj.MaxRate)
+		or.Slow.WindowSeconds = runDur.Seconds()
+		if !or.Pass {
+			rep.Pass = false
+		}
+		rep.Objectives = append(rep.Objectives, or)
+	}
+	return rep
+}
+
+// windowBurn counts good/bad events with Start >= from and computes the
+// burn rate against the budget.
+func windowBurn(samples []Sample, bad func(Sample) bool, from time.Duration, budget float64) WindowReport {
+	var wr WindowReport
+	for _, s := range samples {
+		if s.Start < from {
+			continue
+		}
+		if bad(s) {
+			wr.Bad++
+		} else {
+			wr.Good++
+		}
+	}
+	total := wr.Good + wr.Bad
+	if total > 0 && budget > 0 {
+		wr.Burn = (float64(wr.Bad) / float64(total)) / budget
+	}
+	return wr
+}
+
+// quantileDur is the nearest-rank quantile of a sorted slice.
+func quantileDur(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Format renders the report for terminals: one line per objective with
+// observed vs threshold and both burn windows, then the verdict.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SLO %q over %.1fs, %d samples\n", r.Spec, r.RunSeconds, r.Samples)
+	for _, or := range r.Objectives {
+		verdict := "PASS"
+		if !or.Pass {
+			verdict = "FAIL"
+		}
+		unit, obs, thr := "s", or.Observed, or.Threshold
+		if strings.HasPrefix(or.Objective, "err") {
+			unit, obs, thr = "%", or.Observed*100, or.Threshold*100
+		}
+		fmt.Fprintf(&b, "  %-12s %s  observed %.4g%s vs %.4g%s  burn fast %.2f (bad %d/%d)  slow %.2f (bad %d/%d)\n",
+			or.Objective, verdict, obs, unit, thr, unit,
+			or.Fast.Burn, or.Fast.Bad, or.Fast.Bad+or.Fast.Good,
+			or.Slow.Burn, or.Slow.Bad, or.Slow.Bad+or.Slow.Good)
+	}
+	if r.Pass {
+		b.WriteString("  verdict: PASS\n")
+	} else {
+		b.WriteString("  verdict: FAIL\n")
+	}
+	return b.String()
+}

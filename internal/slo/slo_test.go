@@ -1,0 +1,224 @@
+package slo
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSpec(t *testing.T) {
+	spec, err := ParseSpec("p99<250ms, err<1%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Objectives) != 2 {
+		t.Fatalf("parsed %d objectives, want 2", len(spec.Objectives))
+	}
+	lat := spec.Objectives[0]
+	if lat.Kind != KindLatency || lat.Quantile != 0.99 || lat.Threshold != 250*time.Millisecond {
+		t.Fatalf("latency objective: %+v", lat)
+	}
+	if got, want := lat.MaxRate, 0.01; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("latency budget %g, want %g", got, want)
+	}
+	errObj := spec.Objectives[1]
+	if errObj.Kind != KindError || errObj.MaxRate != 0.01 {
+		t.Fatalf("error objective: %+v", errObj)
+	}
+
+	quantiles := map[string]float64{"p5<1s": 0.5, "p50<1s": 0.5, "p95<1s": 0.95, "p999<1s": 0.999}
+	for clause, want := range quantiles {
+		s, err := ParseSpec(clause)
+		if err != nil {
+			t.Fatalf("%s: %v", clause, err)
+		}
+		if got := s.Objectives[0].Quantile; got < want-1e-9 || got > want+1e-9 {
+			t.Errorf("%s: quantile %g, want %g", clause, got, want)
+		}
+	}
+
+	for _, bad := range []string{"", "p99", "p99<", "p99<fast", "px<1s", "err<1", "err<0%", "err<100%", "lat<1s", "p0<1s"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+// synth builds a run of n samples spread uniformly over dur: slowFrac
+// of them take slowLat (the rest fastLat) and errFrac of them error,
+// both interleaved evenly through the run.
+func synth(n int, dur time.Duration, fastLat, slowLat time.Duration, slowFrac, errFrac float64) []Sample {
+	samples := make([]Sample, n)
+	slowEvery, errEvery := 0, 0
+	if slowFrac > 0 {
+		slowEvery = int(1 / slowFrac)
+	}
+	if errFrac > 0 {
+		errEvery = int(1 / errFrac)
+	}
+	for i := range samples {
+		s := Sample{
+			Start:   time.Duration(i) * dur / time.Duration(n),
+			Latency: fastLat,
+		}
+		if slowEvery > 0 && i%slowEvery == 0 {
+			s.Latency = slowLat
+		}
+		if errEvery > 0 && i%errEvery == 0 {
+			s.Err = true
+		}
+		samples[i] = s
+	}
+	return samples
+}
+
+func TestEvalPass(t *testing.T) {
+	spec, err := ParseSpec("p99<250ms,err<1%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.5% slow, 0.2% errors: both inside budget.
+	samples := synth(4800, 10*time.Second, 20*time.Millisecond, 400*time.Millisecond, 0.005, 0.002)
+	rep := Eval(spec, samples, 10*time.Second)
+	if !rep.Pass {
+		t.Fatalf("healthy run failed SLO:\n%s", rep.Format())
+	}
+	for _, or := range rep.Objectives {
+		if !or.Pass {
+			t.Errorf("objective %s failed: %+v", or.Objective, or)
+		}
+		if or.Slow.Burn >= 1 {
+			t.Errorf("objective %s slow burn %.2f >= 1 on a healthy run", or.Objective, or.Slow.Burn)
+		}
+		if or.Slow.WindowSeconds != 10 {
+			t.Errorf("slow window %.1fs, want 10s", or.Slow.WindowSeconds)
+		}
+		if or.Fast.WindowSeconds < 0.8 || or.Fast.WindowSeconds > 0.9 {
+			t.Errorf("fast window %.2fs, want 10/12", or.Fast.WindowSeconds)
+		}
+	}
+	if !strings.Contains(rep.Format(), "verdict: PASS") {
+		t.Fatalf("format lacks verdict:\n%s", rep.Format())
+	}
+}
+
+func TestEvalFailLatency(t *testing.T) {
+	spec, _ := ParseSpec("p99<250ms,err<1%")
+	// 5% of requests slow: p99 lands on the slow latency, over budget 5x.
+	samples := synth(4800, 10*time.Second, 20*time.Millisecond, 400*time.Millisecond, 0.05, 0)
+	rep := Eval(spec, samples, 10*time.Second)
+	if rep.Pass {
+		t.Fatalf("degraded run passed SLO:\n%s", rep.Format())
+	}
+	var latRep *ObjectiveReport
+	for i := range rep.Objectives {
+		if rep.Objectives[i].Objective == "p99<250ms" {
+			latRep = &rep.Objectives[i]
+		}
+	}
+	if latRep == nil || latRep.Pass {
+		t.Fatalf("latency objective should fail: %+v", rep.Objectives)
+	}
+	if latRep.Observed < 0.25 {
+		t.Fatalf("observed p99 %.3fs, want >= threshold", latRep.Observed)
+	}
+	if latRep.Slow.Burn < 4 || latRep.Slow.Burn > 6 {
+		t.Fatalf("slow burn %.2f, want ~5 (5%% bad / 1%% budget)", latRep.Slow.Burn)
+	}
+	// Error objective still passes: no errors injected.
+	for _, or := range rep.Objectives {
+		if or.Objective == "err<1%" && !or.Pass {
+			t.Fatalf("error objective failed with zero errors: %+v", or)
+		}
+	}
+	if !strings.Contains(rep.Format(), "verdict: FAIL") {
+		t.Fatalf("format lacks verdict:\n%s", rep.Format())
+	}
+}
+
+func TestEvalFailErrors(t *testing.T) {
+	spec, _ := ParseSpec("err<1%")
+	samples := synth(2400, 6*time.Second, 10*time.Millisecond, 10*time.Millisecond, 0, 0.04)
+	rep := Eval(spec, samples, 6*time.Second)
+	if rep.Pass {
+		t.Fatalf("4%% error run passed err<1%%:\n%s", rep.Format())
+	}
+	or := rep.Objectives[0]
+	if or.Observed < 0.03 || or.Observed > 0.05 {
+		t.Fatalf("observed error rate %.4f, want ~0.04", or.Observed)
+	}
+	if or.Slow.Burn < 3 || or.Slow.Burn > 5 {
+		t.Fatalf("slow burn %.2f, want ~4", or.Slow.Burn)
+	}
+}
+
+// TestEvalFastWindowHotspot: bad events packed into the final twelfth
+// of the run must light up the fast window's burn rate far above the
+// slow window's — that asymmetry is the point of multi-window burn.
+func TestEvalFastWindowHotspot(t *testing.T) {
+	spec, _ := ParseSpec("err<1%")
+	n, dur := 2400, 12*time.Second
+	samples := make([]Sample, n)
+	for i := range samples {
+		start := time.Duration(i) * dur / time.Duration(n)
+		// Everything in the last second (the fast window) errors.
+		samples[i] = Sample{Start: start, Latency: 5 * time.Millisecond, Err: start >= 11*time.Second}
+	}
+	rep := Eval(spec, samples, dur)
+	or := rep.Objectives[0]
+	if or.Fast.Burn < 50 {
+		t.Fatalf("fast burn %.2f, want ~100 (every request in window bad)", or.Fast.Burn)
+	}
+	if or.Slow.Burn > or.Fast.Burn/5 {
+		t.Fatalf("slow burn %.2f not far below fast %.2f", or.Slow.Burn, or.Fast.Burn)
+	}
+}
+
+// TestEvalErroredRequestsDontCountAgainstLatency: errors are excluded
+// from latency-quantile evaluation (the err clause owns them).
+func TestEvalErroredRequestsDontCountAgainstLatency(t *testing.T) {
+	spec, _ := ParseSpec("p99<250ms")
+	samples := make([]Sample, 200)
+	for i := range samples {
+		samples[i] = Sample{Start: time.Duration(i) * time.Millisecond, Latency: 10 * time.Millisecond}
+		if i%2 == 0 {
+			samples[i].Err = true
+			samples[i].Latency = 10 * time.Second // would blow p99 if counted
+		}
+	}
+	rep := Eval(spec, samples, time.Second)
+	if !rep.Pass {
+		t.Fatalf("errored latencies leaked into the quantile:\n%s", rep.Format())
+	}
+}
+
+func TestReportJSONShape(t *testing.T) {
+	spec, _ := ParseSpec("p99<250ms,err<1%")
+	samples := synth(1200, 3*time.Second, 20*time.Millisecond, 300*time.Millisecond, 0.005, 0.002)
+	rep := Eval(spec, samples, 3*time.Second)
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"spec"`, `"pass"`, `"burn_rate"`, `"fast_window"`, `"slow_window"`, `"window_seconds"`} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("report JSON lacks %s: %s", key, raw)
+		}
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Pass != rep.Pass || len(back.Objectives) != len(rep.Objectives) {
+		t.Fatalf("round trip mismatch")
+	}
+}
+
+func TestEvalEmptySamples(t *testing.T) {
+	spec, _ := ParseSpec("p99<250ms,err<1%")
+	rep := Eval(spec, nil, time.Second)
+	if !rep.Pass {
+		t.Fatalf("empty run should vacuously pass:\n%s", rep.Format())
+	}
+}
