@@ -3,9 +3,9 @@ GO ?= go
 # Packages whose concurrency the race detector must vet.
 RACE_PKGS = ./internal/channel ./internal/sched ./internal/mesh ./internal/trace ./internal/obs ./internal/serve ./internal/cluster ./internal/cluster/client ./internal/slo ./cmd/archload
 
-.PHONY: check build vet test race bench bench-smoke bench-compare net-smoke serve-smoke cluster-smoke chaos-smoke obs-smoke fuzz-smoke
+.PHONY: check build vet test race bench bench-smoke bench-compare kernel-smoke net-smoke serve-smoke cluster-smoke chaos-smoke obs-smoke fuzz-smoke
 
-check: vet build test race bench-smoke net-smoke serve-smoke cluster-smoke chaos-smoke obs-smoke fuzz-smoke
+check: vet build test race bench-smoke kernel-smoke net-smoke serve-smoke cluster-smoke chaos-smoke obs-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -18,17 +18,21 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
-	$(GO) test -race -run 'TestTiledKernelDeterminism|TestFastPathIdentity1D' ./internal/fdtd
+	$(GO) test -race -run 'TestTiledKernelDeterminism|TestFastPathIdentity1D|TestKernelPencilVsReferenceProperty' ./internal/fdtd
 
 # bench runs the runtime benchmarks with allocation reporting, then a
 # P=4 parallel FDTD run (with a measured P=1 baseline) whose headline
 # observability metrics land in BENCH_obs.json and fdtd_report.json.
 # Three -bench-append runs then extend the artifact with the scale-out
 # numbers: loopback-socket wire counters, a multi-process wall clock,
-# and the P-scaling sweep with measured + modelled speedups.  A final
-# open-loop archload run lands the cluster latency histogram
-# (cluster/load/p50..p999 + bucket family), error/cache rates, and the
-# SLO burn-rate verdict from a self-contained 3-node cluster.
+# and the P-scaling sweep with measured + modelled speedups.  The
+# roofline run adds the kernel ceiling on the same grid: stream-triad
+# bandwidth, the implied cells/sec bound, and the achieved rates of the
+# pencil-vs-reference kernels per worker count (roofline/*, kernel/*;
+# recorded, never gated).  A final open-loop archload run lands the
+# cluster latency histogram (cluster/load/p50..p999 + bucket family),
+# error/cache rates, and the SLO burn-rate verdict from a
+# self-contained 3-node cluster.
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem ./internal/sched ./internal/mesh ./internal/fdtd ./internal/gridio
 	$(GO) run ./cmd/fdtd -build par -p 4 -nx 24 -ny 16 -nz 16 -steps 64 -baseline -quiet \
@@ -39,6 +43,8 @@ bench:
 		-net unix -bench-out BENCH_obs.json -bench-append
 	$(GO) run ./cmd/fdtd -build par -sweep 1,2,4 -nx 24 -ny 16 -nz 16 -steps 64 -quiet \
 		-bench-out BENCH_obs.json -bench-append
+	$(GO) run ./cmd/fdtd -roofline -nx 24 -ny 16 -nz 16 -quiet \
+		-bench-out BENCH_obs.json -bench-append
 	$(GO) run ./cmd/archload -cluster 3 -rate 200 -jobs 120 -specs 24 -p 2 -workers 1 -seed 1 \
 		-slo "p99<2s,err<1%" -bench BENCH_obs.json
 	@echo "wrote fdtd_report.json and BENCH_obs.json"
@@ -47,6 +53,19 @@ bench:
 # check catches benchmark rot without paying full benchmark time.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' $(RACE_PKGS) ./internal/fdtd > /dev/null
+
+# kernel-smoke proves the kernel fast path in seconds: the property
+# test pits the fused pencil kernels against the per-cell reference
+# kernels on randomized specs, and a tiny-grid roofline run exercises
+# the stream probe + per-worker measurement end to end.  To compare
+# instruction-set levels, prefix either command with GOAMD64=v2 or
+# GOAMD64=v3 (e.g. `GOAMD64=v3 make kernel-smoke`, or GOAMD64=v3 with
+# the `bench` target for full numbers): v3 licenses AVX2+FMA for the
+# hoisted pencil loops, and the cells_per_sec entries make the
+# difference visible.
+kernel-smoke:
+	$(GO) test -run 'TestKernelPencilVsReferenceProperty' -count=1 ./internal/fdtd
+	$(GO) run ./cmd/fdtd -roofline -nx 8 -ny 8 -nz 8 -roofline-workers 1,2 -quiet
 
 # net-smoke is the end-to-end acceptance run of the scale-out
 # transport: sequential vs in-process vs loopback-socket vs

@@ -174,6 +174,47 @@ func TestCompareNeverGateTailMetrics(t *testing.T) {
 	}
 }
 
+// TestCompareNeverGateRooflineFamily: the roofline report's entries —
+// roofline/* (stream bandwidth, bound, achieved-over-bound ratios) and
+// the kernel/*/cells_per_sec rates — are host measurements recorded
+// for trend visibility.  They appear without gating on first merge and
+// never count as regressions afterwards, however far they move.
+func TestCompareNeverGateRooflineFamily(t *testing.T) {
+	th := thresholds{strict: 0.10, timing: 0.50}
+	roof := []obs.BenchEntry{
+		entry("roofline/stream_bw", 12e9, "B/s"),
+		entry("roofline/bound", 67e6, "cells/s"),
+		entry("roofline/pencil/W=1/of_bound", 1.7, "x"),
+		entry("kernel/pencil/W=1/cells_per_sec", 118e6, "cells/s"),
+		entry("kernel/ref/W=1/cells_per_sec", 19e6, "cells/s"),
+	}
+	// First appearance: additions only, no regressions.
+	d := compare(nil, roof, th)
+	if d.regressions != 0 || d.additions != len(roof) {
+		t.Fatalf("first roofline merge: regressions=%d additions=%d, want 0/%d",
+			d.regressions, d.additions, len(roof))
+	}
+	// A later run on a slower host halves every number (and the
+	// of_bound ratio is higher-is-better with unit "x"): noted, never
+	// gated.
+	slower := []obs.BenchEntry{
+		entry("roofline/stream_bw", 6e9, "B/s"),
+		entry("roofline/bound", 33e6, "cells/s"),
+		entry("roofline/pencil/W=1/of_bound", 0.4, "x"),
+		entry("kernel/pencil/W=1/cells_per_sec", 50e6, "cells/s"),
+		entry("kernel/ref/W=1/cells_per_sec", 8e6, "cells/s"),
+	}
+	d = compare(roof, slower, th)
+	if d.regressions != 0 {
+		t.Fatalf("roofline family must never gate: got %d regressions:\n%s",
+			d.regressions, strings.Join(d.lines, "\n"))
+	}
+	if !strings.Contains(strings.Join(d.lines, "\n"), "noted") {
+		t.Fatalf("large roofline moves should be reported as noted:\n%s",
+			strings.Join(d.lines, "\n"))
+	}
+}
+
 // TestCompareMsIsTimingDerived: percentile entries carry unit "ms" and
 // must gate at the loose timing threshold, not the strict one.
 func TestCompareMsIsTimingDerived(t *testing.T) {

@@ -113,6 +113,8 @@ func main() {
 	procsN := flag.Int("procs", 0, "par build: run across N OS processes connected by sockets")
 	sweepList := flag.String("sweep", "", "par build: comma-separated process counts to scale over (e.g. \"1,2,4,8\")")
 	benchAppend := flag.Bool("bench-append", false, "merge entries into the -bench-out file instead of overwriting it")
+	roofline := flag.Bool("roofline", false, "measure kernel cells/sec per worker count against a stream-triad memory bound, then exit")
+	rooflineWorkers := flag.String("roofline-workers", "1,2,4", "comma-separated tile-worker counts for -roofline")
 	workerRank := flag.Int("worker-rank", -1, "internal: run as one rank worker of a -procs launch")
 	workerDir := flag.String("worker-dir", "", "internal: run directory of the -procs launch")
 	flag.Parse()
@@ -138,8 +140,14 @@ func main() {
 	if *build != "ssp" && *build != "par" && *build != "seq" {
 		usageErr("unknown build %q (want seq, ssp, or par)", *build)
 	}
-	if *build == "seq" && obsWanted {
+	if *build == "seq" && obsWanted && !*roofline {
 		usageErr("-report/-trace-out/-bench-out/-metrics-addr/-baseline/-baseline-file instrument the archetype runtime; they require -build ssp or par")
+	}
+	if *roofline {
+		if *sweepList != "" || *procsN > 0 || *ckEvery > 0 || *resume || *injectCrash != "" ||
+			*dump != "" || *report != "" || *traceOut != "" || *metricsAddr != "" || *baseline || *baselineFile != "" {
+			usageErr("-roofline is a self-contained measurement; combine it only with the grid flags, -roofline-workers, -bench-out/-bench-append, and -quiet")
+		}
 	}
 	if *baseline && *baselineFile != "" {
 		usageErr("-baseline and -baseline-file are mutually exclusive (measured vs recorded baseline)")
@@ -242,8 +250,20 @@ func main() {
 		}
 		opt.Inject = inj
 	}
-	// Self-contained run modes: the scaling sweep and the multi-process
-	// launcher do their own measurement and reporting.
+	// Self-contained run modes: the roofline report, the scaling sweep
+	// and the multi-process launcher do their own measurement and
+	// reporting.
+	if *roofline {
+		ws, err := parseSweep(*rooflineWorkers)
+		if err != nil {
+			usageErr("-roofline-workers: %v", err)
+		}
+		entries := runRoofline(spec, ws, *quiet)
+		if *benchOut != "" {
+			writeBench(*benchOut, *benchAppend, entries, *quiet)
+		}
+		return
+	}
 	if *sweepList != "" {
 		entries, err := runSweep(spec, *sweepList, *backend, *netKind, *compensated, *quiet)
 		if err != nil {
@@ -306,6 +326,22 @@ func main() {
 		}
 	}
 
+	// The loopback socket mesh is dialed before the allocation
+	// snapshot: allocs_per_step tracks the stepping cost of the solve,
+	// and dial/accept of the long-lived transport is connection setup,
+	// not stepping.  The transport's steady state is allocation-free
+	// (BenchmarkSocketExchangeSteadyState in internal/channel), so
+	// nothing the transport does per step escapes the measurement.
+	if *backend == "socket" && (*build == "ssp" || *build == "par") && !recovery {
+		tr, terr := channel.NewLoopbackMesh(ranks, *netKind, mesh.WireCodec(), channel.SocketOptions{Stats: stats})
+		if terr != nil {
+			fmt.Fprintf(os.Stderr, "fdtd: socket mesh: %v\n", terr)
+			os.Exit(1)
+		}
+		defer tr.Close()
+		opt.Mesh.Transport = tr
+	}
+
 	var msBefore runtime.MemStats
 	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
@@ -348,15 +384,6 @@ func main() {
 		}
 		tally = machine.NewTally(ranks)
 		opt.Mesh.Tally = tally
-		if *backend == "socket" {
-			tr, terr := channel.NewLoopbackMesh(ranks, *netKind, mesh.WireCodec(), channel.SocketOptions{Stats: stats})
-			if terr != nil {
-				fmt.Fprintf(os.Stderr, "fdtd: socket mesh: %v\n", terr)
-				os.Exit(1)
-			}
-			defer tr.Close()
-			opt.Mesh.Transport = tr
-		}
 		if *py > 1 {
 			res, err = fdtd.RunArchetype2D(spec, *p, *py, mode, opt)
 		} else {

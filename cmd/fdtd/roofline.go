@@ -1,0 +1,62 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fdtd"
+	"repro/internal/machine"
+	"repro/internal/obs"
+)
+
+// Roofline probe sizing: three 8M-element float64 arrays (192 MB
+// total) dwarf any last-level cache, and the best of five passes is
+// the usual STREAM discipline.  Each kernel point is timed for at
+// least 150 ms, enough for thousands of bench-grid steps.
+const (
+	streamElems   = 8 << 20
+	streamIters   = 5
+	kernelMinTime = 150 * time.Millisecond
+)
+
+// runRoofline measures the achieved cells/sec of both kernel variants
+// (the fused pencil kernels and the per-cell reference kernels) at
+// each tile-worker count, against the memory-bandwidth bound implied
+// by a stream-triad probe: bound = measured B/s / KernelBytesPerCell.
+// It prints the achieved-vs-bound table and returns the bench entries
+// (roofline/* and kernel/*/cells_per_sec) for -bench-out.
+func runRoofline(spec fdtd.Spec, workers []int, quiet bool) []obs.BenchEntry {
+	if !quiet {
+		fmt.Printf("roofline: grid %dx%dx%d, stream probe %d elements x3...\n",
+			spec.NX, spec.NY, spec.NZ, streamElems)
+	}
+	probe := machine.StreamTriad(streamElems, streamIters)
+	bound := probe.BytesPerSec / fdtd.KernelBytesPerCell
+	if !quiet {
+		fmt.Printf("%s\nmemory-bound ceiling: %.1f Mcells/s (%d B/cell-step)\n",
+			probe, bound/1e6, fdtd.KernelBytesPerCell)
+	}
+	entries := []obs.BenchEntry{
+		{Name: "roofline/stream_bw", Value: probe.BytesPerSec, Unit: "B/s"},
+		{Name: "roofline/bound", Value: bound, Unit: "cells/s"},
+	}
+	for _, w := range workers {
+		for _, v := range []fdtd.KernelVariant{fdtd.KernelPencil, fdtd.KernelReference} {
+			r := fdtd.MeasureKernelRate(spec, v, w, kernelMinTime)
+			frac := r.CellsPerSec / bound
+			entries = append(entries,
+				obs.BenchEntry{
+					Name:  fmt.Sprintf("kernel/%s/W=%d/cells_per_sec", v, w),
+					Value: r.CellsPerSec, Unit: "cells/s",
+				},
+				obs.BenchEntry{
+					Name:  fmt.Sprintf("roofline/%s/W=%d/of_bound", v, w),
+					Value: frac, Unit: "x",
+				})
+			if !quiet {
+				fmt.Printf("  %s  (%4.1f%% of bound, %d steps)\n", r, 100*frac, r.Steps)
+			}
+		}
+	}
+	return entries
+}

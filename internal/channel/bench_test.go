@@ -18,6 +18,39 @@ func BenchmarkChanSendRecvSameGoroutine(b *testing.B) {
 	}
 }
 
+// BenchmarkSocketExchangeSteadyState measures the per-step allocation
+// cost of one halo-exchange round over the loopback socket transport:
+// two ranks swap one plane-sized message each and flush, like the E/H
+// halves of an FDTD step.  Run with -benchmem; allocs/op is the number
+// the zero-alloc socket work drives toward the in-process path.
+func BenchmarkSocketExchangeSteadyState(b *testing.B) {
+	tr, err := NewLoopbackMesh(2, "tcp", intCodec(), SocketOptions{})
+	if err != nil {
+		b.Fatalf("NewLoopbackMesh: %v", err)
+	}
+	defer tr.Close()
+	// Prime both directions so chunk pools and inboxes reach steady
+	// state before measurement.
+	for i := 0; i < 4; i++ {
+		tr.Chan(0, 1).Send(int64(i))
+		tr.Flush(0)
+		_ = tr.Chan(0, 1).Recv()
+		tr.Chan(1, 0).Send(int64(i))
+		tr.Flush(1)
+		_ = tr.Chan(1, 0).Recv()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Chan(0, 1).Send(int64(i))
+		tr.Flush(0)
+		_ = tr.Chan(0, 1).Recv()
+		tr.Chan(1, 0).Send(int64(i))
+		tr.Flush(1)
+		_ = tr.Chan(1, 0).Recv()
+	}
+}
+
 func BenchmarkChanPingPong(b *testing.B) {
 	ab := NewChan[int]()
 	ba := NewChan[int]()

@@ -305,7 +305,8 @@ type sockLink[T any] struct {
 	cur    []byte      // active chunk being appended to
 	full   [][]byte    // sealed chunks awaiting flush
 	free   [][]byte    // recycled chunk storage
-	bufs   net.Buffers // scratch for the vectored write
+	bufs   net.Buffers // scratch for assembling the vectored write
+	wcur   net.Buffers // write cursor handed to WriteTo (consumed)
 	frames int
 	werr   error // sticky write failure
 }
@@ -315,6 +316,14 @@ func newSockLink[T any](t *SocketTransport[T], conn net.Conn, from, to int) *soc
 	if t.opt.Stats != nil {
 		l.cell = t.opt.Stats.cell(from, to)
 	}
+	// Pre-warm the steady-state scratch so first use doesn't allocate
+	// inside a measured solve: the active chunk, the sealed-chunk and
+	// free lists, and the vectored-write header all reach their
+	// steady-state shapes here, at connection setup.
+	l.cur = make([]byte, 0, sockChunkSize)
+	l.full = make([][]byte, 0, 4)
+	l.free = make([][]byte, 0, 4)
+	l.bufs = make(net.Buffers, 0, 8)
 	return l
 }
 
@@ -379,15 +388,21 @@ func (l *sockLink[T]) flush() {
 		bufs = append(bufs, l.cur)
 	}
 	nb := len(bufs)
-	l.bufs = bufs
 	if l.werr == nil {
-		if _, err := l.bufs.WriteTo(l.conn); err != nil {
+		// WriteTo advances (consumes) the net.Buffers header it is
+		// called on, so it gets the struct-resident write cursor: the
+		// assembly scratch keeps its capacity for the next flush, and
+		// no local header escapes to the heap through the pointer-
+		// receiver call.
+		l.wcur = bufs
+		if _, err := l.wcur.WriteTo(l.conn); err != nil {
 			l.werr = err
 			if !l.t.closed.Load() {
 				l.t.fail(fmt.Errorf("transport: write %d->%d: %w", l.from, l.to, err))
 			}
 		}
 	}
+	l.bufs = bufs[:0]
 	if l.cell != nil {
 		l.cell.flushes.Add(1)
 		l.cell.syscalls.Add(int64((nb + iovMax - 1) / iovMax))
@@ -416,7 +431,10 @@ type inbox[T any] struct {
 }
 
 func newInbox[T any]() *inbox[T] {
-	b := &inbox[T]{}
+	// The FIFO starts with room for a few values so the first puts of a
+	// measured run don't grow it (halo exchanges keep at most a couple
+	// of messages in flight per channel).
+	b := &inbox[T]{buf: make([]T, 0, 8)}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
@@ -544,8 +562,16 @@ func (e *sockEndpoint[T]) Len() int {
 // a pure parser over an io.Reader, so the fuzz targets drive it with
 // arbitrary byte streams.
 func readFrame(r io.Reader, want uint32, maxFrame int, buf []byte) ([]byte, error) {
-	var hdr [frameHeaderLen]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	// The header is staged in buf's first bytes rather than a local
+	// array: a local passed to io.ReadFull through the io.Reader
+	// interface escapes, which would cost one heap allocation per
+	// frame.  Both header fields are extracted before the payload read
+	// reuses the same storage.
+	if cap(buf) < frameHeaderLen {
+		buf = make([]byte, frameHeaderLen)
+	}
+	hdr := buf[:frameHeaderLen]
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		if err == io.EOF {
 			return buf, io.EOF
 		}
@@ -575,7 +601,10 @@ func readFrame(r io.Reader, want uint32, maxFrame int, buf []byte) ([]byte, erro
 func (t *SocketTransport[T]) readLoop(conn net.Conn, from, to int, in *inbox[T]) {
 	defer t.wg.Done()
 	br := bufio.NewReaderSize(conn, sockChunkSize)
-	var payload []byte
+	// Seed the reusable payload buffer so typical frames (halo planes
+	// are a few KB) never allocate on the read path; readFrame regrows
+	// it once, permanently, if a larger frame arrives.
+	payload := make([]byte, 0, 4096)
 	want := uint32(from*t.p + to)
 	for {
 		var err error

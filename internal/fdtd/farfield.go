@@ -134,40 +134,118 @@ func (ff *farField) delay(i, j, k int) int {
 	return int(math.Round((ff.proj(i, j, k) - ff.minProj) * ff.invDT))
 }
 
+// addPoint adds one surface point's projected equivalent currents
+// (J = n x H, M = -(n x E), both projected onto pol) to the potential
+// samples at the point's delayed time index.
+func (ff *farField) addPoint(face, i, j, k, n int, e0, e1, e2, h0, h1, h2 float64) {
+	nv := faceNormals[face]
+	jx := nv[1]*h2 - nv[2]*h1
+	jy := nv[2]*h0 - nv[0]*h2
+	jz := nv[0]*h1 - nv[1]*h0
+	mx := -(nv[1]*e2 - nv[2]*e1)
+	my := -(nv[2]*e0 - nv[0]*e2)
+	mz := -(nv[0]*e1 - nv[1]*e0)
+	a := jx*ff.pol[0] + jy*ff.pol[1] + jz*ff.pol[2]
+	f := mx*ff.pol[0] + my*ff.pol[1] + mz*ff.pol[2]
+	m := n + ff.delay(i, j, k)
+	if ff.compensated {
+		ff.A[m], ff.compA[m] = neumaierAdd(ff.A[m], ff.compA[m], a)
+		ff.F[m], ff.compF[m] = neumaierAdd(ff.F[m], ff.compF[m], f)
+	} else {
+		ff.A[m] += a
+		ff.F[m] += f
+	}
+}
+
 // accumulate adds the step-n contributions of the surface points in
 // the block xr x yr.  The field grids are local sections whose local
 // indices are global minus the block origin.  It returns the number of
 // points visited (the far-field work units of this step).
+//
+// The loops repeat forEachSurface's clamped enumeration — same faces,
+// same order, same per-point arithmetic (via addPoint) — but read the
+// fields through contiguous row views on the constant-x and constant-y
+// faces, where the inner loop runs along z, instead of six At calls per
+// point.  Because neither the visit order nor any expression changes,
+// the accumulated potentials stay bitwise identical to the per-point
+// form; forEachSurface remains the order's definition and serves the
+// setup scan in newFarField.
 func (ff *farField) accumulate(n int, ex, ey, ez, hx, hy, hz *grid.G3, xr, yr grid.Range) int {
+	spec := ff.spec
+	off := spec.FarField.Offset
+	x0, x1 := off, spec.NX-1-off
+	y0, y1 := off, spec.NY-1-off
+	z0, z1 := off, spec.NZ-1-off
+	nz := z1 - z0 + 1
+	clampXLo, clampXHi := x0, x1
+	if clampXLo < xr.Lo {
+		clampXLo = xr.Lo
+	}
+	if clampXHi > xr.Hi-1 {
+		clampXHi = xr.Hi - 1
+	}
+	clampYLo, clampYHi := y0, y1
+	if clampYLo < yr.Lo {
+		clampYLo = yr.Lo
+	}
+	if clampYHi > yr.Hi-1 {
+		clampYHi = yr.Hi - 1
+	}
 	points := 0
-	forEachSurface(ff.spec, xr.Lo, xr.Hi, yr.Lo, yr.Hi, func(face, i, j, k int) {
-		points++
-		li, lj := i-xr.Lo, j-yr.Lo
-		e0 := ex.At(li, lj, k)
-		e1 := ey.At(li, lj, k)
-		e2 := ez.At(li, lj, k)
-		h0 := hx.At(li, lj, k)
-		h1 := hy.At(li, lj, k)
-		h2 := hz.At(li, lj, k)
-		nv := faceNormals[face]
-		// J = n x H, M = -(n x E); project both onto pol.
-		jx := nv[1]*h2 - nv[2]*h1
-		jy := nv[2]*h0 - nv[0]*h2
-		jz := nv[0]*h1 - nv[1]*h0
-		mx := -(nv[1]*e2 - nv[2]*e1)
-		my := -(nv[2]*e0 - nv[0]*e2)
-		mz := -(nv[0]*e1 - nv[1]*e0)
-		a := jx*ff.pol[0] + jy*ff.pol[1] + jz*ff.pol[2]
-		f := mx*ff.pol[0] + my*ff.pol[1] + mz*ff.pol[2]
-		m := n + ff.delay(i, j, k)
-		if ff.compensated {
-			ff.A[m], ff.compA[m] = neumaierAdd(ff.A[m], ff.compA[m], a)
-			ff.F[m], ff.compF[m] = neumaierAdd(ff.F[m], ff.compF[m], f)
-		} else {
-			ff.A[m] += a
-			ff.F[m] += f
+	// Faces 0, 1: constant x; the k run is a contiguous row segment.
+	for face, x := range [2]int{x0, x1} {
+		if x < xr.Lo || x >= xr.Hi {
+			continue
 		}
-	})
+		li := x - xr.Lo
+		for j := clampYLo; j <= clampYHi; j++ {
+			lj := j - yr.Lo
+			exR := ex.RowFrom(li, lj, z0, nz)
+			eyR := ey.RowFrom(li, lj, z0, nz)[:len(exR)]
+			ezR := ez.RowFrom(li, lj, z0, nz)[:len(exR)]
+			hxR := hx.RowFrom(li, lj, z0, nz)[:len(exR)]
+			hyR := hy.RowFrom(li, lj, z0, nz)[:len(exR)]
+			hzR := hz.RowFrom(li, lj, z0, nz)[:len(exR)]
+			for kk := range exR {
+				ff.addPoint(face, x, j, z0+kk, n, exR[kk], eyR[kk], ezR[kk], hxR[kk], hyR[kk], hzR[kk])
+			}
+			points += len(exR)
+		}
+	}
+	// Faces 2, 3: constant y (x-major iteration), contiguous k runs.
+	for fi, y := range [2]int{y0, y1} {
+		if y < yr.Lo || y >= yr.Hi {
+			continue
+		}
+		lj := y - yr.Lo
+		for i := clampXLo; i <= clampXHi; i++ {
+			li := i - xr.Lo
+			exR := ex.RowFrom(li, lj, z0, nz)
+			eyR := ey.RowFrom(li, lj, z0, nz)[:len(exR)]
+			ezR := ez.RowFrom(li, lj, z0, nz)[:len(exR)]
+			hxR := hx.RowFrom(li, lj, z0, nz)[:len(exR)]
+			hyR := hy.RowFrom(li, lj, z0, nz)[:len(exR)]
+			hzR := hz.RowFrom(li, lj, z0, nz)[:len(exR)]
+			for kk := range exR {
+				ff.addPoint(2+fi, i, y, z0+kk, n, exR[kk], eyR[kk], ezR[kk], hxR[kk], hyR[kk], hzR[kk])
+			}
+			points += len(exR)
+		}
+	}
+	// Faces 4, 5: constant z; the j loop strides across rows, so each
+	// point is a single-element read at the fixed k.
+	for fi, z := range [2]int{z0, z1} {
+		for i := clampXLo; i <= clampXHi; i++ {
+			li := i - xr.Lo
+			for j := clampYLo; j <= clampYHi; j++ {
+				lj := j - yr.Lo
+				ff.addPoint(4+fi, i, j, z, n,
+					ex.At(li, lj, z), ey.At(li, lj, z), ez.At(li, lj, z),
+					hx.At(li, lj, z), hy.At(li, lj, z), hz.At(li, lj, z))
+				points++
+			}
+		}
+	}
 	return points
 }
 

@@ -36,15 +36,21 @@ func newFields(spec Spec, xr, yr grid.Range) *Fields {
 // section directly from the spec (the "concurrent I/O" alternative to
 // host scattering: every process derives its own slice of the global
 // data).
+// The loop is the documented example of the row-view idiom the hot
+// kernels use: take one Row per grid, re-slice the rest to the first
+// row's length so the compiler drops the per-element bounds checks,
+// and walk the contiguous z-run.
 func (f *Fields) fillCoefficientsLocal() {
 	for li := 0; li < f.Ca.NX(); li++ {
+		gi := f.XR.Lo + li
 		for lj := 0; lj < f.Ca.NY(); lj++ {
-			for k := 0; k < f.Ca.NZ(); k++ {
-				a, b, c, d := f.Spec.Coefficients(f.XR.Lo+li, f.YR.Lo+lj, k)
-				f.Ca.Set(li, lj, k, a)
-				f.Cb.Set(li, lj, k, b)
-				f.Da.Set(li, lj, k, c)
-				f.Db.Set(li, lj, k, d)
+			gj := f.YR.Lo + lj
+			caR := f.Ca.Row(li, lj)
+			cbR := f.Cb.Row(li, lj)[:len(caR)]
+			daR := f.Da.Row(li, lj)[:len(caR)]
+			dbR := f.Db.Row(li, lj)[:len(caR)]
+			for k := range caR {
+				caR[k], cbR[k], daR[k], dbR[k] = f.Spec.Coefficients(gi, gj, k)
 			}
 		}
 	}
@@ -75,9 +81,11 @@ func addSource(ez *grid.G3, spec Spec, n int, xr, yr grid.Range) {
 		if jStart < 1 {
 			jStart = 1
 		}
+		li := src.I - xr.Lo
 		for j := jStart; j < yr.Hi; j++ {
-			for k := 0; k < spec.NZ; k++ {
-				ez.Add(src.I-xr.Lo, j-yr.Lo, k, v)
+			row := ez.Row(li, j-yr.Lo)
+			for k := range row {
+				row[k] += v
 			}
 		}
 	default:
@@ -127,8 +135,24 @@ func updateE(f *Fields) int {
 // and never write H, so windows that partition the local section can
 // run concurrently: their writes are disjoint and their reads are of
 // fields no window writes.
+//
+// Every inner loop below walks contiguous z-rows (grid.G3.Row views)
+// with the bounds checks hoisted by the `b = b[:len(a)]` re-slice
+// idiom: once each neighbour row is re-sliced to the primary row's
+// length, the loop condition k < len(row) proves every access in
+// range and the compiler drops the per-element checks, so the loop
+// body is pure branch-free float arithmetic.
+//
+// The three component sweeps are fused into one (li, lj) traversal:
+// the coefficient rows (and the shared field rows) are fetched once
+// per pencil column instead of once per component, cutting the memory
+// traffic of the coefficient grids to a third.  Fusing is invisible in
+// the results because no E component reads another E component — the
+// three updates at one column commute — so only independent operations
+// are permuted (Theorem 1 again).  The per-cell expressions are
+// unchanged — see updateERangeRef for the retained per-cell reference
+// kernels the property tests pit these against.
 func updateERange(f *Fields, li0, li1, lj0, lj1 int) int {
-	nz := f.Ex.NZ()
 	count := 0
 	// Components skip the global index 0 along the axes their curl
 	// stencil reaches backwards on.
@@ -140,50 +164,46 @@ func updateERange(f *Fields, li0, li1, lj0, lj1 int) int {
 	if f.YR.Lo == 0 {
 		ljStart = 1
 	}
-	// Ex: all i; global j >= 1; k >= 1.
 	for li := li0; li < li1; li++ {
-		for lj := imax(lj0, ljStart); lj < lj1; lj++ {
-			exP := f.Ex.Pencil(li, lj)
-			caP := f.Ca.Pencil(li, lj)
-			cbP := f.Cb.Pencil(li, lj)
-			hzP := f.Hz.Pencil(li, lj)
-			hzJm := f.Hz.Pencil(li, lj-1) // lj == 0 reads the lower y ghost
-			hyP := f.Hy.Pencil(li, lj)
-			for k := 1; k < nz; k++ {
-				exP[k] = caP[k]*exP[k] + cbP[k]*((hzP[k]-hzJm[k])-(hyP[k]-hyP[k-1]))
-			}
-			count += nz - 1
-		}
-	}
-	// Ey: global i >= 1; all j; k >= 1.
-	for li := imax(li0, liStart); li < li1; li++ {
+		doI := li >= liStart // Ey, Ez skip global i == 0
 		for lj := lj0; lj < lj1; lj++ {
-			eyP := f.Ey.Pencil(li, lj)
-			caP := f.Ca.Pencil(li, lj)
-			cbP := f.Cb.Pencil(li, lj)
-			hxP := f.Hx.Pencil(li, lj)
-			hzP := f.Hz.Pencil(li, lj)
-			hzIm := f.Hz.Pencil(li-1, lj) // li == 0 reads the lower x ghost
-			for k := 1; k < nz; k++ {
-				eyP[k] = caP[k]*eyP[k] + cbP[k]*((hxP[k]-hxP[k-1])-(hzP[k]-hzIm[k]))
+			doJ := lj >= ljStart // Ex, Ez skip global j == 0
+			if !doI && !doJ {
+				continue
 			}
-			count += nz - 1
-		}
-	}
-	// Ez: global i >= 1; global j >= 1; all k.
-	for li := imax(li0, liStart); li < li1; li++ {
-		for lj := imax(lj0, ljStart); lj < lj1; lj++ {
-			ezP := f.Ez.Pencil(li, lj)
-			caP := f.Ca.Pencil(li, lj)
-			cbP := f.Cb.Pencil(li, lj)
-			hyP := f.Hy.Pencil(li, lj)
-			hyIm := f.Hy.Pencil(li-1, lj)
-			hxP := f.Hx.Pencil(li, lj)
-			hxJm := f.Hx.Pencil(li, lj-1)
-			for k := 0; k < nz; k++ {
-				ezP[k] = caP[k]*ezP[k] + cbP[k]*((hyP[k]-hyIm[k])-(hxP[k]-hxJm[k]))
+			caP := f.Ca.Row(li, lj)
+			cbP := f.Cb.Row(li, lj)[:len(caP)]
+			hxP := f.Hx.Row(li, lj)[:len(caP)]
+			hyP := f.Hy.Row(li, lj)[:len(caP)]
+			hzP := f.Hz.Row(li, lj)[:len(caP)]
+			// Ex: all i; global j >= 1; k >= 1.
+			if doJ {
+				exP := f.Ex.Row(li, lj)[:len(caP)]
+				hzJm := f.Hz.Row(li, lj-1)[:len(caP)] // lj == 0 reads the lower y ghost
+				for k := 1; k < len(caP); k++ {
+					exP[k] = caP[k]*exP[k] + cbP[k]*((hzP[k]-hzJm[k])-(hyP[k]-hyP[k-1]))
+				}
+				count += len(caP) - 1
 			}
-			count += nz
+			// Ey: global i >= 1; all j; k >= 1.
+			if doI {
+				eyP := f.Ey.Row(li, lj)[:len(caP)]
+				hzIm := f.Hz.Row(li-1, lj)[:len(caP)] // li == 0 reads the lower x ghost
+				for k := 1; k < len(caP); k++ {
+					eyP[k] = caP[k]*eyP[k] + cbP[k]*((hxP[k]-hxP[k-1])-(hzP[k]-hzIm[k]))
+				}
+				count += len(caP) - 1
+			}
+			// Ez: global i >= 1; global j >= 1; all k.
+			if doI && doJ {
+				ezP := f.Ez.Row(li, lj)[:len(caP)]
+				hyIm := f.Hy.Row(li-1, lj)[:len(caP)]
+				hxJm := f.Hx.Row(li, lj-1)[:len(caP)]
+				for k := 0; k < len(caP); k++ {
+					ezP[k] = caP[k]*ezP[k] + cbP[k]*((hyP[k]-hyIm[k])-(hxP[k]-hxJm[k]))
+				}
+				count += len(caP)
+			}
 		}
 	}
 	return count
@@ -201,7 +221,6 @@ func updateH(f *Fields) int {
 // and y (lj+1) and never write E, so disjoint windows are race-free.
 func updateHRange(f *Fields, li0, li1, lj0, lj1 int) int {
 	nxl, nyl := f.XR.Len(), f.YR.Len()
-	nz := f.Hx.NZ()
 	count := 0
 	// Components stop one short of the global top along the axes their
 	// curl stencil reaches forwards on.
@@ -213,50 +232,62 @@ func updateHRange(f *Fields, li0, li1, lj0, lj1 int) int {
 	if f.YR.Hi == f.Spec.NY {
 		ljEnd = nyl - 1
 	}
-	// Hx: all i; global j < ny-1; k < nz-1.
+	// One fused (li, lj) traversal, same argument as updateERange: no H
+	// component reads another H component, so interleaving the three
+	// updates per pencil column permutes independent operations only.
+	// The forward z stencils (E at k+1) are expressed as one-shifted
+	// row views so the hoist idiom still proves every access: the
+	// written sub-row has length nz-1, and exUp[k] is ex[k+1].
 	for li := li0; li < li1; li++ {
-		for lj := lj0; lj < imin(lj1, ljEnd); lj++ {
-			hxP := f.Hx.Pencil(li, lj)
-			daP := f.Da.Pencil(li, lj)
-			dbP := f.Db.Pencil(li, lj)
-			eyP := f.Ey.Pencil(li, lj)
-			ezP := f.Ez.Pencil(li, lj)
-			ezJp := f.Ez.Pencil(li, lj+1) // lj == nyl-1 reads the upper y ghost
-			for k := 0; k < nz-1; k++ {
-				hxP[k] = daP[k]*hxP[k] + dbP[k]*((eyP[k+1]-eyP[k])-(ezJp[k]-ezP[k]))
-			}
-			count += nz - 1
-		}
-	}
-	// Hy: global i < nx-1; all j; k < nz-1.
-	for li := li0; li < imin(li1, liEnd); li++ {
+		doI := li < liEnd // Hy, Hz stop short of the global top i
 		for lj := lj0; lj < lj1; lj++ {
-			hyP := f.Hy.Pencil(li, lj)
-			daP := f.Da.Pencil(li, lj)
-			dbP := f.Db.Pencil(li, lj)
-			ezP := f.Ez.Pencil(li, lj)
-			ezIp := f.Ez.Pencil(li+1, lj) // li == nxl-1 reads the upper x ghost
-			exP := f.Ex.Pencil(li, lj)
-			for k := 0; k < nz-1; k++ {
-				hyP[k] = daP[k]*hyP[k] + dbP[k]*((ezIp[k]-ezP[k])-(exP[k+1]-exP[k]))
+			doJ := lj < ljEnd // Hx, Hz stop short of the global top j
+			if !doI && !doJ {
+				continue
 			}
-			count += nz - 1
-		}
-	}
-	// Hz: global i < nx-1; global j < ny-1; all k.
-	for li := li0; li < imin(li1, liEnd); li++ {
-		for lj := lj0; lj < imin(lj1, ljEnd); lj++ {
-			hzP := f.Hz.Pencil(li, lj)
-			daP := f.Da.Pencil(li, lj)
-			dbP := f.Db.Pencil(li, lj)
-			exP := f.Ex.Pencil(li, lj)
-			exJp := f.Ex.Pencil(li, lj+1)
-			eyP := f.Ey.Pencil(li, lj)
-			eyIp := f.Ey.Pencil(li+1, lj)
-			for k := 0; k < nz; k++ {
-				hzP[k] = daP[k]*hzP[k] + dbP[k]*((exJp[k]-exP[k])-(eyIp[k]-eyP[k]))
+			daP := f.Da.Row(li, lj)
+			dbP := f.Db.Row(li, lj)[:len(daP)]
+			exRow := f.Ex.Row(li, lj)[:len(daP)]
+			eyRow := f.Ey.Row(li, lj)[:len(daP)]
+			ezP := f.Ez.Row(li, lj)[:len(daP)]
+			// Hx: all i; global j < ny-1; k < nz-1.
+			if doJ {
+				hxRow := f.Hx.Row(li, lj)
+				hxS := hxRow[:len(hxRow)-1]
+				eyP := eyRow[:len(hxS)]
+				eyUp := eyRow[1:][:len(hxS)]
+				ezS := ezP[:len(hxS)]
+				ezJp := f.Ez.Row(li, lj+1)[:len(hxS)] // lj == nyl-1 reads the upper y ghost
+				daS, dbS := daP[:len(hxS)], dbP[:len(hxS)]
+				for k := range hxS {
+					hxS[k] = daS[k]*hxS[k] + dbS[k]*((eyUp[k]-eyP[k])-(ezJp[k]-ezS[k]))
+				}
+				count += len(daP) - 1
 			}
-			count += nz
+			// Hy: global i < nx-1; all j; k < nz-1.
+			if doI {
+				hyRow := f.Hy.Row(li, lj)
+				hyS := hyRow[:len(hyRow)-1]
+				ezS := ezP[:len(hyS)]
+				ezIp := f.Ez.Row(li+1, lj)[:len(hyS)] // li == nxl-1 reads the upper x ghost
+				exP := exRow[:len(hyS)]
+				exUp := exRow[1:][:len(hyS)]
+				daS, dbS := daP[:len(hyS)], dbP[:len(hyS)]
+				for k := range hyS {
+					hyS[k] = daS[k]*hyS[k] + dbS[k]*((ezIp[k]-ezS[k])-(exUp[k]-exP[k]))
+				}
+				count += len(daP) - 1
+			}
+			// Hz: global i < nx-1; global j < ny-1; all k.
+			if doI && doJ {
+				hzP := f.Hz.Row(li, lj)[:len(daP)]
+				exJp := f.Ex.Row(li, lj+1)[:len(daP)]
+				eyIp := f.Ey.Row(li+1, lj)[:len(daP)]
+				for k := range hzP {
+					hzP[k] = daP[k]*hzP[k] + dbP[k]*((exJp[k]-exRow[k])-(eyIp[k]-eyRow[k]))
+				}
+				count += len(daP)
+			}
 		}
 	}
 	return count

@@ -53,6 +53,9 @@ type murState struct {
 	y0, y1 [2][2][]float64
 	// z faces: component 0 = Ex, 1 = Ey.
 	z0, z1 [2][2][]float64
+	// Per-step scratch for murPlane (current plane, updated plane),
+	// sized for the largest face so apply allocates nothing per step.
+	cur, out []float64
 }
 
 func newMurState(spec Spec, xr, yr grid.Range) *murState {
@@ -85,6 +88,15 @@ func newMurState(spec Spec, xr, yr grid.Range) *murState {
 	}
 	alloc(&m.z0, xy)
 	alloc(&m.z1, xy)
+	maxPlane := yz
+	if xz > maxPlane {
+		maxPlane = xz
+	}
+	if xy > maxPlane {
+		maxPlane = xy
+	}
+	m.cur = make([]float64, maxPlane)
+	m.out = make([]float64, maxPlane)
 	return m
 }
 
@@ -133,11 +145,18 @@ func (m *murState) snapshot(ey, ez, ex *grid.G3) {
 //
 // where b is the boundary plane and in its interior neighbour, and the
 // ^n values come from the snapshot.  It returns the number of updates.
+// Both plane buffers come from the murState scratch, so the per-step
+// boundary update allocates nothing; the inner loop re-slices the
+// snapshot rows to the output length so the bounds checks hoist (the
+// same row-view idiom as the field kernels).
 func (m *murState) murPlane(g *grid.G3, axis grid.Axis, boundary, inner int, oldB, oldIn []float64) int {
-	cur := g.PackPlane(axis, inner, nil)
-	out := make([]float64, len(cur))
+	cur := g.PackPlane(axis, inner, m.cur[:len(oldB)])
+	out := m.out[:len(cur)]
+	oldBS := oldB[:len(out)]
+	oldInS := oldIn[:len(out)]
+	curS := cur[:len(out)]
 	for i := range out {
-		out[i] = oldIn[i] + m.coef*(cur[i]-oldB[i])
+		out[i] = oldInS[i] + m.coef*(curS[i]-oldBS[i])
 	}
 	g.UnpackPlane(axis, boundary, out)
 	return len(out)

@@ -91,6 +91,35 @@ func (g *G3) PencilFrom(i, j, k0, n int) []float64 {
 	return g.data[base : base+n]
 }
 
+// Row is the kernel view of the interior z-row at (i, j): the same
+// aliased storage as Pencil, but with the capacity clamped to the row
+// length, so a stray append or re-slice past NZ panics instead of
+// silently walking into the neighbouring row's storage.  (i, j) may
+// address ghost rows (negative, or >= the interior extent, within the
+// ghost width) — the offset-neighbour views stencil kernels take at
+// lj-1 or li+1.
+//
+// Hot loops pair Row with the bounds-check-hoisting re-slice idiom:
+//
+//	a := ga.Row(i, j)
+//	b := gb.Row(i, j)[:len(a)]
+//	for k := range a { a[k] += c * b[k] }
+//
+// After b = b[:len(a)] the compiler proves every b[k] in range from
+// the loop condition alone and drops the per-element bounds checks,
+// keeping the inner loop branch-free.
+func (g *G3) Row(i, j int) []float64 {
+	base := g.Index(i, j, 0)
+	return g.data[base : base+g.ze.N : base+g.ze.N]
+}
+
+// RowFrom is Row starting at logical k0 with length n (which may reach
+// into z ghost cells), capacity-clamped like Row.
+func (g *G3) RowFrom(i, j, k0, n int) []float64 {
+	base := g.Index(i, j, k0)
+	return g.data[base : base+n : base+n]
+}
+
 // Fill sets every interior point to v.
 func (g *G3) Fill(v float64) {
 	for i := 0; i < g.xe.N; i++ {
