@@ -3,9 +3,9 @@ GO ?= go
 # Packages whose concurrency the race detector must vet.
 RACE_PKGS = ./internal/channel ./internal/sched ./internal/mesh ./internal/trace ./internal/obs ./internal/serve ./internal/cluster ./internal/cluster/client ./internal/slo ./cmd/archload
 
-.PHONY: check build vet test race bench bench-smoke bench-compare kernel-smoke net-smoke serve-smoke cluster-smoke chaos-smoke obs-smoke fuzz-smoke
+.PHONY: check build vet test race bench bench-smoke bench-compare kernel-smoke net-smoke serve-smoke cluster-smoke chaos-smoke hotshard-smoke obs-smoke fuzz-smoke
 
-check: vet build test race bench-smoke kernel-smoke net-smoke serve-smoke cluster-smoke chaos-smoke obs-smoke fuzz-smoke
+check: vet build test race bench-smoke kernel-smoke net-smoke serve-smoke cluster-smoke chaos-smoke hotshard-smoke obs-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -32,7 +32,11 @@ race:
 # recorded, never gated).  A final open-loop archload run lands the
 # cluster latency histogram (cluster/load/p50..p999 + bucket family),
 # error/cache rates, and the SLO burn-rate verdict from a
-# self-contained 3-node cluster.
+# self-contained 3-node cluster.  The closing -hotshard run is the
+# hot-shard A/B: the same zipf-headed closed-loop workload with the
+# layer off then on, landing hot-key p99, served-count imbalance and
+# throughput for both arms (cluster/load/hotshard/*; recorded, never
+# gated).
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem ./internal/sched ./internal/mesh ./internal/fdtd ./internal/gridio
 	$(GO) run ./cmd/fdtd -build par -p 4 -nx 24 -ny 16 -nz 16 -steps 64 -baseline -quiet \
@@ -47,6 +51,8 @@ bench:
 		-bench-out BENCH_obs.json -bench-append
 	$(GO) run ./cmd/archload -cluster 3 -rate 200 -jobs 120 -specs 24 -p 2 -workers 1 -seed 1 \
 		-slo "p99<2s,err<1%" -bench BENCH_obs.json
+	$(GO) run ./cmd/archload -cluster 3 -hotshard -clients 32 -jobs 600 -specs 32 -zipf-s 1.8 \
+		-p 2 -workers 1 -seed 1 -bench BENCH_obs.json
 	@echo "wrote fdtd_report.json and BENCH_obs.json"
 
 # bench-smoke compiles and runs every benchmark once (no timing) so
@@ -96,6 +102,16 @@ cluster-smoke:
 # (TestClusterChaos).
 chaos-smoke:
 	$(GO) test -race -run 'TestClusterChaos' -count=1 -timeout 10m ./internal/cluster
+
+# hotshard-smoke is the hot-shard acceptance proof under the race
+# detector: a zipf-headed burst against 3 real archserve nodes promotes
+# one fingerprint, replicates its cache entry to the ring successors,
+# then SIGKILLs the hot shard's primary mid-burst — zero lost jobs,
+# replicas keep serving bitwise-identical cache hits, the restarted
+# primary rejoins pre-filled, and a SIGTERM'd node hands its cache off
+# to its ring heir during the drain-grace window (TestHotShardChaos).
+hotshard-smoke:
+	$(GO) test -race -run 'TestHotShardChaos' -count=1 -timeout 10m ./internal/cluster
 
 # obs-smoke is the acceptance run of the observability plane: a 2-node
 # in-process cluster takes a 20-job open-loop (Poisson) run; the run

@@ -61,6 +61,10 @@ type loadConfig struct {
 	// from the coordinator after the run.
 	SampleTrace bool
 
+	// HotDisabled turns off the coordinator's hot-shard layer in
+	// self-contained mode — the baseline arm of a -hotshard comparison.
+	HotDisabled bool
+
 	Quiet bool // suppress progress logging (tests)
 }
 
@@ -100,6 +104,7 @@ type sample struct {
 	degraded bool
 	err      bool // transport-level failure
 	trace    string
+	specIdx  int // workload spec index; 0 is the zipf head (the hot key)
 }
 
 // loadResult is the structured outcome of one run.
@@ -108,10 +113,17 @@ type loadResult struct {
 	Elapsed                                          time.Duration
 	Throughput                                       float64 // ok jobs per second
 	Hist                                             obs.HistSnapshot
-	SLO                                              *slo.Report // nil unless requested
-	SampledTrace                                     string      // trace id of the sampled job
-	TraceJSON                                        []byte      // merged Chrome trace for it
-	samples                                          []sample
+	// HotHist is the latency histogram restricted to the zipf head
+	// (spec index 0) — the requests hot-shard routing acts on.
+	HotHist obs.HistSnapshot
+	// Imbalance is max/mean of per-node served counts from the
+	// coordinator's /v1/stats after the run (1.0 = perfectly even; 0
+	// when the target exposes no node stats).
+	Imbalance    float64
+	SLO          *slo.Report // nil unless requested
+	SampledTrace string      // trace id of the sampled job
+	TraceJSON    []byte      // merged Chrome trace for it
+	samples      []sample
 }
 
 // BenchEntries renders the run as BENCH-file entries under prefix:
@@ -134,6 +146,16 @@ func (r *loadResult) BenchEntries(prefix string) []obs.BenchEntry {
 		obs.BenchEntry{Name: prefix + "/degraded_rate", Value: frac(r.Degraded), Unit: "frac"},
 		obs.BenchEntry{Name: prefix + "/cache_hit_rate", Value: frac(r.CacheHits), Unit: "frac"},
 	)
+	if r.HotHist.Count > 0 {
+		entries = append(entries, obs.BenchEntry{
+			Name:  prefix + "/hot/p99",
+			Value: float64(r.HotHist.QuantileDuration(0.99)) / float64(time.Millisecond),
+			Unit:  "ms",
+		})
+	}
+	if r.Imbalance > 0 {
+		entries = append(entries, obs.BenchEntry{Name: prefix + "/imbalance", Value: r.Imbalance, Unit: "ratio"})
+	}
 	if r.SLO != nil {
 		var fast, slow float64
 		for _, or := range r.SLO.Objectives {
@@ -170,7 +192,7 @@ type localNode struct {
 
 // startLocalCluster spins up n nodes and a coordinator, returning the
 // coordinator URL and a teardown function.
-func startLocalCluster(n, p, workers int) (string, func(), error) {
+func startLocalCluster(n, p, workers int, hotDisabled bool) (string, func(), error) {
 	var nodes []localNode
 	var roster []cluster.Node
 	teardown := func() {
@@ -201,6 +223,7 @@ func startLocalCluster(n, p, workers int) (string, func(), error) {
 		Nodes:  roster,
 		Member: cluster.MemberConfig{ProbeInterval: 100 * time.Millisecond},
 		Client: client.Policy{},
+		Hot:    cluster.HotConfig{Disabled: hotDisabled},
 		Seed:   1,
 	})
 	if err != nil {
@@ -262,7 +285,7 @@ func runLoad(cfg loadConfig) (*loadResult, error) {
 		if target != "" {
 			return nil, fmt.Errorf("use Target or Cluster, not both")
 		}
-		url, teardown, err := startLocalCluster(cfg.Cluster, cfg.P, cfg.Workers)
+		url, teardown, err := startLocalCluster(cfg.Cluster, cfg.P, cfg.Workers, cfg.HotDisabled)
 		if err != nil {
 			return nil, fmt.Errorf("start cluster: %w", err)
 		}
@@ -326,6 +349,7 @@ func runLoad(cfg loadConfig) (*loadResult, error) {
 				// service counts against the service.
 				s.start = sched
 				s.latency = time.Since(start.Add(sched)) + cfg.InjectLatency
+				s.specIdx = specIdx[i]
 				add(s)
 			}(i, sched)
 		}
@@ -354,6 +378,7 @@ func runLoad(cfg loadConfig) (*loadResult, error) {
 					s := doRequest(hc, target, loadSpec(specIdx[i]))
 					s.start = t0.Sub(start)
 					s.latency = time.Since(t0) + cfg.InjectLatency
+					s.specIdx = specIdx[i]
 					add(s)
 				}
 			}()
@@ -364,10 +389,14 @@ func runLoad(cfg loadConfig) (*loadResult, error) {
 
 	res := &loadResult{Elapsed: elapsed, samples: samples}
 	hist := obs.NewHistogram()
+	hotHist := obs.NewHistogram()
 	var sloSamples []slo.Sample
 	for _, s := range samples {
 		res.Total++
 		hist.Record(s.latency)
+		if s.specIdx == 0 {
+			hotHist.Record(s.latency)
+		}
 		bad := s.err
 		switch {
 		case s.err:
@@ -390,7 +419,9 @@ func runLoad(cfg loadConfig) (*loadResult, error) {
 		sloSamples = append(sloSamples, slo.Sample{Start: s.start, Latency: s.latency, Err: bad})
 	}
 	res.Hist = hist.Snapshot()
+	res.HotHist = hotHist.Snapshot()
 	res.Throughput = float64(res.OK) / elapsed.Seconds()
+	res.Imbalance = fetchImbalance(hc, target)
 	if spec != nil {
 		res.SLO = slo.Eval(spec, sloSamples, elapsed)
 	}
@@ -398,6 +429,66 @@ func runLoad(cfg loadConfig) (*loadResult, error) {
 		res.sampleTrace(hc, target)
 	}
 	return res, nil
+}
+
+// fetchImbalance reads the coordinator's per-node served counts and
+// returns max/mean — 1.0 is a perfectly even spread, N is everything on
+// one node of N.  Best-effort: a target without node stats (a single
+// archserve, say) yields 0.
+func fetchImbalance(hc *http.Client, target string) float64 {
+	resp, err := hc.Get(target + "/v1/stats")
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Nodes []struct {
+			Served int64 `json:"served"`
+		} `json:"nodes"`
+	}
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&st) != nil || len(st.Nodes) == 0 {
+		return 0
+	}
+	var total, max int64
+	for _, n := range st.Nodes {
+		total += n.Served
+		if n.Served > max {
+			max = n.Served
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(st.Nodes))
+	return float64(max) / mean
+}
+
+// hotshardEntries renders a -hotshard A/B comparison (the same seeded
+// workload with the hot-shard layer off, then on) as BENCH entries
+// under <prefix>/hotshard/.  The *_gain entries are off/on ratios —
+// > 1 means the layer helped.  All of these are measurements of one
+// comparison run, compared-but-never-gated by benchdiff.
+func hotshardEntries(prefix string, off, on *loadResult) []obs.BenchEntry {
+	hotP99 := func(r *loadResult) float64 {
+		return float64(r.HotHist.QuantileDuration(0.99)) / float64(time.Millisecond)
+	}
+	ratio := func(a, b float64) float64 {
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	}
+	p := prefix + "/hotshard/"
+	return []obs.BenchEntry{
+		{Name: p + "p99_off", Value: hotP99(off), Unit: "ms"},
+		{Name: p + "p99_on", Value: hotP99(on), Unit: "ms"},
+		{Name: p + "imbalance_off", Value: off.Imbalance, Unit: "ratio"},
+		{Name: p + "imbalance_on", Value: on.Imbalance, Unit: "ratio"},
+		{Name: p + "throughput_off", Value: off.Throughput, Unit: "jobs/s"},
+		{Name: p + "throughput_on", Value: on.Throughput, Unit: "jobs/s"},
+		{Name: p + "p99_gain", Value: ratio(hotP99(off), hotP99(on)), Unit: "x"},
+		{Name: p + "imbalance_gain", Value: ratio(off.Imbalance, on.Imbalance), Unit: "x"},
+	}
 }
 
 // sampleTrace picks one traced response — preferring a computed job,

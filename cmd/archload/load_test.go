@@ -171,3 +171,64 @@ func TestObsSmokeSLOFail(t *testing.T) {
 		}
 	}
 }
+
+// TestHotshardMeasurement: a small self-contained run populates the
+// hot-key histogram (zipf head samples), computes a served-count
+// imbalance from the coordinator's node stats, and renders both as
+// bench entries; hotshardEntries then shapes an off/on pair into the
+// full A/B family.
+func TestHotshardMeasurement(t *testing.T) {
+	res, err := runLoad(loadConfig{
+		Cluster: 2,
+		Clients: 4,
+		Jobs:    30,
+		Specs:   4,
+		ZipfS:   1.5,
+		Seed:    3,
+		Quiet:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errs > 0 {
+		t.Fatalf("%d transport errors", res.Errs)
+	}
+	if res.HotHist.Count == 0 {
+		t.Fatal("hot-key histogram empty — the zipf head never sampled")
+	}
+	if res.HotHist.Count >= res.Hist.Count {
+		t.Fatalf("hot histogram %d >= total %d — head filter not applied", res.HotHist.Count, res.Hist.Count)
+	}
+	if res.Imbalance < 1.0 {
+		t.Fatalf("imbalance %.3f, want >= 1.0 (max/mean of served counts)", res.Imbalance)
+	}
+	names := map[string]bool{}
+	for _, e := range res.BenchEntries("cluster/load") {
+		names[e.Name] = true
+	}
+	if !names["cluster/load/hot/p99"] || !names["cluster/load/imbalance"] {
+		t.Fatalf("bench entries lack hot/p99 or imbalance: %v", names)
+	}
+
+	// The A/B family from an off/on pair.
+	got := map[string]float64{}
+	for _, e := range hotshardEntries("cluster/load", res, res) {
+		got[e.Name] = e.Value
+	}
+	for _, want := range []string{
+		"cluster/load/hotshard/p99_off", "cluster/load/hotshard/p99_on",
+		"cluster/load/hotshard/imbalance_off", "cluster/load/hotshard/imbalance_on",
+		"cluster/load/hotshard/throughput_off", "cluster/load/hotshard/throughput_on",
+		"cluster/load/hotshard/p99_gain", "cluster/load/hotshard/imbalance_gain",
+	} {
+		if _, ok := got[want]; !ok {
+			t.Errorf("hotshard entries lack %s", want)
+		}
+	}
+	if g := got["cluster/load/hotshard/p99_gain"]; g != 1.0 {
+		t.Fatalf("same-run p99 gain %.3f, want exactly 1.0", g)
+	}
+	if g := got["cluster/load/hotshard/imbalance_gain"]; g != 1.0 {
+		t.Fatalf("same-run imbalance gain %.3f, want exactly 1.0", g)
+	}
+}

@@ -270,3 +270,43 @@ func TestCompareNoWarningWhenAligned(t *testing.T) {
 		t.Fatalf("aligned metric sets should produce no warning, got %q", w)
 	}
 }
+
+// TestCompareNeverGateHotshardFamily: the hotshard A/B entries and the
+// per-run imbalance ratio are measurements of one comparison run — both
+// arms move with host load, so they are compared for visibility but
+// never gated (the actual hot-shard win is asserted by the smoke test,
+// not the diff).
+func TestCompareNeverGateHotshardFamily(t *testing.T) {
+	th := thresholds{strict: 0.10, timing: 0.50}
+	base := []obs.BenchEntry{
+		entry("cluster/load/hotshard/p99_off", 40, "ms"),
+		entry("cluster/load/hotshard/p99_on", 20, "ms"),
+		entry("cluster/load/hotshard/imbalance_off", 2.4, "ratio"),
+		entry("cluster/load/hotshard/imbalance_on", 1.2, "ratio"),
+		entry("cluster/load/hotshard/p99_gain", 2.0, "x"),
+		entry("cluster/load/hotshard/imbalance_gain", 2.0, "x"),
+		entry("cluster/load/imbalance", 1.3, "ratio"),
+		entry("cluster/load/hot/p99", 25, "ms"),
+	}
+	// A terrible follow-up run: gains collapse below 1, imbalance
+	// explodes.  Noted, never gated.
+	worse := []obs.BenchEntry{
+		entry("cluster/load/hotshard/p99_off", 10, "ms"),
+		entry("cluster/load/hotshard/p99_on", 80, "ms"),
+		entry("cluster/load/hotshard/imbalance_off", 1.0, "ratio"),
+		entry("cluster/load/hotshard/imbalance_on", 3.0, "ratio"),
+		entry("cluster/load/hotshard/p99_gain", 0.1, "x"),
+		entry("cluster/load/hotshard/imbalance_gain", 0.3, "x"),
+		entry("cluster/load/imbalance", 2.9, "ratio"),
+		entry("cluster/load/hot/p99", 900, "ms"),
+	}
+	d := compare(base, worse, th)
+	if d.regressions != 0 {
+		t.Fatalf("hotshard family must never gate: got %d regressions:\n%s",
+			d.regressions, strings.Join(d.lines, "\n"))
+	}
+	if !strings.Contains(strings.Join(d.lines, "\n"), "noted") {
+		t.Fatalf("large hotshard moves should be reported as noted:\n%s",
+			strings.Join(d.lines, "\n"))
+	}
+}

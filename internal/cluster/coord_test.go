@@ -34,6 +34,12 @@ type testCluster struct {
 }
 
 func newTestCluster(t *testing.T, names ...string) *testCluster {
+	return newTestClusterCfg(t, nil, names...)
+}
+
+// newTestClusterCfg is newTestCluster with a config hook (the hot-shard
+// tests tune HotConfig through it).
+func newTestClusterCfg(t *testing.T, mut func(*Config), names ...string) *testCluster {
 	t.Helper()
 	tc := &testCluster{
 		nodes:   make(map[string]*httptest.Server),
@@ -53,7 +59,7 @@ func newTestCluster(t *testing.T, names ...string) *testCluster {
 			s.Shutdown(ctx)
 		})
 	}
-	coord, err := New(Config{
+	cfg := Config{
 		Nodes: roster,
 		Member: MemberConfig{
 			ProbeInterval: 10 * time.Millisecond,
@@ -67,7 +73,11 @@ func newTestCluster(t *testing.T, names ...string) *testCluster {
 			MaxBackoff:  10 * time.Millisecond,
 		},
 		Seed: 1,
-	})
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	coord, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

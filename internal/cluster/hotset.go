@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+)
+
+// HotConfig tunes hot-shard detection and replication.  The zero value
+// enables the layer with defaults; set Disabled to turn the whole hot
+// path off (detection, replication, p2c routing and warm handoff), in
+// which case routing degenerates to the plain alive-primary order.
+type HotConfig struct {
+	// Disabled turns the hot-shard layer off entirely.
+	Disabled bool
+	// Replicas is how many ring successors a hot entry is copied to.
+	// Default 2 (so a hot key is servable by 3 nodes on a 3-node ring).
+	Replicas int
+	// TopK bounds the space-saving counter set.  Default 16.
+	TopK int
+	// HotFraction is the share of observed traffic a fingerprint must
+	// (provably) exceed to count as hot.  Default 0.10.
+	HotFraction float64
+	// MinTotal is the number of observations required before anything
+	// can be promoted, so a cold start does not replicate noise.
+	// Default 32.
+	MinTotal int64
+}
+
+func (c HotConfig) withDefaults() HotConfig {
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.TopK <= 0 {
+		c.TopK = 16
+	}
+	if c.HotFraction <= 0 {
+		c.HotFraction = 0.10
+	}
+	if c.MinTotal <= 0 {
+		c.MinTotal = 32
+	}
+	return c
+}
+
+// hotSet is an online heavy-hitter detector over spec fingerprints:
+// the space-saving algorithm (Metwally et al.) with K counters.  When a
+// new fingerprint arrives and all K counters are taken, the minimum
+// counter is evicted and its count inherited as the newcomer's
+// overestimate — so count-over is a guaranteed lower bound on the true
+// frequency, and promotion tests that bound, never the raw count.
+// A fingerprint is hot when its guaranteed frequency exceeds
+// HotFraction of all observations.  O(K) per observation, which at the
+// default K=16 is noise next to a forwarded HTTP request.
+type hotSet struct {
+	mu       sync.Mutex
+	k        int
+	frac     float64
+	minTotal int64
+	total    int64
+	counters map[uint64]*ssCounter
+}
+
+type ssCounter struct {
+	fp    uint64
+	count int64 // estimated frequency (upper bound)
+	over  int64 // maximum overestimate inherited at eviction
+}
+
+func newHotSet(cfg HotConfig) *hotSet {
+	return &hotSet{
+		k:        cfg.TopK,
+		frac:     cfg.HotFraction,
+		minTotal: cfg.MinTotal,
+		counters: make(map[uint64]*ssCounter, cfg.TopK),
+	}
+}
+
+// observe records one request for fp and reports whether fp is now hot.
+func (h *hotSet) observe(fp uint64) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.total++
+	c, ok := h.counters[fp]
+	if !ok {
+		if len(h.counters) < h.k {
+			c = &ssCounter{fp: fp}
+		} else {
+			var min *ssCounter
+			for _, x := range h.counters {
+				if min == nil || x.count < min.count {
+					min = x
+				}
+			}
+			delete(h.counters, min.fp)
+			c = &ssCounter{fp: fp, count: min.count, over: min.count}
+		}
+		h.counters[fp] = c
+	}
+	c.count++
+	return h.hotLocked(c)
+}
+
+// hot reports whether fp is currently hot, without recording traffic.
+func (h *hotSet) hot(fp uint64) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c, ok := h.counters[fp]
+	return ok && h.hotLocked(c)
+}
+
+func (h *hotSet) hotLocked(c *ssCounter) bool {
+	if h.total < h.minTotal {
+		return false
+	}
+	return float64(c.count-c.over) >= h.frac*float64(h.total)
+}
+
+// HotKey is one tracked fingerprint in the hot-set snapshot.
+type HotKey struct {
+	Fingerprint string `json:"fingerprint"`
+	// Count is the space-saving frequency estimate; Over is its maximum
+	// overestimate, so Count-Over is the guaranteed lower bound the hot
+	// test uses.
+	Count int64 `json:"count"`
+	Over  int64 `json:"over,omitempty"`
+	Hot   bool  `json:"hot"`
+}
+
+// snapshot reports the tracked counters, hottest first.
+func (h *hotSet) snapshot() []HotKey {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]HotKey, 0, len(h.counters))
+	for _, c := range h.counters {
+		out = append(out, HotKey{
+			Fingerprint: fpKey(c.fp),
+			Count:       c.count,
+			Over:        c.over,
+			Hot:         h.hotLocked(c),
+		})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Count != out[b].Count {
+			return out[a].Count > out[b].Count
+		}
+		return out[a].Fingerprint < out[b].Fingerprint
+	})
+	return out
+}

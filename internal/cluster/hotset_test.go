@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestHotSetPromotesHeavyHitter: a fingerprint carrying a dominant
+// share of zipf-shaped traffic is promoted, and only after MinTotal
+// observations.
+func TestHotSetPromotesHeavyHitter(t *testing.T) {
+	h := newHotSet(HotConfig{TopK: 8, HotFraction: 0.10, MinTotal: 32}.withDefaults())
+
+	// Below MinTotal nothing is hot, no matter how skewed.
+	for i := 0; i < 31; i++ {
+		if h.observe(42) {
+			t.Fatalf("fingerprint hot after %d observations (MinTotal 32)", i+1)
+		}
+	}
+	if !h.observe(42) {
+		t.Fatal("fingerprint carrying 100% of traffic not hot at MinTotal")
+	}
+	if !h.hot(42) {
+		t.Fatal("hot() disagrees with observe()")
+	}
+	if h.hot(7) {
+		t.Fatal("never-seen fingerprint reported hot")
+	}
+}
+
+// TestHotSetColdKeysStayCold: under uniform traffic over many more keys
+// than counters, no key is ever promoted — the guaranteed-count test
+// (count minus overestimate) is what prevents space-saving's inherited
+// counts from promoting noise.
+func TestHotSetColdKeysStayCold(t *testing.T) {
+	h := newHotSet(HotConfig{TopK: 8, HotFraction: 0.10, MinTotal: 32}.withDefaults())
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		fp := uint64(rng.Intn(1000))
+		if h.observe(fp) && i >= 32 {
+			t.Fatalf("uniform key %d promoted at observation %d", fp, i)
+		}
+	}
+}
+
+// TestHotSetSkewDetectionUnderChurn: one heavy hitter mixed into a
+// churning tail of unique keys is still detected, even though the tail
+// constantly evicts and recycles counters around it.
+func TestHotSetSkewDetectionUnderChurn(t *testing.T) {
+	h := newHotSet(HotConfig{TopK: 8, HotFraction: 0.20, MinTotal: 32}.withDefaults())
+	rng := rand.New(rand.NewSource(2))
+	const hotFP = uint64(1 << 40)
+	hotLast := false
+	for i := 0; i < 4000; i++ {
+		if rng.Float64() < 0.5 {
+			hotLast = h.observe(hotFP)
+		} else {
+			h.observe(uint64(i) + 1e6) // unique tail key
+		}
+	}
+	if !hotLast {
+		t.Fatal("half-share fingerprint not hot after 4000 observations under churn")
+	}
+	if len(h.snapshot()) > 8 {
+		t.Fatalf("tracker grew past TopK: %d counters", len(h.snapshot()))
+	}
+}
+
+// TestHotSetSnapshotOrder: the snapshot is sorted hottest-first and
+// marks the hot entries.
+func TestHotSetSnapshotOrder(t *testing.T) {
+	h := newHotSet(HotConfig{TopK: 4, HotFraction: 0.25, MinTotal: 8}.withDefaults())
+	for i := 0; i < 30; i++ {
+		h.observe(1)
+	}
+	for i := 0; i < 10; i++ {
+		h.observe(2)
+	}
+	h.observe(3)
+	snap := h.snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("%d counters, want 3", len(snap))
+	}
+	if snap[0].Fingerprint != fpKey(1) || !snap[0].Hot {
+		t.Fatalf("hottest row %+v, want fp 1 hot", snap[0])
+	}
+	if snap[2].Fingerprint != fpKey(3) || snap[2].Hot {
+		t.Fatalf("coldest row %+v, want fp 3 cold", snap[2])
+	}
+	if snap[0].Count < snap[1].Count || snap[1].Count < snap[2].Count {
+		t.Fatalf("snapshot not sorted by count: %+v", snap)
+	}
+}

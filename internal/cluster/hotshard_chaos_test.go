@@ -1,0 +1,330 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/cluster/client"
+	"repro/internal/fdtd"
+	"repro/internal/mesh"
+	"repro/internal/serve"
+)
+
+// nodeHasEntry asks a node's cache-transfer API whether it holds fp.
+func nodeHasEntry(hc *http.Client, url string, fp uint64) bool {
+	resp, err := hc.Get(url + fmt.Sprintf("/v1/cache/%016x", fp))
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+func waitNodeEntry(t *testing.T, hc *http.Client, url string, fp uint64, what string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for !nodeHasEntry(hc, url, fp) {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: %016x never appeared at %s", what, fp, url)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestHotShardChaos is the hot-shard acceptance proof on real archserve
+// processes: a zipf-headed burst promotes one fingerprint, its cache
+// entry is replicated to the ring successors, and then the hot shard's
+// primary is SIGKILLed mid-burst.  Asserted:
+//
+//   - zero lost jobs — every request completes 200 through failover;
+//   - after the kill the replicas keep serving the hot key from their
+//     replicated entries (origin "cache", never the dead node), bitwise
+//     identical to a fresh mesh.Sim recomputation;
+//   - the killed node restarts, rejoins, and is pre-filled: it serves a
+//     cache hit for its arc without ever recomputing the job;
+//   - a SIGTERM'd node hands its cache off during the drain-grace
+//     window — a cold entry only it held lands on its ring heir, which
+//     serves it as a hit — and the drained process exits zero;
+//   - no goroutine leaks (vetted under -race by make hotshard-smoke).
+func TestHotShardChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test spawns real processes")
+	}
+	before := runtime.NumGoroutine()
+	exe := buildArchserve(t)
+
+	names := []string{"n0", "n1", "n2"}
+	nodes := map[string]*chaosNode{}
+	var roster []Node
+	for _, name := range names {
+		n := startChaosNode(t, exe, name, freePort(t))
+		nodes[name] = n
+		roster = append(roster, Node{Name: name, URL: n.url()})
+	}
+	coord, err := New(Config{
+		Nodes: roster,
+		Member: MemberConfig{
+			ProbeInterval: 25 * time.Millisecond,
+			ProbeTimeout:  2 * time.Second,
+			SuspectAfter:  1,
+			DeadAfter:     3,
+			RejoinAfter:   2,
+		},
+		Client: client.Policy{
+			MaxAttempts:       9,
+			PerAttemptTimeout: 60 * time.Second,
+			BaseBackoff:       5 * time.Millisecond,
+			MaxBackoff:        50 * time.Millisecond,
+			MaxRetryAfter:     200 * time.Millisecond,
+		},
+		Hot:  HotConfig{Replicas: 2, TopK: 8, HotFraction: 0.25, MinTotal: 8},
+		Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(coord.Handler())
+	defer func() {
+		front.Close()
+		coord.Close()
+	}()
+	for _, n := range nodes {
+		waitNodeReady(t, n.url())
+	}
+	hc := &http.Client{Timeout: 3 * time.Minute}
+	defer hc.CloseIdleConnections()
+
+	// The hot key: a spec whose ring primary is the victim.
+	const victim = "n1"
+	ring := coord.Membership().Ring()
+	var hotSpec fdtd.Spec
+	for i := 0; ; i++ {
+		spec := uniqueSpec(i)
+		if ring.Primary(spec.Fingerprint()) == victim {
+			hotSpec = spec
+			break
+		}
+		if i > 10000 {
+			t.Fatal("no spec with the victim as primary")
+		}
+	}
+	hotFP := hotSpec.Fingerprint()
+
+	// The oracle: a fresh sequential recomputation of the hot spec.
+	fresh, err := fdtd.RunArchetype(hotSpec, 2, mesh.Sim, fdtd.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracleHash := serve.ResultFieldHash(fresh)
+	checkBits := func(jr *serve.JobResult, when string) {
+		t.Helper()
+		if jr.FieldHash != oracleHash {
+			t.Fatalf("%s: FieldHash %s != mesh.Sim oracle %s", when, jr.FieldHash, oracleHash)
+		}
+		if len(jr.Probe) != len(fresh.Probe) {
+			t.Fatalf("%s: probe length %d != oracle %d", when, len(jr.Probe), len(fresh.Probe))
+		}
+		for s := range fresh.Probe {
+			if jr.Probe[s] != fresh.Probe[s] {
+				t.Fatalf("%s: probe[%d] differs from oracle", when, s)
+			}
+		}
+	}
+
+	// Warm-up burst: promote the fingerprint and wait for both ring
+	// successors to hold the replicated entry.
+	for i := 0; i < 16; i++ {
+		_, jr, err := postSpec(hc, front.URL, hotSpec)
+		if err != nil {
+			t.Fatalf("warm-up submit %d: %v", i, err)
+		}
+		checkBits(jr, "warm-up")
+	}
+	succs := ring.SuccessorsN(hotFP, 2)
+	if len(succs) != 2 {
+		t.Fatalf("successors %v, want 2", succs)
+	}
+	for _, name := range succs {
+		waitNodeEntry(t, hc, nodes[name].url(), hotFP, "replication to "+name)
+	}
+
+	// The burst: 40 concurrent hot-key requests; SIGKILL the primary
+	// after the first handful completes.
+	const total = 40
+	type outcome struct {
+		cr  *ClusterResponse
+		jr  *serve.JobResult
+		err error
+	}
+	results := make(chan outcome, total)
+	firstDone := make(chan struct{}, total)
+	var wg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cr, jr, err := postSpec(hc, front.URL, hotSpec)
+			firstDone <- struct{}{}
+			results <- outcome{cr: cr, jr: jr, err: err}
+		}()
+	}
+	for i := 0; i < 5; i++ {
+		<-firstDone
+	}
+	nodes[victim].cmd.Process.Kill()
+	wg.Wait()
+	close(results)
+
+	// Zero lost jobs, every answer bit-identical to the oracle.
+	for o := range results {
+		if o.err != nil {
+			t.Fatalf("hot-key request lost during chaos: %v", o.err)
+		}
+		checkBits(o.jr, "burst")
+	}
+
+	// With the primary confirmed dead, the replicas keep serving the
+	// key from their replicated entries — cache hits, identical bits.
+	deadline := time.Now().Add(10 * time.Second)
+	for coord.Membership().State(victim) != StateDead {
+		if time.Now().After(deadline) {
+			t.Fatalf("victim still %v after the kill", coord.Membership().State(victim))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for i := 0; i < 5; i++ {
+		cr, jr, err := postSpec(hc, front.URL, hotSpec)
+		if err != nil {
+			t.Fatalf("post-kill hot submit: %v", err)
+		}
+		if cr.Node == victim {
+			t.Fatal("dead primary served a response")
+		}
+		if cr.Origin != "cache" {
+			t.Fatalf("post-kill origin %q from %s, want cache (replicated entry)", cr.Origin, cr.Node)
+		}
+		checkBits(jr, "post-kill")
+	}
+
+	// Restart the victim cold on the same addr: rejoin must pre-fill its
+	// arc's entry, and the node then serves a cache hit it never
+	// computed.
+	restarted := startChaosNode(t, exe, victim, nodes[victim].addr)
+	nodes[victim] = restarted
+	waitNodeReady(t, restarted.url())
+	rejoinBy := time.Now().Add(15 * time.Second)
+	for coord.Membership().State(victim) != StateHealthy {
+		if time.Now().After(rejoinBy) {
+			t.Fatalf("victim never rejoined; state %v", coord.Membership().State(victim))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	waitNodeEntry(t, hc, restarted.url(), hotFP, "rejoin prefill")
+	servedByVictim := false
+	serveBy := time.Now().Add(15 * time.Second)
+	for !servedByVictim {
+		cr, jr, err := postSpec(hc, front.URL, hotSpec)
+		if err != nil {
+			t.Fatalf("post-rejoin hot submit: %v", err)
+		}
+		if cr.Node == victim {
+			if cr.Origin != "cache" {
+				t.Fatalf("rejoined primary origin %q, want cache (prefilled, never recomputed)", cr.Origin)
+			}
+			checkBits(jr, "post-rejoin")
+			servedByVictim = true
+		}
+		if time.Now().After(serveBy) {
+			t.Fatal("rejoined primary never served the hot key")
+		}
+	}
+
+	// Drain handoff: a cold entry that only n2 holds must land on its
+	// ring heir during the SIGTERM drain-grace window, and the heir then
+	// serves it as a hit.
+	var coldSpec fdtd.Spec
+	for i := 20000; ; i++ {
+		spec := uniqueSpec(i)
+		if ring.Primary(spec.Fingerprint()) == "n2" {
+			coldSpec = spec
+			break
+		}
+		if i > 30000 {
+			t.Fatal("no spec with n2 as primary")
+		}
+	}
+	coldFP := coldSpec.Fingerprint()
+	cr, coldJR, err := postSpec(hc, front.URL, coldSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Node != "n2" || cr.Origin != "computed" {
+		t.Fatalf("cold submit node=%q origin=%q, want n2/computed", cr.Node, cr.Origin)
+	}
+	var heir string
+	for _, name := range ring.Lookup(coldFP, 0) {
+		if name != "n2" {
+			heir = name
+			break
+		}
+	}
+	nodes["n2"].cmd.Process.Signal(syscall.SIGTERM)
+	waitNodeEntry(t, hc, nodes[heir].url(), coldFP, "drain handoff to "+heir)
+	select {
+	case <-nodes["n2"].done:
+		if nodes["n2"].err != nil {
+			t.Fatalf("drained node exited dirty: %v", nodes["n2"].err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("drained node never exited after SIGTERM")
+	}
+	drainDeadline := time.Now().Add(10 * time.Second)
+	for coord.Membership().State("n2") != StateDead {
+		if time.Now().After(drainDeadline) {
+			t.Fatalf("drained node still %v", coord.Membership().State("n2"))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cr2, jr2, err := postSpec(hc, front.URL, coldSpec)
+	if err != nil {
+		t.Fatalf("post-drain cold submit: %v", err)
+	}
+	if cr2.Node != heir || cr2.Origin != "cache" {
+		t.Fatalf("post-drain served by %s origin %s, want %s origin cache (handed-off entry)", cr2.Node, cr2.Origin, heir)
+	}
+	if !coldJR.BitwiseEqual(jr2) {
+		t.Fatal("handed-off result not bitwise equal to the drained node's computation")
+	}
+
+	// Graceful teardown and leak check.
+	front.Close()
+	coord.Close()
+	hc.CloseIdleConnections()
+	for name, n := range nodes {
+		if name == "n2" {
+			continue
+		}
+		n.cmd.Process.Signal(syscall.SIGTERM)
+		select {
+		case <-n.done:
+			if n.err != nil {
+				t.Fatalf("node %s did not drain cleanly: %v", name, n.err)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatalf("node %s never exited after SIGTERM", name)
+		}
+	}
+	leakBy := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before+3 {
+		if time.Now().After(leakBy) {
+			t.Fatalf("goroutines leaked: %d -> %d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,310 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// hotCfg is the aggressive hot-shard tuning the in-process tests use:
+// promotion after 8 observations at a quarter share, so a handful of
+// submits of one spec is enough.
+func hotCfg() HotConfig {
+	return HotConfig{Replicas: 2, TopK: 8, HotFraction: 0.25, MinTotal: 8}
+}
+
+func newHotCluster(t *testing.T, names ...string) *testCluster {
+	return newTestClusterCfg(t, func(c *Config) { c.Hot = hotCfg() }, names...)
+}
+
+// coordStats fetches and decodes the coordinator's /v1/stats body.
+func (tc *testCluster) coordStats(t *testing.T) Stats {
+	t.Helper()
+	resp, err := http.Get(tc.front.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// waitCached polls until a node's local cache holds fp.
+func waitCached(t *testing.T, s *serve.Server, fp uint64, what string) *serve.JobResult {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if res, ok := s.CachedResult(fp); ok {
+			return res
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: fingerprint %016x never appeared in the cache", what, fp)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestHotReplicationAndP2CSpread: a skewed workload promotes its head
+// fingerprint, the entry is pushed to both ring successors, and p2c
+// routing then spreads the hot key across more than one node — every
+// response bitwise equal.
+func TestHotReplicationAndP2CSpread(t *testing.T) {
+	tc := newHotCluster(t, "n0", "n1", "n2")
+	spec, _ := tc.specWithPrimary(t, "n0", 0)
+	fp := spec.Fingerprint()
+
+	first, oracle := tc.submit(t, spec)
+	if first.Hot {
+		t.Fatalf("first submit already hot (MinTotal %d)", hotCfg().MinTotal)
+	}
+	servedBy := map[string]int{first.Node: 1}
+	sawHot := false
+	for i := 0; i < 40; i++ {
+		cr, jr := tc.submit(t, spec)
+		if !jr.BitwiseEqual(oracle) {
+			t.Fatalf("submit %d: result from %s not bitwise equal to first", i, cr.Node)
+		}
+		servedBy[cr.Node]++
+		sawHot = sawHot || cr.Hot
+	}
+	if !sawHot {
+		t.Fatal("head fingerprint never marked hot after 41 submits")
+	}
+
+	// Both ring successors end up holding the entry, bit-identical.
+	for _, name := range tc.coord.Membership().Ring().SuccessorsN(fp, 2) {
+		res := waitCached(t, tc.servers[name], fp, "successor "+name)
+		if !res.BitwiseEqual(oracle) {
+			t.Fatalf("replica on %s not bitwise equal to the computed result", name)
+		}
+	}
+
+	// With replicas confirmed, further hot traffic spreads: submit more
+	// and require at least two distinct servers for the hot key.
+	for i := 0; i < 30; i++ {
+		cr, jr := tc.submit(t, spec)
+		if !jr.BitwiseEqual(oracle) {
+			t.Fatalf("post-replication submit: result from %s differs", cr.Node)
+		}
+		servedBy[cr.Node]++
+	}
+	if len(servedBy) < 2 {
+		t.Fatalf("hot key served by %v — p2c never spread it", servedBy)
+	}
+
+	st := tc.coordStats(t)
+	if st.HotJobs == 0 || st.P2CRoutes == 0 || st.Replicated < 2 {
+		t.Fatalf("stats hot_jobs=%d p2c_routes=%d replicated=%d, want all positive (replicated >= 2)",
+			st.HotJobs, st.P2CRoutes, st.Replicated)
+	}
+	if len(st.HotKeys) == 0 || !st.HotKeys[0].Hot {
+		t.Fatalf("stats hot_keys %+v, want the head fingerprint hot", st.HotKeys)
+	}
+}
+
+// TestHotFailoverServesReplicatedBits: SIGKILL-equivalent (listener
+// closed) on the hot key's primary — the replicas keep serving the
+// exact bits from their replicated cache entries.
+func TestHotFailoverServesReplicatedBits(t *testing.T) {
+	tc := newHotCluster(t, "n0", "n1", "n2")
+	spec, _ := tc.specWithPrimary(t, "n1", 0)
+	fp := spec.Fingerprint()
+
+	_, oracle := tc.submit(t, spec)
+	for i := 0; i < 15; i++ {
+		tc.submit(t, spec)
+	}
+	for _, name := range tc.coord.Membership().Ring().SuccessorsN(fp, 2) {
+		waitCached(t, tc.servers[name], fp, "successor "+name)
+	}
+
+	// Kill the primary the hard way and wait for the membership verdict.
+	tc.nodes["n1"].Close()
+	tc.waitState(t, "n1", StateDead)
+
+	for i := 0; i < 10; i++ {
+		cr, jr := tc.submit(t, spec)
+		if cr.Node == "n1" {
+			t.Fatalf("dead primary %q served a response", cr.Node)
+		}
+		if cr.Origin != "cache" {
+			t.Fatalf("post-kill hot response origin %q from %s, want cache (replicated entry)", cr.Origin, cr.Node)
+		}
+		if !jr.BitwiseEqual(oracle) {
+			t.Fatalf("post-kill response from %s not bitwise equal", cr.Node)
+		}
+	}
+}
+
+// TestDrainHandoff: a draining node's cache entry lands on the first
+// healthy node of its arc during the drain window, which then serves it
+// as a cache hit — no recompute.
+func TestDrainHandoff(t *testing.T) {
+	tc := newHotCluster(t, "n0", "n1", "n2")
+	spec, _ := tc.specWithPrimary(t, "n2", 0)
+	fp := spec.Fingerprint()
+
+	// One submit: the entry exists only on its primary n2 (cold key).
+	_, oracle := tc.submit(t, spec)
+	if _, ok := tc.servers["n2"].CachedResult(fp); !ok {
+		t.Fatal("primary did not cache the computed result")
+	}
+
+	// Drain n2: serve.Shutdown flips the draining flag (healthz 503)
+	// while the listener stays up — exactly archserve's drain-grace
+	// window.  The probe notices, the drain event fires, and the entry
+	// must land on the first healthy node of fp's arc.
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		tc.servers["n2"].Shutdown(ctx)
+	}()
+
+	var heir string
+	for _, name := range tc.coord.Membership().Ring().Lookup(fp, 0) {
+		if name != "n2" {
+			heir = name
+			break
+		}
+	}
+	res := waitCached(t, tc.servers[heir], fp, "heir "+heir)
+	if !res.BitwiseEqual(oracle) {
+		t.Fatalf("handed-off entry on %s not bitwise equal", heir)
+	}
+
+	// The key now serves as a cache hit from the heir even though the
+	// heir never computed it.
+	tc.waitState(t, "n2", StateDead)
+	cr, jr := tc.submit(t, spec)
+	if cr.Node != heir || cr.Origin != "cache" {
+		t.Fatalf("post-drain submit served by %s origin %s, want %s origin cache", cr.Node, cr.Origin, heir)
+	}
+	if !jr.BitwiseEqual(oracle) {
+		t.Fatal("post-drain response not bitwise equal")
+	}
+	st := tc.coordStats(t)
+	if st.HandoffEntries == 0 {
+		t.Fatalf("handoff_entries %d, want > 0", st.HandoffEntries)
+	}
+}
+
+// TestRejoinPrefill: a node that dies and rejoins comes back cache-cold
+// as a process, but the coordinator pre-fills the entries it is ring
+// primary for from the surviving holders — the reclaimed arc serves a
+// cache hit immediately.
+func TestRejoinPrefill(t *testing.T) {
+	// Hand-rolled roster on real listeners so the dead node can be
+	// restarted on its own port (httptest cannot rebind).
+	names := []string{"n0", "n1", "n2"}
+	servers := make(map[string]*serve.Server)
+	https := make(map[string]*http.Server)
+	addrs := make(map[string]string)
+	var roster []Node
+	start := func(name, addr string) {
+		s := serve.New(serve.Config{P: 2, Workers: 1})
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			t.Fatalf("listen %s: %v", addr, err)
+		}
+		hs := &http.Server{Handler: s.Handler()}
+		go hs.Serve(ln)
+		servers[name] = s
+		https[name] = hs
+		addrs[name] = ln.Addr().String()
+	}
+	for _, name := range names {
+		start(name, "127.0.0.1:0")
+		roster = append(roster, Node{Name: name, URL: "http://" + addrs[name]})
+	}
+	t.Cleanup(func() {
+		for name, hs := range https {
+			hs.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+			servers[name].Shutdown(ctx)
+			cancel()
+		}
+	})
+	coord, err := New(Config{
+		Nodes: roster,
+		Member: MemberConfig{
+			ProbeInterval: 10 * time.Millisecond,
+			SuspectAfter:  1,
+			DeadAfter:     2,
+			RejoinAfter:   1,
+		},
+		Hot:  hotCfg(),
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	tc := &testCluster{coord: coord}
+	tc.front = httptest.NewServer(coord.Handler())
+	defer tc.front.Close()
+
+	// Make a key owned by n1 hot so its entry is replicated off-node.
+	spec, _ := tc.specWithPrimary(t, "n1", 0)
+	fp := spec.Fingerprint()
+	_, oracle := tc.submit(t, spec)
+	for i := 0; i < 15; i++ {
+		tc.submit(t, spec)
+	}
+	for _, name := range coord.Membership().Ring().SuccessorsN(fp, 2) {
+		waitCached(t, servers[name], fp, "successor "+name)
+	}
+
+	// Kill n1 outright (listener down, process state gone).
+	https["n1"].Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	servers["n1"].Shutdown(ctx)
+	cancel()
+	tc.waitState(t, "n1", StateDead)
+
+	// Restart it cold on the same address: the ring identity (name ->
+	// arcs) is unchanged, the cache is empty.
+	start("n1", addrs["n1"])
+	if _, ok := servers["n1"].CachedResult(fp); ok {
+		t.Fatal("restarted node somehow has a warm cache")
+	}
+	tc.waitState(t, "n1", StateHealthy)
+
+	// Prefill: the rejoined primary gets its entry back without
+	// computing, bit-identical to the oracle.
+	res := waitCached(t, servers["n1"], fp, "rejoined n1")
+	if !res.BitwiseEqual(oracle) {
+		t.Fatal("prefilled entry not bitwise equal")
+	}
+	st := tc.coordStats(t)
+	if st.PrefillEntries == 0 {
+		t.Fatalf("prefill_entries %d, want > 0", st.PrefillEntries)
+	}
+
+	// And the node serves it as a hit: submit until n1 is the server
+	// (p2c may pick a replica first) and demand origin cache from it.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cr, jr := tc.submit(t, spec)
+		if cr.Node == "n1" {
+			if cr.Origin != "cache" {
+				t.Fatalf("rejoined primary served origin %q, want cache (prefilled)", cr.Origin)
+			}
+			if !jr.BitwiseEqual(oracle) {
+				t.Fatal("rejoined primary's response not bitwise equal")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("rejoined primary never served the hot key")
+		}
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 )
 
 // cache is the fingerprint-keyed LRU result cache.  Its correctness
@@ -10,11 +11,18 @@ import (
 // and every maximal execution of that computation reaches the same
 // final state, so a cached result is bitwise interchangeable with a
 // fresh one — returning it is indistinguishable from recomputing.
+//
+// The same theorem is why the cluster layer may *move* entries between
+// nodes (hot-shard replication, drain handoff): an imported entry is
+// indistinguishable from one computed locally, so admission needs only
+// a fingerprint match, never a provenance check.
 type cache struct {
 	mu      sync.Mutex
 	cap     int
 	entries map[uint64]*list.Element
 	order   *list.List // front = most recently used
+
+	evictions atomic.Int64 // entries dropped past capacity
 }
 
 type cacheEntry struct {
@@ -64,6 +72,7 @@ func (c *cache) put(fp uint64, res *JobResult) {
 		last := c.order.Back()
 		c.order.Remove(last)
 		delete(c.entries, last.Value.(*cacheEntry).fp)
+		c.evictions.Add(1)
 	}
 }
 
@@ -72,4 +81,27 @@ func (c *cache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// evicted returns the cumulative eviction count.
+func (c *cache) evicted() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.evictions.Load()
+}
+
+// fingerprints lists the cached keys, most recently used first — the
+// export index the cluster's warm-handoff and prefill paths walk.
+func (c *cache) fingerprints() []uint64 {
+	if c == nil || c.cap <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]uint64, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*cacheEntry).fp)
+	}
+	return out
 }

@@ -25,6 +25,8 @@ type metrics struct {
 	cacheHits     atomic.Int64
 	cacheMisses   atomic.Int64
 	coalesced     atomic.Int64 // requests attached to an in-flight duplicate
+	replicatedIn  atomic.Int64 // results admitted from another node's cache
+	replicatedOut atomic.Int64 // cached results exported to the cluster
 	batches       atomic.Int64 // dispatches (>= 1 job each)
 	batchedJobs   atomic.Int64 // jobs that shared a dispatch with another
 	rebuilds      atomic.Int64 // warm transports rebuilt after failure
@@ -91,7 +93,7 @@ func (m *metrics) latencySummary() LatencySummary {
 // format (version 0.0.4), matching the hand-rolled style of
 // internal/obs.  queueDepth/queueCap/workers/cached are sampled by the
 // caller so this file needs no back-reference to the server.
-func (m *metrics) writeText(w io.Writer, queueDepth, queueCap, workers, cached int) error {
+func (m *metrics) writeText(w io.Writer, queueDepth, queueCap, workers, cached int, evicted int64) error {
 	var b strings.Builder
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
@@ -117,6 +119,9 @@ func (m *metrics) writeText(w io.Writer, queueDepth, queueCap, workers, cached i
 
 	counter("archserve_cache_hits_total", "Jobs answered from the result cache.", m.cacheHits.Load())
 	counter("archserve_cache_misses_total", "Jobs that had to compute.", m.cacheMisses.Load())
+	counter("archserve_cache_evictions_total", "Cached results dropped past the LRU capacity.", evicted)
+	counter("archserve_replicated_in_total", "Results admitted from another node's cache (replication, handoff, prefill).", m.replicatedIn.Load())
+	counter("archserve_replicated_out_total", "Cached results exported to the cluster.", m.replicatedOut.Load())
 	counter("archserve_coalesced_total", "Requests attached to an identical in-flight job.", m.coalesced.Load())
 	counter("archserve_batches_total", "Pool dispatches (each may carry several coalesced small jobs).", m.batches.Load())
 	counter("archserve_batched_jobs_total", "Jobs that shared a dispatch with at least one other job.", m.batchedJobs.Load())
