@@ -310,3 +310,30 @@ func TestCompareNeverGateHotshardFamily(t *testing.T) {
 			strings.Join(d.lines, "\n"))
 	}
 }
+
+// TestCompareNeverGateExploreFamily: schedule-exploration entries are
+// tooling instrumentation — run counts and wall times move whenever a
+// demo network or dependence mode is tuned, so they are noted but
+// never gated.
+func TestCompareNeverGateExploreFamily(t *testing.T) {
+	th := thresholds{strict: 0.10, timing: 0.50}
+	base := []obs.BenchEntry{
+		entry("explore/racy/schedules", 6, "count"),
+		entry("explore/racy/wall", 0.01, "s"),
+		entry("explore/fdtd/actions", 4000, "count"),
+	}
+	grown := []obs.BenchEntry{
+		entry("explore/racy/schedules", 90, "count"),
+		entry("explore/racy/wall", 0.4, "s"),
+		entry("explore/fdtd/actions", 12000, "count"),
+	}
+	d := compare(base, grown, th)
+	if d.regressions != 0 {
+		t.Fatalf("explore family must never gate: got %d regressions:\n%s",
+			d.regressions, strings.Join(d.lines, "\n"))
+	}
+	if !strings.Contains(strings.Join(d.lines, "\n"), "noted") {
+		t.Fatalf("large explore moves should be reported as noted:\n%s",
+			strings.Join(d.lines, "\n"))
+	}
+}

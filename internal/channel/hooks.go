@@ -1,0 +1,64 @@
+package channel
+
+// HookedEndpoint wraps an Endpoint and numbers its operations: the
+// k-th Send and k-th Recv on the channel invoke the corresponding
+// callback with k (0-based) before delegating.  Because the paper's
+// channels are single-reader single-writer FIFOs, the k-th receive
+// always dequeues the k-th sent value — so the pair (channel, k) is a
+// stable identity for one message across every interleaving, which is
+// exactly what the schedule explorer's happens-before graph keys its
+// enabling edges on.
+//
+// The wrapper inherits the concurrency discipline of the wrapped
+// endpoint: over a sequential Queue (controlled runs) the callbacks
+// fire one at a time; over a concurrent Chan the caller must make the
+// callbacks safe, as Send and Recv may race.
+type HookedEndpoint[T any] struct {
+	inner  Endpoint[T]
+	onSend func(k int, v T)
+	onRecv func(k int, v T)
+	sends  int
+	recvs  int
+}
+
+// Hooked wraps e with operation-numbering callbacks.  Either callback
+// may be nil to observe only one direction.
+func Hooked[T any](e Endpoint[T], onSend, onRecv func(k int, v T)) *HookedEndpoint[T] {
+	return &HookedEndpoint[T]{inner: e, onSend: onSend, onRecv: onRecv}
+}
+
+// Send implements Endpoint.
+func (h *HookedEndpoint[T]) Send(v T) {
+	if h.onSend != nil {
+		h.onSend(h.sends, v)
+	}
+	h.sends++
+	h.inner.Send(v)
+}
+
+// Recv implements Endpoint.
+func (h *HookedEndpoint[T]) Recv() T {
+	v := h.inner.Recv()
+	if h.onRecv != nil {
+		h.onRecv(h.recvs, v)
+	}
+	h.recvs++
+	return v
+}
+
+// TryRecv implements Endpoint.
+func (h *HookedEndpoint[T]) TryRecv() (T, bool) {
+	v, ok := h.inner.TryRecv()
+	if !ok {
+		return v, false
+	}
+	if h.onRecv != nil {
+		h.onRecv(h.recvs, v)
+	}
+	h.recvs++
+	return v, true
+}
+
+// Len implements Endpoint, delegating so enabledness and deadlock
+// checks that read queue depth stay exact through the wrapper.
+func (h *HookedEndpoint[T]) Len() int { return h.inner.Len() }

@@ -1,0 +1,62 @@
+package channel
+
+import "testing"
+
+func TestHookedNumbersOperations(t *testing.T) {
+	var sends, recvs []int
+	var sentVals, recvVals []int
+	h := Hooked[int](NewQueue[int](),
+		func(k, v int) { sends = append(sends, k); sentVals = append(sentVals, v) },
+		func(k, v int) { recvs = append(recvs, k); recvVals = append(recvVals, v) },
+	)
+	h.Send(10)
+	h.Send(20)
+	if got := h.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	if v := h.Recv(); v != 10 {
+		t.Fatalf("Recv = %d, want 10", v)
+	}
+	v, ok := h.TryRecv()
+	if !ok || v != 20 {
+		t.Fatalf("TryRecv = %d,%v, want 20,true", v, ok)
+	}
+	if _, ok := h.TryRecv(); ok {
+		t.Fatal("TryRecv on empty channel reported a value")
+	}
+	h.Send(30)
+	if v := h.Recv(); v != 30 {
+		t.Fatalf("Recv = %d, want 30", v)
+	}
+
+	wantIdx := []int{0, 1, 2}
+	for i, k := range sends {
+		if k != wantIdx[i] {
+			t.Fatalf("send indices = %v, want %v", sends, wantIdx)
+		}
+	}
+	for i, k := range recvs {
+		if k != wantIdx[i] {
+			t.Fatalf("recv indices = %v, want %v", recvs, wantIdx)
+		}
+	}
+	// The k-th receive observes the k-th sent value: the SRSW FIFO
+	// invariant the explorer's enabling edges rely on.
+	for i := range recvVals {
+		if recvVals[i] != sentVals[i] {
+			t.Fatalf("recv values %v != send values %v", recvVals, sentVals)
+		}
+	}
+	// A failed TryRecv must not consume an index.
+	if len(recvs) != 3 {
+		t.Fatalf("recv callback fired %d times, want 3", len(recvs))
+	}
+}
+
+func TestHookedNilCallbacks(t *testing.T) {
+	h := Hooked[string](NewQueue[string](), nil, nil)
+	h.Send("a")
+	if v := h.Recv(); v != "a" {
+		t.Fatalf("Recv = %q, want %q", v, "a")
+	}
+}

@@ -1,0 +1,168 @@
+package explore
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// TraceLine is one forced pick of a minimized schedule, rendered for
+// humans and serialised into artifacts: which scheduling step, which
+// rank, what operation, on which channel.
+type TraceLine struct {
+	Step int    `json:"step"`           // scheduling point index
+	Rank int    `json:"rank"`           // acting process
+	Op   string `json:"op"`             // "step" | "send" | "recv"
+	Chan string `json:"chan,omitempty"` // "P0->P1" for channel ops
+	Msg  int    `json:"msg"`            // per-channel op index, -1 for steps
+	Tag  string `json:"tag,omitempty"`  // step name
+}
+
+// String renders the line in the trace package's event style.
+func (l TraceLine) String() string {
+	switch l.Op {
+	case "send", "recv":
+		return fmt.Sprintf("#%d P%d %s %s msg#%d", l.Step, l.Rank, l.Op, l.Chan, l.Msg)
+	default:
+		return fmt.Sprintf("#%d P%d step %q", l.Step, l.Rank, l.Tag)
+	}
+}
+
+func traceLine(step int, act opInfo) TraceLine {
+	l := TraceLine{Step: step, Rank: act.Rank, Msg: act.MsgIdx, Tag: act.Tag}
+	switch act.Kind {
+	case trace.Send:
+		l.Op = "send"
+		l.Chan = fmt.Sprintf("P%d->P%d", act.Rank, act.Peer)
+	case trace.Recv:
+		l.Op = "recv"
+		l.Chan = fmt.Sprintf("P%d->P%d", act.Peer, act.Rank)
+	default:
+		l.Op = "step"
+	}
+	return l
+}
+
+// Minimized is a divergence shrunk to a minimal reproducing schedule.
+type Minimized struct {
+	// Picks is the minimal forced-pick prefix: removing any single
+	// pick loses the divergence (1-minimality, the ddmin guarantee).
+	Picks []int
+	// Outcome is the diverging fingerprint the prefix reproduces;
+	// Reference is what every schedule should have produced.
+	Outcome   string
+	Reference string
+	// Runs counts the executions the minimization spent.
+	Runs int
+	// Trace renders each forced pick as (step, rank, channel, op).
+	Trace []TraceLine
+}
+
+// Format renders the minimized schedule for terminal output.
+func (m *Minimized) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "minimal diverging schedule (%d forced pick(s), %d runs to shrink):\n", len(m.Picks), m.Runs)
+	for _, l := range m.Trace {
+		b.WriteString("  " + l.String() + "\n")
+	}
+	fmt.Fprintf(&b, "  ... continuation reaches %s\n", m.Outcome)
+	fmt.Fprintf(&b, "  reference was           %s\n", m.Reference)
+	return b.String()
+}
+
+// Schedule returns the replayable form of the minimized prefix.
+func (m *Minimized) Schedule(contSpec string) sched.Schedule {
+	return sched.Schedule{Picks: append([]int(nil), m.Picks...), Continue: contSpec}
+}
+
+// Minimize shrinks a diverging schedule to a minimal forced-pick
+// prefix that still reproduces the divergent outcome, ddmin-style:
+// repeatedly delete chunks of the pick sequence (halving granularity
+// down to single picks) and keep any deletion after which the
+// continuation still reaches the divergent final state.  Prefix
+// candidates that become infeasible (a forced pick disabled) count as
+// non-reproducing, so the result is always a faithfully replayable
+// schedule.
+func Minimize[T, R any](mk func() []sched.Proc[T, R], opt Options[R], div Divergence) (*Minimized, error) {
+	run, err := newRunner(mk, &opt)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := run(nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	if div.Outcome == ref.outcome {
+		return nil, fmt.Errorf("explore: schedule outcome %q equals the reference; nothing to minimize", div.Outcome)
+	}
+	runs := 0
+	reproduces := func(picks []int) bool {
+		runs++
+		rr, err := run(picks, nil)
+		if err != nil || rr.infeasible {
+			return false
+		}
+		return rr.outcome == div.Outcome
+	}
+	if !reproduces(div.Picks) {
+		return nil, fmt.Errorf("explore: schedule %v does not reproduce outcome %q", div.Picks, div.Outcome)
+	}
+	picks := ddmin(div.Picks, reproduces)
+
+	final, err := run(picks, nil)
+	if err != nil {
+		return nil, err
+	}
+	lines := make([]TraceLine, len(picks))
+	for i := range picks {
+		lines[i] = traceLine(i, final.points[i].act)
+	}
+	return &Minimized{
+		Picks:     picks,
+		Outcome:   div.Outcome,
+		Reference: ref.outcome,
+		Runs:      runs,
+		Trace:     lines,
+	}, nil
+}
+
+// ddmin is Zeller's delta-debugging minimization over pick sequences:
+// the returned sequence still satisfies fails, and removing any single
+// element no longer does.
+func ddmin(input []int, fails func([]int) bool) []int {
+	cur := append([]int(nil), input...)
+	n := 2
+	for len(cur) >= 2 {
+		chunk := (len(cur) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(cur); start += chunk {
+			end := start + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			cand := make([]int, 0, len(cur)-(end-start))
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[end:]...)
+			if fails(cand) {
+				cur = cand
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(cur) {
+				break
+			}
+			n *= 2
+			if n > len(cur) {
+				n = len(cur)
+			}
+		}
+	}
+	return cur
+}

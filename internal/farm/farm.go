@@ -80,8 +80,10 @@ func min(a, b int) int {
 	return b
 }
 
-// msg carries one or more task results to the master.
-type msg[R any] struct {
+// Msg carries one or more task results to the master.  It is exported
+// so the determinacy and exploration tools can name the farm network's
+// message type when driving Procs under controlled schedules.
+type Msg[R any] struct {
 	Tasks []int
 	Vals  []R
 }
@@ -122,9 +124,9 @@ func Map[R any](n, p int, mode Mode, opt Options, f func(task int) R) ([]R, erro
 	var err error
 	switch mode {
 	case Sim:
-		outs, err = sched.RunControlled(procs, sched.Lowest{}, sched.Options[msg[R]]{})
+		outs, err = sched.RunControlled(procs, sched.Lowest{}, sched.Options[Msg[R]]{})
 	case Par:
-		outs, err = sched.RunConcurrent(procs, sched.Options[msg[R]]{})
+		outs, err = sched.RunConcurrent(procs, sched.Options[Msg[R]]{})
 	default:
 		return nil, fmt.Errorf("farm: unknown mode %v", mode)
 	}
@@ -137,11 +139,11 @@ func Map[R any](n, p int, mode Mode, opt Options, f func(task int) R) ([]R, erro
 // Procs lowers the farm to a network of sched processes, exposed so
 // the determinacy checker can drive it under arbitrary policies.  The
 // master (rank 0) returns the full result slice; workers return nil.
-func Procs[R any](n, p int, opt Options, f func(task int) R) []sched.Proc[msg[R], []R] {
-	procs := make([]sched.Proc[msg[R], []R], p)
+func Procs[R any](n, p int, opt Options, f func(task int) R) []sched.Proc[Msg[R], []R] {
+	procs := make([]sched.Proc[Msg[R], []R], p)
 	for r := 0; r < p; r++ {
 		r := r
-		procs[r] = func(ctx *sched.Ctx[msg[R]]) []R {
+		procs[r] = func(ctx *sched.Ctx[Msg[R]]) []R {
 			mine := opt.Schedule.Tasks(n, p, r)
 			vals := make([]R, len(mine))
 			for i, task := range mine {
@@ -149,10 +151,10 @@ func Procs[R any](n, p int, opt Options, f func(task int) R) []sched.Proc[msg[R]
 			}
 			if r != 0 {
 				if opt.Combine {
-					ctx.Send(0, msg[R]{Tasks: mine, Vals: vals})
+					ctx.Send(0, Msg[R]{Tasks: mine, Vals: vals})
 				} else {
 					for i, task := range mine {
-						ctx.Send(0, msg[R]{Tasks: []int{task}, Vals: vals[i : i+1]})
+						ctx.Send(0, Msg[R]{Tasks: []int{task}, Vals: vals[i : i+1]})
 					}
 				}
 				return nil

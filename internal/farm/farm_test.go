@@ -112,7 +112,7 @@ func TestMapErrors(t *testing.T) {
 func TestFarmDeterminacy(t *testing.T) {
 	// The farm is a deterministic network: every interleaving agrees.
 	eq := func(a, b [][]float64) bool { return reflect.DeepEqual(a, b) }
-	rep, err := core.CheckDeterminacy(func() []sched.Proc[msg[float64], []float64] {
+	rep, err := core.CheckDeterminacy(func() []sched.Proc[Msg[float64], []float64] {
 		return Procs(17, 4, DefaultOptions(), func(task int) float64 {
 			return float64(task) * 1.5
 		})

@@ -1,0 +1,65 @@
+package fsum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestNeumaierGolden is the classic exact witness for compensated
+// summation: the large terms cancel, and only Neumaier's variant keeps
+// the small terms that the running sum absorbed.
+func TestNeumaierGolden(t *testing.T) {
+	xs := []float64{1, 1e100, 1, -1e100}
+	if got := Neumaier(xs); got != 2 {
+		t.Errorf("Neumaier(%v) = %g, want exactly 2", xs, got)
+	}
+	// Naive and plain Kahan both lose the 1s inside the 1e100 partial
+	// sums — the drift the far-field reordering exposed, in miniature.
+	if got := Naive(xs); got != 0 {
+		t.Errorf("Naive(%v) = %g, want 0 (the classic cancellation)", xs, got)
+	}
+	if got := Kahan(xs); got != 0 {
+		t.Errorf("Kahan(%v) = %g, want 0 (summands exceed the running sum)", xs, got)
+	}
+}
+
+// TestNeumaierPermutationStableWhereNaiveDrifts is the property behind
+// the repository's "fixed" far field: on wide-dynamic-range data the
+// naive sum visibly depends on summation order, while the compensated
+// sum is (near-)permutation-invariant — orders of magnitude tighter
+// than the naive spread on the same permutations.
+func TestNeumaierPermutationStableWhereNaiveDrifts(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	xs := WideRange(2000, 12, rng)
+	scale := math.Max(math.Abs(Neumaier(xs)), 1e-300)
+
+	permute := func(xs []float64) []float64 {
+		out := make([]float64, len(xs))
+		for i, j := range rng.Perm(len(xs)) {
+			out[i] = xs[j]
+		}
+		return out
+	}
+
+	naiveMin, naiveMax := Naive(xs), Naive(xs)
+	neuMin, neuMax := Neumaier(xs), Neumaier(xs)
+	for k := 0; k < 50; k++ {
+		ys := permute(xs)
+		if n := Naive(ys); true {
+			naiveMin, naiveMax = math.Min(naiveMin, n), math.Max(naiveMax, n)
+		}
+		if c := Neumaier(ys); true {
+			neuMin, neuMax = math.Min(neuMin, c), math.Max(neuMax, c)
+		}
+	}
+	naiveSpread := (naiveMax - naiveMin) / scale
+	neuSpread := (neuMax - neuMin) / scale
+	if naiveSpread == 0 {
+		t.Fatalf("naive sum did not drift across permutations; the dataset is not order-sensitive")
+	}
+	if neuSpread*100 > naiveSpread {
+		t.Errorf("Neumaier spread %.3g not >=100x tighter than naive spread %.3g", neuSpread, naiveSpread)
+	}
+	t.Logf("relative spread across 50 permutations: naive %.3g, Neumaier %.3g", naiveSpread, neuSpread)
+}

@@ -257,12 +257,7 @@ func Run[R any](p int, mode Mode, opt Options, f func(c *Comm) R) ([]R, error) {
 			return nil, fmt.Errorf("mesh: transport built for %d processes, run has %d", opt.Transport.P(), p)
 		}
 	}
-	procs := make([]sched.Proc[Msg, R], p)
-	for i := 0; i < p; i++ {
-		procs[i] = func(ctx *sched.Ctx[Msg]) R {
-			return f(&Comm{ctx: ctx, opt: opt})
-		}
-	}
+	procs := Procs(p, opt, f)
 	wrap := opt.WrapEndpoint
 	if stats := opt.ChanStats; stats != nil {
 		inner := wrap
@@ -345,11 +340,19 @@ func RunControlledPolicy[R any](p int, pol sched.Policy, opt Options, f func(c *
 	if p <= 0 {
 		return nil, fmt.Errorf("mesh: process count must be positive, got %d", p)
 	}
+	return sched.RunControlled(Procs(p, opt, f), pol, sched.Options[Msg]{})
+}
+
+// Procs lowers the SPMD function to a plain network of sched processes,
+// exposed so the determinacy and exploration tools can drive archetype
+// programs under arbitrary policies and forced schedules.  Run and
+// RunControlledPolicy wire the same lowering to the standard runtimes.
+func Procs[R any](p int, opt Options, f func(c *Comm) R) []sched.Proc[Msg, R] {
 	procs := make([]sched.Proc[Msg, R], p)
 	for i := 0; i < p; i++ {
 		procs[i] = func(ctx *sched.Ctx[Msg]) R {
 			return f(&Comm{ctx: ctx, opt: opt})
 		}
 	}
-	return sched.RunControlled(procs, pol, sched.Options[Msg]{})
+	return procs
 }

@@ -1,6 +1,9 @@
 package sched
 
-import "math/rand"
+import (
+	"fmt"
+	"math/rand"
+)
 
 // Policy chooses, at each scheduling point, which enabled process
 // performs the next action of the interleaving.  enabled is non-empty
@@ -15,27 +18,26 @@ type Policy interface {
 // RoundRobin cycles through the processes, granting each enabled
 // process one action in turn.  This is a fair interleaving in the sense
 // required by the paper's execution model.
-type RoundRobin struct {
-	last int
-}
+//
+// Pick is a pure function of (enabled, step): rotating by the global
+// action count visits every enabled rank in turn without carrying
+// state, so a round-robin continuation resumed mid-run (e.g. after a
+// Replay prefix) picks exactly as it would have had it run from the
+// start.
+type RoundRobin struct{}
 
-// NewRoundRobin returns a round-robin policy starting before rank 0.
-func NewRoundRobin() *RoundRobin { return &RoundRobin{last: -1} }
+// NewRoundRobin returns a round-robin policy starting at rank 0.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
 
 // Name implements Policy.
 func (r *RoundRobin) Name() string { return "round-robin" }
 
+// Spec returns the policy's PolicySpec form.
+func (r *RoundRobin) Spec() string { return "rr" }
+
 // Pick implements Policy.
 func (r *RoundRobin) Pick(enabled []int, step int) int {
-	// Smallest enabled rank strictly greater than last, wrapping.
-	for _, e := range enabled {
-		if e > r.last {
-			r.last = e
-			return e
-		}
-	}
-	r.last = enabled[0]
-	return enabled[0]
+	return enabled[step%len(enabled)]
 }
 
 // Lowest always picks the lowest-ranked enabled process: process 0 runs
@@ -48,6 +50,9 @@ type Lowest struct{}
 // Name implements Policy.
 func (Lowest) Name() string { return "lowest" }
 
+// Spec returns the policy's PolicySpec form.
+func (Lowest) Spec() string { return "lowest" }
+
 // Pick implements Policy.
 func (Lowest) Pick(enabled []int, step int) int { return enabled[0] }
 
@@ -57,6 +62,9 @@ type Highest struct{}
 
 // Name implements Policy.
 func (Highest) Name() string { return "highest" }
+
+// Spec returns the policy's PolicySpec form.
+func (Highest) Spec() string { return "highest" }
 
 // Pick implements Policy.
 func (Highest) Pick(enabled []int, step int) int { return enabled[len(enabled)-1] }
@@ -77,6 +85,12 @@ func NewRandom(seed int64) *Random {
 // Name implements Policy.
 func (r *Random) Name() string { return "random" }
 
+// Spec returns the policy's PolicySpec form, preserving the seed.
+func (r *Random) Spec() string { return fmt.Sprintf("rand:%d", r.seed) }
+
+// Seed returns the seed the policy was built with.
+func (r *Random) Seed() int64 { return r.seed }
+
 // Pick implements Policy.
 func (r *Random) Pick(enabled []int, step int) int {
 	return enabled[r.rng.Intn(len(enabled))]
@@ -94,6 +108,9 @@ func NewAlternating() *Alternating { return &Alternating{last: -1} }
 
 // Name implements Policy.
 func (a *Alternating) Name() string { return "alternating" }
+
+// Spec returns the policy's PolicySpec form.
+func (a *Alternating) Spec() string { return "alt" }
 
 // Pick implements Policy.
 func (a *Alternating) Pick(enabled []int, step int) int {
@@ -129,6 +146,9 @@ func NewLIFO() *LIFO {
 // Name implements Policy.
 func (l *LIFO) Name() string { return "lifo" }
 
+// Spec returns the policy's PolicySpec form.
+func (l *LIFO) Spec() string { return "lifo" }
+
 // Pick implements Policy.
 func (l *LIFO) Pick(enabled []int, step int) int {
 	for _, e := range enabled {
@@ -154,11 +174,21 @@ func (l *LIFO) Pick(enabled []int, step int) int {
 // DefaultPolicies returns a representative family of interleaving
 // policies used by the determinacy checker: deterministic extremes
 // (lowest, highest, most-recently-enabled), fair rotation,
-// alternation, and several random seeds.
+// alternation, and several random seeds.  The family is built from
+// PolicySpec strings so the specs stay the single source of truth for
+// how each member is constructed.
 func DefaultPolicies(randomSeeds int) []Policy {
-	ps := []Policy{Lowest{}, Highest{}, NewLIFO(), NewRoundRobin(), NewAlternating()}
+	specs := []string{"lowest", "highest", "lifo", "rr", "alt"}
 	for s := 0; s < randomSeeds; s++ {
-		ps = append(ps, NewRandom(int64(s)+1))
+		specs = append(specs, fmt.Sprintf("rand:%d", s+1))
+	}
+	ps := make([]Policy, 0, len(specs))
+	for _, spec := range specs {
+		p, err := ParsePolicy(spec)
+		if err != nil {
+			panic("sched: DefaultPolicies: " + err.Error()) // specs above are static and valid
+		}
+		ps = append(ps, p)
 	}
 	return ps
 }

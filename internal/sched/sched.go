@@ -244,6 +244,50 @@ func (b *controlled[T]) step(id int, name string) {
 // flush is a no-op: the controlled backend delivers synchronously.
 func (b *controlled[T]) flush(id int) {}
 
+// PendingOp describes the communication action an enabled process
+// will perform when picked — the controlled scheduler's enabled-set
+// introspection, consumed by OpPolicy implementations (the schedule
+// explorer needs to know *what* each candidate would do, not just that
+// it can act).
+type PendingOp struct {
+	// Rank is the process that would act.
+	Rank int
+	// Kind is the action class: trace.Step, trace.Send, or trace.Recv.
+	Kind trace.Kind
+	// Peer is the other endpoint for Send/Recv, -1 for Step.
+	Peer int
+	// Tag is the step name for Step actions.  For Send it carries the
+	// rendered message only when the run is tracing (Options.Trace set);
+	// it is empty otherwise, and always empty for Recv.
+	Tag string
+}
+
+// String renders the op for trace output.
+func (o PendingOp) String() string {
+	switch o.Kind {
+	case trace.Send:
+		return fmt.Sprintf("P%d send->P%d", o.Rank, o.Peer)
+	case trace.Recv:
+		return fmt.Sprintf("P%d recv<-P%d", o.Rank, o.Peer)
+	default:
+		if o.Tag != "" {
+			return fmt.Sprintf("P%d step %q", o.Rank, o.Tag)
+		}
+		return fmt.Sprintf("P%d %s", o.Rank, o.Kind)
+	}
+}
+
+// OpPolicy is an optional Policy extension: when the policy passed to
+// RunControlled implements it, the scheduler calls PickOp with the
+// pending operation of every enabled process (ops[i] describes
+// enabled[i]) instead of Pick.  Policies that do not need op
+// introspection pay nothing — the ops slice is only built when the
+// policy asks for it.
+type OpPolicy interface {
+	Policy
+	PickOp(enabled []int, ops []PendingOp, step int) int
+}
+
 // Options configures a controlled run.
 type Options[T any] struct {
 	// Trace, if non-nil, records every action of the interleaving.
@@ -272,11 +316,16 @@ type Options[T any] struct {
 	// computation between communication actions and any injected message
 	// delay, or healthy runs will be reported as stalled.
 	StallTimeout time.Duration
-	// WrapEndpoint, if non-nil, wraps every channel of RunConcurrent's
-	// network — the fault-injection seam for message-delivery faults
-	// (e.g. seeded delays).  Wrappers must preserve per-channel FIFO
-	// order; the paper's model gives channels infinite slack, so pure
-	// delays keep the interleaving legal.
+	// WrapEndpoint, if non-nil, wraps every channel of the network —
+	// the injection and instrumentation seam.  RunConcurrent uses it
+	// for message-delivery faults (e.g. seeded delays); RunControlled
+	// applies it too, so observers (e.g. channel.Hooked, which numbers
+	// each channel's send/recv operations for the schedule explorer)
+	// can watch the message flow of a controlled run.  Wrappers must
+	// preserve per-channel FIFO order and report Len faithfully — the
+	// controlled scheduler's enabledness and deadlock checks read it;
+	// the paper's model gives channels infinite slack, so pure delays
+	// keep the interleaving legal.
 	WrapEndpoint func(from, to int, e channel.Endpoint[T]) channel.Endpoint[T]
 	// Transport, if non-nil, supplies the message substrate for
 	// RunConcurrent in place of the default in-process channel network —
@@ -328,6 +377,9 @@ func RunControlled[T, R any](procs []Proc[T, R], pol Policy, opt Options[T]) ([]
 	}
 
 	net := channel.NewQueueNet[T](p)
+	if opt.WrapEndpoint != nil {
+		net.WrapEndpoints(opt.WrapEndpoint)
+	}
 	var zero T
 	var failure error
 	// advance lets process i run to its next request and records it.
@@ -401,7 +453,26 @@ func RunControlled[T, R any](procs []Proc[T, R], pol Policy, opt Options[T]) ([]
 			return results, fmt.Errorf("%w (after %d actions; %s)",
 				ErrDeadlock, actions, strings.Join(waits, ", "))
 		}
-		pick := pol.Pick(enabled, actions)
+		var pick int
+		if op, ok := pol.(OpPolicy); ok {
+			ops := make([]PendingOp, len(enabled))
+			for k, i := range enabled {
+				r := &back.ps[i].pending
+				po := PendingOp{Rank: i, Peer: -1, Tag: r.tag}
+				switch r.kind {
+				case reqSend:
+					po.Kind, po.Peer = trace.Send, r.peer
+				case reqRecv:
+					po.Kind, po.Peer, po.Tag = trace.Recv, r.peer, ""
+				case reqStep:
+					po.Kind = trace.Step
+				}
+				ops[k] = po
+			}
+			pick = op.PickOp(enabled, ops, actions)
+		} else {
+			pick = pol.Pick(enabled, actions)
+		}
 		if !contains(enabled, pick) {
 			panic(fmt.Sprintf("sched: policy %q picked disabled process %d from %v", pol.Name(), pick, enabled))
 		}
